@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs over the same session-scoped federation (6
+heterogeneous vendor sources, 50 docs each, 30 oracle queries) so the
+numbers in one run are mutually comparable.  Experiment tables are both
+printed and written under ``benchmarks/results/`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves artifacts behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import FederationSpec, build_federation
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def federation():
+    return build_federation(
+        FederationSpec(n_sources=6, docs_per_source=50, n_queries=30, seed=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def write_table():
+    """Write an experiment table to benchmarks/results/<name>.txt."""
+
+    def _write(name: str, lines: list[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n== {name} ==")
+        print(text)
+
+    return _write

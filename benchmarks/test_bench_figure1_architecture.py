@@ -1,0 +1,59 @@
+"""F1 — Figure 1: client → Source-1 with Sources=[Source-2], resource-side
+duplicate elimination.
+
+Benchmarks the full wire round trip of the paper's architecture diagram
+and records the merged result table.
+"""
+
+from repro.corpus import source1_documents, source2_documents, ullman_dood_document
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import SimulatedInternet, StartsClient, publish_resource
+
+
+def _paper_world():
+    internet = SimulatedInternet(seed=1)
+    # Source-2 also carries the Ullman document so duplicate
+    # elimination has something to eliminate.
+    resource = Resource(
+        "Stanford",
+        [
+            StartsSource("Source-1", source1_documents()),
+            StartsSource(
+                "Source-2", [ullman_dood_document(), *source2_documents()]
+            ),
+        ],
+    )
+    publish_resource(internet, resource, "http://stanford.example.org")
+    return internet, resource
+
+
+def _figure1_query():
+    return SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        )
+    ).with_sources("Source-2")
+
+
+def test_bench_figure1_round_trip(benchmark, write_table):
+    internet, resource = _paper_world()
+    client = StartsClient(internet)
+    query = _figure1_query()
+    url = resource.source("Source-1").base_url + "/query"
+
+    results = benchmark(lambda: client.query(url, query))
+
+    assert set(results.sources) == {"Source-1", "Source-2"}
+    ullman = [d for d in results.documents if "ullman" in d.linkage]
+    assert len(ullman) == 1  # duplicate eliminated
+    assert set(ullman[0].sources) == {"Source-1", "Source-2"}
+
+    lines = ["Figure 1: query at Source-1, Sources=[Source-2]", ""]
+    for doc in results.documents:
+        lines.append(
+            f"score={doc.raw_score:.4f} sources={','.join(doc.sources):<19} "
+            f"{doc.linkage}"
+        )
+    write_table("F1_figure1_architecture", lines)

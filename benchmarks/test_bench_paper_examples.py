@@ -1,0 +1,67 @@
+"""EX1–EX12 — the paper's worked examples as a benchmark target.
+
+The golden correctness checks live in tests/starts/test_paper_examples.py;
+here the Example 6 query (parse → execute → encode → decode) is timed as
+a single protocol round trip, and an index of all twelve examples is
+recorded.
+"""
+
+from repro.corpus import source1_documents
+from repro.source import StartsSource
+from repro.starts import SQResults, SQuery, parse_expression, parse_soif
+
+_EXAMPLES = [
+    ("EX1", "filter + ranking expression semantics"),
+    ("EX2", "stem modifier matches morphological variants"),
+    ("EX3", "prox[3,T] word-distance filtering"),
+    ("EX4", "fuzzy boolean vs list ranking semantics"),
+    ("EX5", "weighted ranking terms"),
+    ("EX6", "complete SOIF-encoded query"),
+    ("EX7", "actual-query reporting by a filter-only source"),
+    ("EX8", "result stream with TermStats/DocSize/DocCount"),
+    ("EX9", "statistics-based re-ranking across sources"),
+    ("EX10", "SMetaAttributes export"),
+    ("EX11", "bilingual content summary"),
+    ("EX12", "SResource definition"),
+]
+
+
+def test_bench_example6_full_round_trip(benchmark, write_table):
+    source = StartsSource("Source-1", source1_documents())
+    query_text = (
+        "@SQuery{\n"
+        "Version{10}: STARTS 1.0\n"
+        "FilterExpression{48}: ((author \"Ullman\") and (title stem \"databases\"))\n"
+        "RankingExpression{61}: list((body-of-text \"distributed\") "
+        "(body-of-text \"databases\"))\n"
+        "DropStopWords{1}: T\n"
+        "DefaultAttributeSet{7}: basic-1\n"
+        "DefaultLanguage{5}: en-US\n"
+        "AnswerFields{12}: title author\n"
+        "MinDocumentScore{3}: 0.0\n"
+        "MaxNumberDocuments{2}: 10\n"
+        "}\n"
+    )
+
+    def round_trip():
+        query = SQuery.from_soif(parse_soif(query_text))
+        results = source.search(query)
+        return SQResults.from_soif_stream(results.to_soif_stream())
+
+    results = benchmark(round_trip)
+    assert results.documents
+    assert results.documents[0].linkage.endswith("dood.ps")
+
+    lines = ["Paper worked examples (golden tests in tests/starts/)", ""]
+    lines.extend(f"{example}: {title}" for example, title in _EXAMPLES)
+    write_table("EX_paper_examples", lines)
+
+
+def test_bench_query_parsing(benchmark):
+    """Parser throughput on the paper's most complex expression."""
+    text = (
+        '(((author "Ullman") and (title stem "databases")) or '
+        '((body-of-text "distributed") prox[3,T] (body-of-text "systems")))'
+    )
+    node = benchmark(lambda: parse_expression(text))
+    assert node is not None

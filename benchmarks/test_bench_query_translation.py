@@ -1,0 +1,68 @@
+"""E3 — query translation: capability-aware vs. least common denominator.
+
+Reproduces §3.1/§4.1: with MBasic-1 metadata a metasearcher translates
+per source and predicts the actual query; the pre-STARTS alternative is
+the intersection of all vendors' features.  The benchmark times one
+client-side translation.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import (
+    FEATURE_QUERIES,
+    least_common_denominator,
+    run_translation_experiment,
+)
+from repro.metasearch.translation import ClientTranslator
+
+
+def test_bench_translation_matrix(benchmark, federation, write_table):
+    cells = run_translation_experiment(federation)
+
+    by_feature: dict[str, list] = defaultdict(list)
+    for cell in cells:
+        by_feature[cell.feature].append(cell)
+
+    source_ids = federation.source_ids()
+    lines = [
+        "E3: per-feature translation across vendors",
+        "    (+ lossless, o degraded-but-survived, - dropped entirely)",
+        "",
+        f"{'feature':<18} " + " ".join(f"{s[-2:]:>3}" for s in source_ids),
+    ]
+    for feature in FEATURE_QUERIES:
+        row = {cell.source_id: cell for cell in by_feature[feature]}
+        marks = []
+        for source_id in source_ids:
+            cell = row[source_id]
+            if cell.lossless:
+                marks.append("  +")
+            elif cell.survived:
+                marks.append("  o")
+            else:
+                marks.append("  -")
+        lines.append(f"{feature:<18} " + " ".join(marks))
+
+    lcd = least_common_denominator(cells)
+    lines.append("")
+    lines.append(f"least common denominator ({len(lcd)}/{len(FEATURE_QUERIES)}): {', '.join(lcd)}")
+    prediction_ok = sum(1 for cell in cells if cell.prediction_matches_actual)
+    lines.append(
+        f"client prediction == source actual query: {prediction_ok}/{len(cells)}"
+    )
+    write_table("E3_query_translation", lines)
+
+    # The protocol's value: strictly more features than the LCD are
+    # usable somewhere, and predictions are near-perfect (the only
+    # allowed gap is prox degradation, which MBasic-1 cannot express).
+    assert len(lcd) < len(FEATURE_QUERIES)
+    mismatches = [
+        cell for cell in cells if not cell.prediction_matches_actual
+    ]
+    assert all(cell.feature == "prox" for cell in mismatches)
+
+    source = federation.sources["Exp-00"]
+    metadata = source.metadata()
+    translator = ClientTranslator()
+    query = FEATURE_QUERIES["ranking-list"]
+    benchmark(lambda: translator.translate(query, metadata))

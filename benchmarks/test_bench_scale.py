@@ -1,0 +1,57 @@
+"""E7 — scale: the full pipeline over a 20-source federation.
+
+The paper's premise is "a potentially large number of resources".  At
+20 sources the selection trade-off becomes visible: contacting k of 20
+sources costs a recall haircut that shrinks as k grows, while the
+request/latency/cost savings stay large — the practical dial a
+metasearcher operator turns.
+"""
+
+import pytest
+
+from repro.experiments import (
+    FederationSpec,
+    build_federation,
+    run_end_to_end_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def big_federation():
+    return build_federation(
+        FederationSpec(n_sources=20, docs_per_source=40, n_queries=15, seed=13)
+    )
+
+
+def test_bench_scale_pipeline(benchmark, big_federation, write_table):
+    lines = ["E7: 20-source federation, 10 queries, k sweep", ""]
+    rows_by_k = {}
+    for k in (3, 5, 8):
+        results = run_end_to_end_experiment(big_federation, n_queries=10, k_sources=k)
+        starts = next(row for row in results if row.name.startswith("starts"))
+        baseline = next(row for row in results if row.name.startswith("baseline"))
+        rows_by_k[k] = (starts, baseline)
+        lines.append(f"k={k}: {starts.row()}")
+    lines.append(f"       {rows_by_k[3][1].row()}")
+    write_table("E7_scale", lines)
+
+    for k, (starts, baseline) in rows_by_k.items():
+        # The savings: selection needs k requests vs 20.
+        assert starts.requests_per_query == pytest.approx(k)
+        assert baseline.requests_per_query == pytest.approx(20)
+        assert starts.cost_per_query <= baseline.cost_per_query
+    # The trade-off: even at k=3/20, quality stays within ~0.15 of the
+    # query-everything ceiling (P@10 saturates quickly because the top
+    # sources hold most relevant documents); meanwhile requests drop
+    # 2.5-6.7x.  Note P@10 is *not* monotone in k — querying marginal
+    # sources adds merge noise along with coverage.
+    ceiling = rows_by_k[3][1].precision_at_10
+    for k, (starts, _) in rows_by_k.items():
+        assert starts.precision_at_10 >= ceiling - 0.15
+
+    from repro.metasearch import Metasearcher
+
+    searcher = Metasearcher(big_federation.internet, [big_federation.resource_url])
+    searcher.refresh()
+    query = big_federation.workload.queries[0].to_squery(max_documents=10)
+    benchmark(lambda: searcher.search(query, k_sources=3))

@@ -1,0 +1,67 @@
+"""Substrate throughput: indexing, SOIF codec, parsing, analysis.
+
+Library-level numbers a downstream adopter cares about, recorded
+alongside the experiment tables.
+"""
+
+from repro.corpus.generator import CollectionSpec, generate_collection
+from repro.engine.search import SearchEngine
+from repro.starts.parser import parse_expression
+from repro.starts.soif import parse_soif_stream
+from repro.text.analysis import Analyzer
+
+
+def _documents(n=100, seed=33):
+    return generate_collection(
+        CollectionSpec(
+            name="Bench", topics={"databases": 0.5, "retrieval": 0.5}, size=n, seed=seed
+        )
+    )
+
+
+def test_bench_indexing_throughput(benchmark, write_table):
+    documents = _documents(100)
+
+    def index_all():
+        engine = SearchEngine()
+        engine.add_all(documents)
+        return engine
+
+    engine = benchmark(index_all)
+    tokens = sum(engine.store.token_count(i) for i in engine.store.ids())
+    write_table(
+        "S1_substrate_indexing",
+        [
+            "Substrate: indexing 100 synthetic documents",
+            "",
+            f"documents: {engine.document_count}",
+            f"tokens:    {tokens}",
+            f"vocabulary (body): {len(engine.index.vocabulary('body-of-text'))}",
+        ],
+    )
+
+
+def test_bench_soif_codec(benchmark):
+    from repro.source import StartsSource
+
+    source = StartsSource("Codec", _documents(60))
+    blob = source.content_summary().to_soif().dump()
+
+    parsed = benchmark(lambda: parse_soif_stream(blob))
+    assert parsed[0].template == "SContentSummary"
+
+
+def test_bench_analysis_pipeline(benchmark):
+    analyzer = Analyzer()
+    text = " ".join(doc.body for doc in _documents(5))
+    tokens = benchmark(lambda: analyzer.analyze(text))
+    assert tokens
+
+
+def test_bench_expression_parser(benchmark):
+    text = (
+        'list((body-of-text "distributed" 0.7) (body-of-text "databases" 0.3) '
+        '((title stem "systems") and (author phonetic "Ullman")))'
+    )
+    node = benchmark(lambda: parse_expression(text))
+    assert node is not None

@@ -1,0 +1,27 @@
+"""E4 — content-summary size vs. collection size.
+
+Reproduces §4.3.2's size claim: summaries are dramatically smaller than
+the collections they describe, and the gap widens as collections grow
+(vocabulary saturates while text keeps growing).  The benchmark times
+summary extraction for one source.
+"""
+
+from repro.experiments import run_summary_size_experiment
+
+
+def test_bench_summary_sizes(benchmark, federation, write_table):
+    rows = run_summary_size_experiment(sizes=(25, 50, 100, 200))
+
+    lines = ["E4: collection vs content-summary size (SOIF bytes)", ""]
+    lines.extend(row.row() for row in rows)
+    write_table("E4_summary_size", lines)
+
+    # Shape: summaries always much smaller, ratio grows with N.
+    for row in rows:
+        assert row.full_ratio > 3.0
+        assert row.truncated_ratio > row.full_ratio
+    ratios = [row.full_ratio for row in rows]
+    assert ratios == sorted(ratios), "compression should improve with size"
+
+    source = federation.sources["Exp-00"]
+    benchmark(lambda: source.content_summary())

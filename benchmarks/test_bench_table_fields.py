@@ -1,0 +1,35 @@
+"""T1 — the Basic-1 field table: conformance matrix across vendors.
+
+For every Basic-1 field, which federation sources support it; required
+fields must be supported everywhere.  The benchmark measures the cost
+of a fielded query at one source.
+"""
+
+from repro.starts import BASIC1, SQuery, parse_expression
+
+
+def test_bench_field_conformance(benchmark, federation, write_table):
+    metadata = {
+        source_id: source.metadata()
+        for source_id, source in federation.sources.items()
+    }
+    source_ids = sorted(metadata)
+
+    lines = ["Basic-1 field support (+ = supported)", ""]
+    lines.append(
+        f"{'field':<26} req " + " ".join(f"{s[-2:]:>3}" for s in source_ids)
+    )
+    for name, spec in BASIC1.fields.items():
+        cells = []
+        for source_id in source_ids:
+            supported = metadata[source_id].supports_field(name)
+            if spec.required:
+                assert supported, f"{source_id} must support required field {name}"
+            cells.append("  +" if supported else "  -")
+        required_text = "yes" if spec.required else "no "
+        lines.append(f"{name:<26} {required_text:<3} " + " ".join(cells))
+    write_table("T1_basic1_fields", lines)
+
+    source = next(iter(federation.sources.values()))
+    query = SQuery(filter_expression=parse_expression('(title "databases")'))
+    benchmark(lambda: source.search(query))

@@ -1,0 +1,62 @@
+"""T3 — the MBasic-1 metadata table: every source exports every
+required attribute; benchmark the metadata export + SOIF encode path.
+"""
+
+from repro.starts import parse_soif
+from repro.starts.metadata import MBASIC1_ATTRIBUTES, SMetaAttributes
+
+#: SOIF attribute spelling for each MBasic-1 attribute name.
+_WIRE_NAMES = {
+    "FieldsSupported": "FieldsSupported",
+    "ModifiersSupported": "ModifiersSupported",
+    "FieldModifierCombinations": "FieldModifierCombinations",
+    "QueryPartsSupported": "QueryPartsSupported",
+    "ScoreRange": "ScoreRange",
+    "RankingAlgorithmID": "RankingAlgorithmID",
+    "TokenizerIDList": "TokenizerIDList",
+    "SampleDatabaseResults": "SampleDatabaseResults",
+    "StopWordList": "StopWordList",
+    "TurnOffStopWords": "TurnOffStopWords",
+    "SourceLanguages": "source-languages",
+    "SourceName": "source-name",
+    "Linkage": "linkage",
+    "ContentSummaryLinkage": "content-summary-linkage",
+    "DateChanged": "date-changed",
+    "DateExpires": "date-expires",
+    "Abstract": "abstract",
+    "AccessConstraints": "access-constraints",
+    "Contact": "contact",
+}
+
+
+def test_bench_metadata_conformance(benchmark, federation, write_table):
+    lines = ["MBasic-1 attribute export (+ = present on the wire)", ""]
+    source_ids = federation.source_ids()
+    lines.append(
+        f"{'attribute':<26} req " + " ".join(f"{s[-2:]:>3}" for s in source_ids)
+    )
+
+    wire_objects = {
+        source_id: federation.sources[source_id].metadata().to_soif()
+        for source_id in source_ids
+    }
+    for spec in MBASIC1_ATTRIBUTES:
+        cells = []
+        for source_id in source_ids:
+            present = _WIRE_NAMES[spec.name] in wire_objects[source_id]
+            if spec.required:
+                assert present, (
+                    f"{source_id} must export required attribute {spec.name}"
+                )
+            cells.append("  +" if present else "  -")
+        required_text = "yes" if spec.required else "no "
+        lines.append(f"{spec.name:<26} {required_text:<3} " + " ".join(cells))
+    write_table("T3_mbasic1_metadata", lines)
+
+    source = next(iter(federation.sources.values()))
+
+    def export_and_reparse():
+        return SMetaAttributes.from_soif(parse_soif(source.metadata().to_soif().dump()))
+
+    parsed = benchmark(export_and_reparse)
+    assert parsed.source_id == source.source_id

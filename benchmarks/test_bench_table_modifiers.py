@@ -1,0 +1,56 @@
+"""T2 — the Basic-1 modifier table: conformance matrix + modifier costs.
+
+Records which federation sources support each modifier, and benchmarks
+the most expensive modifier path (stem expansion over the vocabulary).
+"""
+
+from repro.starts import BASIC1, SQuery, parse_expression
+
+
+def test_bench_modifier_conformance(benchmark, federation, write_table):
+    metadata = {
+        source_id: source.metadata()
+        for source_id, source in federation.sources.items()
+    }
+    source_ids = sorted(metadata)
+
+    lines = ["Basic-1 modifier support (+ = supported)", ""]
+    lines.append(f"{'modifier':<18} " + " ".join(f"{s[-2:]:>3}" for s in source_ids))
+    for name, spec in BASIC1.modifiers.items():
+        cells = [
+            "  +" if metadata[source_id].supports_modifier(name) else "  -"
+            for source_id in source_ids
+        ]
+        lines.append(f"{name:<18} " + " ".join(cells))
+        assert spec.default  # every row documents its default behaviour
+    write_table("T2_basic1_modifiers", lines)
+
+    source = next(iter(federation.sources.values()))
+    query = SQuery(filter_expression=parse_expression('(body-of-text stem "databases")'))
+    benchmark(lambda: source.search(query))
+
+
+def test_bench_modifier_query_costs(benchmark, federation, write_table):
+    """Per-modifier query latency at one source (mean over the suite)."""
+    import time
+
+    source = federation.sources["Exp-00"]
+    variants = {
+        "exact": '(body-of-text "databases")',
+        "stem": '(body-of-text stem "databases")',
+        "phonetic": '(author phonetic "Rivera")',
+        "right-truncation": '(body-of-text right-truncation "data")',
+        "thesaurus": '(body-of-text thesaurus "database")',
+    }
+    lines = ["Modifier evaluation cost at Exp-00 (ms, 20 reps)", ""]
+    for name, text in variants.items():
+        query = SQuery(filter_expression=parse_expression(text))
+        start = time.perf_counter()
+        for _ in range(20):
+            source.search(query)
+        elapsed = (time.perf_counter() - start) * 1000 / 20
+        lines.append(f"{name:<18} {elapsed:8.3f} ms")
+    write_table("T2_modifier_costs", lines)
+
+    query = SQuery(filter_expression=parse_expression(variants["phonetic"]))
+    benchmark(lambda: source.search(query))

@@ -1,0 +1,72 @@
+"""Replay the paper's worked examples, printing the actual wire bytes.
+
+Walks through the scenario of Sections 4.1–4.3 with the canned Source-1
+and Source-2 collections: the Example 6 query, the Example 8 result
+stream, the Example 9 re-ranking, the Example 10/11 metadata blobs and
+the Example 12 resource definition.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.corpus import source1_documents, source2_documents
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    source1 = StartsSource("Source-1", source1_documents())
+    source2 = StartsSource("Source-2", source2_documents())
+    resource = Resource("Stanford", [source1, source2])
+
+    banner("Example 6: the query, SOIF-encoded")
+    query = SQuery(
+        filter_expression=parse_expression(
+            '((author "Ullman") and (title stem "databases"))'
+        ),
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+        min_document_score=0.0,
+        max_number_documents=10,
+        answer_fields=("title", "author"),
+    )
+    print(query.to_soif().dump())
+
+    banner("Example 8: Source-1's result stream")
+    results1 = source1.search(query)
+    print(results1.to_soif_stream())
+
+    banner("Example 9: Source-2's result and statistics-based re-ranking")
+    ranking_only = SQuery(ranking_expression=query.ranking_expression)
+    results2 = source2.search(ranking_only)
+    print(results2.to_soif_stream())
+
+    pool = list(results1.documents) + list(results2.documents)
+
+    def total_tf(document):
+        return sum(stats.term_frequency for stats in document.term_stats)
+
+    print("Re-ranked by total term frequency (Example 9's scheme):")
+    for document in sorted(pool, key=total_tf, reverse=True):
+        print(
+            f"  tf={total_tf(document):>3} raw={document.raw_score:.4f} "
+            f"[{document.sources[0]}] {document.linkage}"
+        )
+
+    banner("Example 10: Source-1's metadata attributes")
+    print(source1.metadata().to_soif().dump())
+
+    banner("Example 11: content summary (truncated to 8 words/section)")
+    print(source1.content_summary(max_words_per_section=8).to_soif().dump())
+
+    banner("Example 12: the resource definition")
+    print(resource.describe().to_soif().dump())
+
+
+if __name__ == "__main__":
+    main()

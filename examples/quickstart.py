@@ -1,0 +1,55 @@
+"""Quickstart: a four-vendor federation and one metasearch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Metasearcher, SQuery, parse_expression, quick_federation
+
+
+def main() -> None:
+    # One call builds four topically distinct collections, indexes them
+    # under four different vendor engines (different ranking algorithms,
+    # score ranges, tokenizers) and publishes everything on a simulated
+    # internet behind a single resource.
+    internet, resource_url = quick_federation(seed=7)
+
+    searcher = Metasearcher(internet, [resource_url])
+    known = searcher.refresh()
+
+    print("Discovered sources:")
+    for source in known:
+        print(
+            f"  {source.source_id:<12} {source.num_docs:>3} docs  "
+            f"algorithm={source.metadata.ranking_algorithm_id:<10} "
+            f"score range={source.metadata.score_range}"
+        )
+
+    query = SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+        # Ask for the body too, so we can render snippets client-side.
+        answer_fields=("title", "body-of-text"),
+        max_number_documents=5,
+    )
+    result = searcher.search(query, k_sources=2)
+
+    print(f"\nSelected sources: {', '.join(result.selected_sources)}")
+    print("\nTop merged documents:")
+    from repro.engine import make_snippet
+
+    for document in result.documents:
+        print(f"  {document.score:8.4f}  [{document.source_id}]  {document.linkage}")
+        body = document.document.get("body-of-text")
+        if body:
+            snippet = make_snippet(body, ["distributed", "databases"], window=12)
+            print(f"            {snippet.text}")
+
+    print(
+        f"\nNetwork: {internet.request_count()} requests, "
+        f"{internet.total_latency_ms():.0f} ms simulated latency"
+    )
+
+
+if __name__ == "__main__":
+    main()

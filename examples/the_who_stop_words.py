@@ -1,0 +1,75 @@
+"""The "The Who" scenario: stop words and where a query can succeed.
+
+Section 3.1 of the paper: a user wants documents about the rock group
+"The Who" — every query word is an English stop word.  A metasearcher
+that knows each source's ``TurnOffStopWords`` metadata routes the query
+only to sources that can disable stop-word elimination, instead of
+getting silent empty results everywhere.
+
+Run:  python examples/the_who_stop_words.py
+"""
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.metasearch.translation import ClientTranslator
+from repro.starts import SQuery, parse_expression
+from repro.vendors import build_vendor_source
+
+ROCK_DOCS = [
+    Document(
+        "http://rock.example.org/who.html",
+        {
+            F.TITLE: "The Who: Live at Leeds",
+            F.BODY_OF_TEXT: "The Who performed their landmark concert at Leeds.",
+        },
+    ),
+    Document(
+        "http://rock.example.org/stones.html",
+        {
+            F.TITLE: "The Rolling Stones",
+            F.BODY_OF_TEXT: "The Rolling Stones toured stadiums worldwide.",
+        },
+    ),
+]
+
+
+def main() -> None:
+    # AcmeSearch can turn stop words off; ZeusFind cannot.
+    sources = [
+        build_vendor_source("AcmeSearch", "Rock-Acme", ROCK_DOCS),
+        build_vendor_source("ZeusFind", "Rock-Zeus", ROCK_DOCS),
+    ]
+
+    query = SQuery(
+        filter_expression=parse_expression(
+            '((body-of-text "The") and (body-of-text "Who"))'
+        ),
+        drop_stop_words=False,  # the user insists on the literal words
+    )
+
+    translator = ClientTranslator()
+    print('Query: (body-of-text "The") and (body-of-text "Who"), '
+          "DropStopWords=F\n")
+    for source in sources:
+        metadata = source.metadata()
+        translated, report = translator.translate(query, metadata)
+        routable = translator.worth_querying(query, metadata)
+        print(f"{source.source_id}:")
+        print(f"  TurnOffStopWords = {'T' if metadata.turn_off_stop_words else 'F'}")
+        print(f"  stop words preserved client-side? {report.stop_words_preserved}")
+        print(f"  worth querying? {routable}")
+        results = source.search(query)
+        print(f"  documents returned: {len(results.documents)}")
+        for document in results.documents:
+            print(f"    {document.linkage}")
+        print()
+
+    print(
+        "A STARTS metasearcher therefore sends this query only to "
+        "Rock-Acme\nand spares Rock-Zeus a round trip that could only "
+        "return nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

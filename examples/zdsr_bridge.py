@@ -1,0 +1,53 @@
+"""The ZDSR bridge: Z39.50 clients talking to a STARTS source.
+
+Section 2 of the paper: "the Z39.50 community is designing a profile of
+their Z39.50-1995 standard based on STARTS ... ZDSR".  This example
+shows that bridge working: a PQF (type-101 prefix notation) query runs
+against a STARTS source, the Explain-style record exposes the
+capability attributes, and the actual query comes back as PQF.
+
+Run:  python examples/zdsr_bridge.py
+"""
+
+from repro.corpus import source1_documents
+from repro.source import StartsSource
+from repro.starts import parse_expression
+from repro.zdsr import ZdsrGateway, starts_to_pqf
+
+
+def main() -> None:
+    source = StartsSource("Source-1", source1_documents())
+    gateway = ZdsrGateway(source)
+
+    print("--- Explain record (what a ZDSR client auto-configures from) ---")
+    record = gateway.explain()
+    print(f"source:              {record.source_id}")
+    print(f"use attributes:      {record.use_attributes}")
+    print(f"relation attributes: {record.relation_attributes}")
+    print(f"truncation:          {record.truncation_attributes}")
+    print(f"ranked retrieval:    {record.supports_ranked_retrieval} "
+          f"(range {record.score_range}, algorithm {record.ranking_algorithm_id})")
+
+    print("\n--- STARTS expression -> PQF ---")
+    starts_text = '((author "Ullman") and (title stem "databases"))'
+    node = parse_expression(starts_text)
+    pqf = starts_to_pqf(node)
+    print(f"STARTS: {starts_text}")
+    print(f"PQF:    {pqf}")
+
+    print("\n--- Boolean PQF search ---")
+    results = gateway.search_pqf(pqf)
+    for document in results.documents:
+        print(f"  {document.linkage}")
+    print(f"actual query (PQF): {gateway.actual_pqf(results)}")
+
+    print("\n--- Ranked PQF search (ZDSR's ranked-retrieval mode) ---")
+    ranked = gateway.search_pqf(
+        '@or @attr 1=1010 "distributed" @attr 1=1010 "databases"', ranked=True
+    )
+    for document in ranked.documents:
+        print(f"  {document.raw_score:.4f}  {document.linkage}")
+
+
+if __name__ == "__main__":
+    main()

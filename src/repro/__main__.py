@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — build the quick federation and run one metasearch.
+* ``query EXPR`` — run a STARTS ranking expression over the quick
+  federation (e.g. ``python -m repro query '(body-of-text "databases")'``).
+* ``experiment {E1,E2,E3,E4,E5,E6}`` — run one experiment and print its
+  table (smaller federation than benchmarks/, for quick looks).
+* ``parse EXPR`` — parse an expression and print its canonical form and
+  PQF encoding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Metasearcher, SQuery, parse_expression, quick_federation
+
+
+def _build_searcher(seed: int) -> Metasearcher:
+    internet, resource_url = quick_federation(seed=seed)
+    searcher = Metasearcher(internet, [resource_url])
+    searcher.refresh()
+    return searcher
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    searcher = _build_searcher(args.seed)
+    query = SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+        max_number_documents=5,
+    )
+    result = searcher.search(query, k_sources=2)
+    print("selected sources:", ", ".join(result.selected_sources))
+    for document in result.documents:
+        print(f"{document.score:10.4f}  [{document.source_id}]  {document.linkage}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    expression = parse_expression(args.expression)
+    if expression is None:
+        print("empty expression", file=sys.stderr)
+        return 2
+    searcher = _build_searcher(args.seed)
+    if args.filter:
+        query = SQuery(filter_expression=expression, max_number_documents=args.limit)
+    else:
+        query = SQuery(ranking_expression=expression, max_number_documents=args.limit)
+    result = searcher.search(query, k_sources=args.sources)
+    print("selected sources:", ", ".join(result.selected_sources))
+    for document in result.documents:
+        print(f"{document.score:10.4f}  [{document.source_id}]  {document.linkage}")
+    return 0
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    expression = parse_expression(args.expression)
+    if expression is None:
+        print("empty expression", file=sys.stderr)
+        return 2
+    print("canonical:", expression.serialize())
+    try:
+        from repro.zdsr import starts_to_pqf
+
+        print("pqf:      ", starts_to_pqf(expression))
+    except KeyError as error:
+        print(f"pqf:       (no ZDSR mapping for {error})")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    expression = parse_expression(args.expression)
+    if expression is None:
+        print("empty expression", file=sys.stderr)
+        return 2
+    searcher = _build_searcher(args.seed)
+    query = SQuery(ranking_expression=expression)
+    print(searcher.explain_plan(query, k_sources=args.sources))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        FederationSpec,
+        build_federation,
+        run_end_to_end_experiment,
+        run_merging_experiment,
+        run_selection_experiment,
+        run_summary_size_experiment,
+        run_translation_experiment,
+        least_common_denominator,
+    )
+
+    federation = build_federation(
+        FederationSpec(n_sources=6, docs_per_source=40, n_queries=20, seed=args.seed)
+    )
+    experiment = args.id.upper()
+    if experiment == "E1":
+        for row in run_selection_experiment(federation):
+            print(row.row())
+    elif experiment == "E2":
+        for row in run_merging_experiment(federation, n_queries=15):
+            print(row.row())
+    elif experiment == "E3":
+        cells = run_translation_experiment(federation)
+        lossless = sum(1 for cell in cells if cell.lossless)
+        predicted = sum(1 for cell in cells if cell.prediction_matches_actual)
+        print(f"lossless cells:       {lossless}/{len(cells)}")
+        print(f"predictions correct:  {predicted}/{len(cells)}")
+        print(f"least common denom.:  {', '.join(least_common_denominator(cells))}")
+    elif experiment == "E4":
+        for row in run_summary_size_experiment():
+            print(row.row())
+    elif experiment == "E5":
+        for row in run_end_to_end_experiment(federation, n_queries=10):
+            print(row.row())
+    elif experiment == "E6":
+        for row in run_merging_experiment(
+            federation, n_queries=15, withhold_term_stats=True
+        ):
+            print(row.row())
+    else:
+        print(f"unknown experiment: {args.id}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import check_source
+    from repro.corpus import source1_documents
+    from repro.vendors import build_vendor_source, vendor_names
+
+    worst = 0
+    for vendor in vendor_names():
+        source = build_vendor_source(vendor, f"{vendor}-probe", source1_documents())
+        report = check_source(source)
+        verdict = "CONFORMANT" if report.passed else "NON-CONFORMANT"
+        print(f"{vendor:<12} {verdict}")
+        for finding in report.failures():
+            print(f"  {finding.row()}")
+            worst = 1
+    return worst
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import CollectionSpec, generate_collection
+    from repro.resource import Resource
+    from repro.transport import StartsHttpServer
+    from repro.vendors import build_vendor_source
+
+    resource = Resource("DemoFederation")
+    plans = [
+        ("Demo-DB", "AcmeSearch", {"databases": 1.0}),
+        ("Demo-Med", "OkapiWorks", {"medicine": 1.0}),
+    ]
+    for index, (source_id, vendor, topics) in enumerate(plans):
+        documents = generate_collection(
+            CollectionSpec(name=source_id, topics=topics, size=40, seed=args.seed + index)
+        )
+        resource.add_source(build_vendor_source(vendor, source_id, documents))
+
+    server = StartsHttpServer(resource, port=args.port)
+    server.start()
+    print(f"STARTS federation serving at {server.base_url}")
+    print(f"  resource:  {server.resource_url()}")
+    for source_id, _, _ in plans:
+        print(f"  {source_id}: {server.source_query_url(source_id)}")
+    if args.once:
+        server.stop()
+        return 0
+    print("Ctrl-C to stop.")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="STARTS metasearch reproduction — demo CLI",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="federation seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run a canned metasearch").set_defaults(
+        handler=cmd_demo
+    )
+
+    query = commands.add_parser("query", help="run a STARTS expression")
+    query.add_argument("expression")
+    query.add_argument("--filter", action="store_true", help="treat as filter")
+    query.add_argument("--limit", type=int, default=10)
+    query.add_argument("--sources", type=int, default=2)
+    query.set_defaults(handler=cmd_query)
+
+    parse = commands.add_parser("parse", help="parse and re-serialize")
+    parse.add_argument("expression")
+    parse.set_defaults(handler=cmd_parse)
+
+    plan = commands.add_parser("plan", help="dry-run a query (no network)")
+    plan.add_argument("expression")
+    plan.add_argument("--sources", type=int, default=2)
+    plan.set_defaults(handler=cmd_plan)
+
+    experiment = commands.add_parser("experiment", help="run one experiment")
+    experiment.add_argument("id", help="E1..E6")
+    experiment.set_defaults(handler=cmd_experiment)
+
+    conformance = commands.add_parser(
+        "conformance", help="conformance-check every built-in vendor"
+    )
+    conformance.set_defaults(handler=cmd_conformance)
+
+    serve = commands.add_parser(
+        "serve", help="serve a demo federation over real HTTP"
+    )
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--once", action="store_true", help="start, print URLs, and exit (for tests)"
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

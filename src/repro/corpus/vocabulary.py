@@ -1,0 +1,137 @@
+"""Topic vocabularies for the synthetic corpus generator.
+
+Source-selection and rank-merging behaviour hinge on *skewed term
+statistics across topically focused collections* (the paper's §3.2
+example: "databases" is common in a CS source, rare in an unrelated
+one).  Each topic below is a pool of content words; collections draw
+most of their text from their own topics and a little from the shared
+general pool, producing exactly that skew.  A Spanish pool supports
+the bilingual source of the paper's examples.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TOPICS",
+    "GENERAL_WORDS",
+    "SPANISH_WORDS",
+    "AUTHOR_POOL",
+    "TITLE_TEMPLATES",
+]
+
+TOPICS: dict[str, list[str]] = {
+    "databases": """
+        database databases relational query queries transaction transactions
+        index indexing schema tuple tuples join joins normalization deductive
+        object-oriented distributed concurrency locking recovery logging
+        optimizer optimization storage btree hashing partition replication
+        consistency serializability commit rollback cursor view views trigger
+        warehouse mining datalog algebra calculus dependency keys integrity
+        metadata catalog buffer paging deadlock snapshot isolation
+    """.split(),
+    "retrieval": """
+        retrieval search ranking relevance precision recall vector boolean
+        term terms frequency weighting tfidf stemming stopword thesaurus
+        metasearch metasearcher collection collections corpus document
+        documents crawler crawlers internet protocol sources source merging
+        federation interoperability heterogeneous summary summaries gloss
+        selection discovery digital library libraries soundex proximity
+        tokenizer scoring similarity feedback
+    """.split(),
+    "networking": """
+        network networks packet packets routing router routers congestion
+        bandwidth latency throughput ethernet tcp udp socket sockets
+        multicast broadcast switching protocol protocols gateway firewall
+        topology wireless cellular queueing buffer retransmission checksum
+        datagram fragmentation encapsulation addressing subnet lan wan
+        backbone peering flow control handshake session transport
+    """.split(),
+    "medicine": """
+        patient patients diagnosis treatment clinical therapy drug drugs
+        disease diseases symptom symptoms infection vaccine antibody immune
+        cardiology oncology surgery anesthesia pathology radiology dosage
+        trial trials placebo chronic acute syndrome prescription physician
+        hospital epidemiology virus bacteria tumor cancer insulin diabetes
+        cardiac pulmonary hepatic renal neural cortex
+    """.split(),
+    "astronomy": """
+        galaxy galaxies star stars stellar planet planets orbit orbital
+        telescope spectrum spectra luminosity redshift supernova nebula
+        cosmology cosmic quasar pulsar asteroid comet meteor gravitational
+        photometry parallax magnitude constellation eclipse solar lunar
+        interstellar radiation spectroscopy observatory celestial
+        astrophysics universe expansion inflation
+    """.split(),
+    "law": """
+        court courts judge judges ruling statute statutes contract contracts
+        liability plaintiff defendant appeal appellate jurisdiction tort
+        negligence copyright patent trademark litigation arbitration
+        testimony evidence verdict jury counsel attorney prosecution
+        constitutional legislative regulatory compliance precedent damages
+        injunction settlement deposition brief
+    """.split(),
+    "cooking": """
+        recipe recipes ingredient ingredients baking roasting simmer saute
+        flavor seasoning spice spices herbs garlic onion butter flour sugar
+        dough pastry sauce broth marinade grill oven skillet whisk knead
+        caramelize braise poach vinaigrette dessert appetizer entree cuisine
+        culinary kitchen chef tasting savory
+    """.split(),
+}
+
+#: Shared, topic-neutral content words that appear in every collection.
+GENERAL_WORDS = """
+    analysis approach system systems method methods result results problem
+    problems study studies model models design development evaluation
+    performance experiment experiments implementation framework technique
+    techniques theory practice application applications structure process
+    overview survey introduction comparison effective efficient general
+    novel proposed improved related important significant standard
+""".split()
+
+#: Spanish content words (CS-flavoured) for bilingual sources.
+SPANISH_WORDS = """
+    algoritmo algoritmos datos consulta consultas sistema sistemas
+    distribuido distribuida red redes documento documentos fuente fuentes
+    busqueda recuperacion indice indices modelo modelos resultado
+    resultados analisis estudio estudios problema problemas biblioteca
+    digital protocolo servidor cliente archivo archivos palabra palabras
+    lenguaje idioma texto textos coleccion colecciones
+""".split()
+
+#: Author name pool (first + last sampled independently).
+AUTHOR_POOL = {
+    "first": """
+        Jeffrey Luis Hector Andreas Chen Maria James Ellen Carl Susan
+        Michael Laura David Anna Robert Carmen Thomas Julia Steven Grace
+        Peter Diana Kevin Alice Martin Elena Oscar Irene Victor Nora
+    """.split(),
+    "last": """
+        Ullman Gravano Garcia-Molina Paepcke Chang Callan Voorhees Lagoze
+        Salton Croft Selberg Etzioni Bowman Danzig Hardy Manber Schwartz
+        Wessels Kirsch Baldonado Winograd Hassan Ketchpel Cousins Stone
+        Rivera Navarro Fuentes Morales Herrera
+    """.split(),
+}
+
+#: Title skeletons; ``{w1}``/``{w2}`` are topic words.
+TITLE_TEMPLATES = [
+    "On {w1} and {w2}",
+    "A Study of {w1} in {w2}",
+    "{w1} for {w2}",
+    "Efficient {w1} with {w2}",
+    "The {w1} Approach to {w2}",
+    "{w1}: Principles and Practice of {w2}",
+    "Towards Scalable {w1} over {w2}",
+    "Revisiting {w1} under {w2}",
+]
+
+#: Spanish title skeletons, used for Spanish-language documents so
+#: their title vocabulary is actually Spanish.
+SPANISH_TITLE_TEMPLATES = [
+    "Sobre {w1} y {w2}",
+    "Un estudio de {w1} en {w2}",
+    "{w1} para {w2}",
+    "Hacia {w1} con {w2}",
+    "El modelo {w1} de {w2}",
+]

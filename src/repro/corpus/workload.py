@@ -1,0 +1,165 @@
+"""Query workloads and the relevance oracle.
+
+With no human relevance judgments available (the paper has none), the
+standard federated-search surrogate applies: queries are *drawn from
+documents*, and relevance is defined by the generating process — a
+document is relevant to a query iff it contains every query term in its
+body.  This oracle is transparent, deterministic, and independent of
+any engine's ranking algorithm, so it cannot favour one selection or
+merging strategy over another.
+
+For rank-merging experiments the module also provides the
+*single-collection reference ranking*: the ranking a lone engine over
+the union of all collections would produce.  Section 4.2 frames merging
+quality exactly this way ("rank documents as if they all belonged in a
+single, large document source").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.query import ListQuery, TermQuery
+from repro.engine.ranking import Bm25
+from repro.engine.search import SearchEngine
+from repro.starts.ast import SList, STerm
+from repro.starts.attributes import FieldRef
+from repro.starts.lstring import LString
+from repro.starts.query import SQuery
+from repro.text.stopwords import ENGLISH_STOP_WORDS
+from repro.text.tokenize import UnicodeTokenizer
+
+__all__ = ["GeneratedQuery", "Workload", "build_workload"]
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One workload query with its oracle answer.
+
+    Attributes:
+        terms: the query words.
+        relevant: linkages of all documents (across every collection)
+            containing every query word in their body.
+        relevant_by_source: source name → count of relevant documents,
+            the "goodness" input of GlOSS-style evaluation.
+    """
+
+    terms: tuple[str, ...]
+    relevant: frozenset[str]
+    relevant_by_source: dict[str, int]
+
+    def to_squery(self, max_documents: int = 20) -> SQuery:
+        """The STARTS query: a flat ranking list over body-of-text."""
+        ranking = SList(
+            tuple(
+                STerm(LString(term), FieldRef(F.BODY_OF_TEXT)) for term in self.terms
+            )
+        )
+        return SQuery(ranking_expression=ranking, max_number_documents=max_documents)
+
+    def to_engine_query(self) -> ListQuery:
+        return ListQuery(tuple(TermQuery(F.BODY_OF_TEXT, term) for term in self.terms))
+
+
+class Workload:
+    """A set of generated queries plus the reference ranking machinery."""
+
+    def __init__(
+        self,
+        collections: dict[str, list[Document]],
+        queries: list[GeneratedQuery],
+    ) -> None:
+        self.collections = collections
+        self.queries = queries
+        self._reference_engine: SearchEngine | None = None
+
+    @property
+    def all_documents(self) -> list[Document]:
+        documents: list[Document] = []
+        for name in sorted(self.collections):
+            documents.extend(self.collections[name])
+        return documents
+
+    def reference_engine(self) -> SearchEngine:
+        """A lazily-built BM25 engine over the union of all collections."""
+        if self._reference_engine is None:
+            engine = SearchEngine(ranking=Bm25())
+            engine.add_all(self.all_documents)
+            self._reference_engine = engine
+        return self._reference_engine
+
+    def reference_ranking(self, query: GeneratedQuery) -> list[str]:
+        """Linkages ranked as one big collection would rank them."""
+        engine = self.reference_engine()
+        hits = engine.search(ranking_query=query.to_engine_query())
+        return [engine.store[hit.doc_id].linkage for hit in hits]
+
+
+_TOKENIZER = UnicodeTokenizer()
+
+
+def _content_words(document: Document) -> list[str]:
+    """Body words as engines see them: Unicode-tokenized, no stops.
+
+    Using a real tokenizer here keeps the oracle consistent with the
+    engines — a hyphenated vocabulary word like "object-oriented" is
+    two index terms everywhere, so it must be two oracle terms too.
+    """
+    words = []
+    for word in _TOKENIZER.words(document.body):
+        if len(word) > 3 and not ENGLISH_STOP_WORDS.is_stop_word(word):
+            words.append(word)
+    return words
+
+
+def build_workload(
+    collections: dict[str, list[Document]],
+    n_queries: int = 50,
+    terms_per_query: tuple[int, int] = (1, 3),
+    seed: int = 0,
+) -> Workload:
+    """Generate ``n_queries`` queries with oracle relevance.
+
+    Terms are sampled from a randomly chosen document's body (so every
+    query has at least one relevant document); relevance is containment
+    of *all* terms in a document body, evaluated across every
+    collection.
+    """
+    rng = random.Random(seed)
+    source_names = sorted(collections)
+    documents = [(name, doc) for name in source_names for doc in collections[name]]
+    if not documents:
+        raise ValueError("cannot build a workload over empty collections")
+
+    # Precompute body token sets once: the oracle is pure containment.
+    token_sets = [
+        (name, doc.linkage, frozenset(_content_words(doc))) for name, doc in documents
+    ]
+
+    queries: list[GeneratedQuery] = []
+    attempts = 0
+    while len(queries) < n_queries and attempts < n_queries * 20:
+        attempts += 1
+        _, seed_doc = rng.choice(documents)
+        pool = sorted(set(_content_words(seed_doc)))
+        if not pool:
+            continue
+        count = rng.randint(*terms_per_query)
+        count = min(count, len(pool))
+        terms = tuple(sorted(rng.sample(pool, count)))
+
+        relevant: set[str] = set()
+        by_source: dict[str, int] = {name: 0 for name in source_names}
+        wanted = set(terms)
+        for name, linkage, tokens in token_sets:
+            if wanted <= tokens:
+                relevant.add(linkage)
+                by_source[name] += 1
+        if not relevant:
+            continue
+        queries.append(GeneratedQuery(terms, frozenset(relevant), by_source))
+
+    return Workload(collections, queries)

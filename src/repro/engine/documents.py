@@ -1,0 +1,129 @@
+"""The fielded, flat document model and its store.
+
+STARTS documents are "flat" — no nesting — and textual (Section 3 of
+the paper).  A document is a bag of named fields; the Basic-1 fields
+(title, author, body-of-text, ...) are conventions over those names.
+The store assigns dense integer ids, tracks sizes and token counts
+(``DocSize`` / ``DocCount`` in query results), and supports lookup by
+linkage URL, which is how resources detect duplicate documents across
+their member sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.engine import fields as F
+
+__all__ = ["Document", "DocumentStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """An immutable flat document.
+
+    Attributes:
+        linkage: the document's URL — its identity across sources.
+        fields: field name → value.  Text fields hold prose; the
+            date field holds ``YYYY-MM-DD``; ``languages`` holds a
+            space-separated list of RFC-1766 tags; ``linkage-type``
+            holds a MIME type; ``cross-reference-linkage`` holds a
+            space-separated URL list.
+        language: primary language tag of the document's text.
+    """
+
+    linkage: str
+    fields: Mapping[str, str] = field(default_factory=dict)
+    language: str = "en"
+
+    def get(self, name: str, default: str = "") -> str:
+        return self.fields.get(name, default)
+
+    @property
+    def title(self) -> str:
+        return self.get(F.TITLE)
+
+    @property
+    def author(self) -> str:
+        return self.get(F.AUTHOR)
+
+    @property
+    def body(self) -> str:
+        return self.get(F.BODY_OF_TEXT)
+
+    def text_fields(self) -> Iterator[tuple[str, str]]:
+        """(field, value) pairs for the fields indexed as text."""
+        for name in F.TEXT_FIELDS:
+            value = self.fields.get(name)
+            if value:
+                yield name, value
+
+    def full_text(self) -> str:
+        """All text-field values concatenated (used for ``any``/sizes)."""
+        return " ".join(value for _, value in self.text_fields())
+
+    def size_kbytes(self) -> int:
+        """Document size in whole KBytes, at least 1 (``DocSize``)."""
+        nbytes = len(self.full_text().encode("utf-8"))
+        return max(1, round(nbytes / 1024)) if nbytes else 1
+
+
+class DocumentStore:
+    """Assigns dense ids to documents and answers per-document stats.
+
+    The store is append-only, mirroring the paper's stateless-source
+    model where collections change only between metadata exports.
+    """
+
+    def __init__(self) -> None:
+        self._documents: list[Document] = []
+        self._by_linkage: dict[str, int] = {}
+        self._token_counts: list[int] = []
+
+    def add(self, document: Document, token_count: int = 0) -> int:
+        """Store ``document`` and return its id.
+
+        ``token_count`` is the number of index tokens the analysis
+        pipeline produced; the engine passes it in at index time so the
+        store can answer ``DocCount`` without re-tokenizing.
+        """
+        doc_id = len(self._documents)
+        self._documents.append(document)
+        self._token_counts.append(token_count)
+        # First linkage wins; duplicates within one source are unusual
+        # but the resource layer relies on linkage lookups being stable.
+        self._by_linkage.setdefault(document.linkage, doc_id)
+        return doc_id
+
+    def set_token_count(self, doc_id: int, token_count: int) -> None:
+        self._token_counts[doc_id] = token_count
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    def ids(self) -> range:
+        return range(len(self._documents))
+
+    def token_count(self, doc_id: int) -> int:
+        """Number of index tokens in the document (``DocCount``)."""
+        return self._token_counts[doc_id]
+
+    def by_linkage(self, linkage: str) -> int | None:
+        """The id of the document with this URL, if stored."""
+        return self._by_linkage.get(linkage)
+
+    def linkages(self) -> Iterable[str]:
+        return self._by_linkage.keys()
+
+    def average_token_count(self) -> float:
+        """Mean document length, used by length-normalizing scorers."""
+        if not self._token_counts:
+            return 0.0
+        return sum(self._token_counts) / len(self._token_counts)

@@ -1,0 +1,54 @@
+"""Canonical field names shared by the engine and the STARTS layer.
+
+These are the Basic-1 fields from the paper's field table, in their
+wire spelling (lowercase, hyphenated).  The engine treats a field as an
+opaque string, so vendor-specific extra fields (e.g. an ``abstract``
+field that only some sources support — the paper's Section 3.1 example)
+need no code changes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TITLE",
+    "AUTHOR",
+    "BODY_OF_TEXT",
+    "DOCUMENT_TEXT",
+    "DATE_LAST_MODIFIED",
+    "ANY",
+    "LINKAGE",
+    "LINKAGE_TYPE",
+    "CROSS_REFERENCE_LINKAGE",
+    "LANGUAGES",
+    "FREE_FORM_TEXT",
+    "ABSTRACT",
+    "TEXT_FIELDS",
+    "DATE_FIELDS",
+]
+
+TITLE = "title"
+AUTHOR = "author"
+BODY_OF_TEXT = "body-of-text"
+DOCUMENT_TEXT = "document-text"
+DATE_LAST_MODIFIED = "date/time-last-modified"
+ANY = "any"
+LINKAGE = "linkage"
+LINKAGE_TYPE = "linkage-type"
+CROSS_REFERENCE_LINKAGE = "cross-reference-linkage"
+LANGUAGES = "languages"
+FREE_FORM_TEXT = "free-form-text"
+
+#: Not in Basic-1; the optional field §3.1 uses to illustrate per-source
+#: field heterogeneity.  Some simulated vendors support it, some do not.
+ABSTRACT = "abstract"
+
+#: Fields whose values are indexed as text.  ``any`` fans out to these.
+TEXT_FIELDS = (TITLE, AUTHOR, BODY_OF_TEXT, ABSTRACT)
+
+#: Fields compared as ISO dates with the <, <=, =, >=, >, != modifiers.
+DATE_FIELDS = (DATE_LAST_MODIFIED,)
+
+#: Metadata-valued fields: not tokenized into the inverted index, but
+#: searchable by exact whitespace-token match over the field value
+#: (e.g. ``(languages "es")``, ``(linkage-type "text/html")``).
+METADATA_FIELDS = (LINKAGE, LINKAGE_TYPE, CROSS_REFERENCE_LINKAGE, LANGUAGES)

@@ -1,0 +1,183 @@
+"""Positional, fielded inverted index.
+
+One index serves both halves of the STARTS query language: Boolean
+filter expressions need document sets and positions (for ``prox``),
+vector-space ranking expressions need term statistics (tf, df, document
+lengths).  The index additionally maintains *summary statistics* —
+surface-form term counts grouped by (field, language) — which is exactly
+the raw material of the Section 4.3.2 content summaries, kept separate
+so summaries can be unstemmed and case-preserving even when the engine
+indexes stems.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.text.soundex import soundex
+
+__all__ = ["Posting", "InvertedIndex", "SummaryEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """Occurrences of one term in one document's field.
+
+    ``positions`` are word offsets within the field, in increasing
+    order; ``len(positions)`` is the within-field term frequency.
+    """
+
+    doc_id: int
+    positions: tuple[int, ...]
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+
+@dataclass(slots=True)
+class SummaryEntry:
+    """Aggregate statistics for one surface word in one (field, language).
+
+    Attributes:
+        postings: total occurrences in the source (the paper's "total
+            number of postings").
+        document_frequency: number of documents containing the word.
+    """
+
+    postings: int = 0
+    document_frequency: int = 0
+
+
+class InvertedIndex:
+    """Term → postings, per field, plus derived lookup structures.
+
+    Documents must be added in increasing id order (the store hands out
+    dense ids, so building sequentially satisfies this).
+    """
+
+    def __init__(self) -> None:
+        # field -> term -> list[Posting], postings in doc-id order.
+        self._postings: dict[str, dict[str, list[Posting]]] = defaultdict(dict)
+        # (field, language) -> surface word -> SummaryEntry.
+        self._summary: dict[tuple[str, str], dict[str, SummaryEntry]] = defaultdict(dict)
+        # (field, language, word) -> doc id of last df increment.
+        self._summary_last_doc: dict[tuple[str, str, str], int] = {}
+        # field -> sorted vocabulary (rebuilt lazily for truncation).
+        self._sorted_vocab: dict[str, list[str]] = {}
+        self._sorted_vocab_dirty: set[str] = set()
+        # field -> soundex code -> set of terms (built lazily).
+        self._soundex: dict[str, dict[str, set[str]]] = {}
+        self._soundex_dirty: set[str] = set()
+        self._doc_count = 0
+
+    # -- construction ---------------------------------------------------
+
+    def add_field_tokens(
+        self,
+        doc_id: int,
+        field: str,
+        tokens: list[tuple[str, str, int]],
+        language: str = "en",
+    ) -> None:
+        """Index tokens of one document field.
+
+        Args:
+            doc_id: dense document id.
+            field: field name.
+            tokens: (index_term, surface_form, position) triples in
+                position order.
+            language: language tag string for summary grouping.
+        """
+        by_term: dict[str, list[int]] = defaultdict(list)
+        for term, surface, position in tokens:
+            by_term[term].append(position)
+            self._record_summary(doc_id, field, language, surface)
+        field_postings = self._postings[field]
+        for term, positions in by_term.items():
+            field_postings.setdefault(term, []).append(
+                Posting(doc_id, tuple(sorted(positions)))
+            )
+        self._sorted_vocab_dirty.add(field)
+        self._soundex_dirty.add(field)
+        self._doc_count = max(self._doc_count, doc_id + 1)
+
+    def _record_summary(self, doc_id: int, field: str, language: str, surface: str) -> None:
+        entry = self._summary[(field, language)].setdefault(surface, SummaryEntry())
+        entry.postings += 1
+        key = (field, language, surface)
+        if self._summary_last_doc.get(key) != doc_id:
+            entry.document_frequency += 1
+            self._summary_last_doc[key] = doc_id
+
+    # -- basic lookups ---------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return self._doc_count
+
+    def fields(self) -> list[str]:
+        return sorted(self._postings)
+
+    def postings(self, field: str, term: str) -> list[Posting]:
+        """Postings for ``term`` in ``field`` (empty list if absent)."""
+        return self._postings.get(field, {}).get(term, [])
+
+    def document_frequency(self, field: str, term: str) -> int:
+        return len(self.postings(field, term))
+
+    def collection_frequency(self, field: str, term: str) -> int:
+        return sum(p.term_frequency for p in self.postings(field, term))
+
+    def vocabulary(self, field: str) -> list[str]:
+        """Sorted index vocabulary of a field."""
+        if field in self._sorted_vocab_dirty or field not in self._sorted_vocab:
+            self._sorted_vocab[field] = sorted(self._postings.get(field, {}))
+            self._sorted_vocab_dirty.discard(field)
+        return self._sorted_vocab[field]
+
+    # -- fuzzy/expanded matching -----------------------------------------
+
+    def terms_with_prefix(self, field: str, prefix: str) -> list[str]:
+        """Vocabulary terms starting with ``prefix`` (right-truncation)."""
+        vocab = self.vocabulary(field)
+        start = bisect.bisect_left(vocab, prefix)
+        matches: list[str] = []
+        for term in vocab[start:]:
+            if not term.startswith(prefix):
+                break
+            matches.append(term)
+        return matches
+
+    def terms_with_suffix(self, field: str, suffix: str) -> list[str]:
+        """Vocabulary terms ending with ``suffix`` (left-truncation)."""
+        return [term for term in self.vocabulary(field) if term.endswith(suffix)]
+
+    def terms_with_soundex(self, field: str, word: str) -> list[str]:
+        """Vocabulary terms phonetically equal to ``word``."""
+        if field in self._soundex_dirty or field not in self._soundex:
+            codes: dict[str, set[str]] = defaultdict(set)
+            for term in self._postings.get(field, {}):
+                codes[soundex(term)].add(term)
+            self._soundex[field] = dict(codes)
+            self._soundex_dirty.discard(field)
+        return sorted(self._soundex[field].get(soundex(word), ()))
+
+    # -- summary export ----------------------------------------------------
+
+    def summary_sections(self) -> list[tuple[str, str, dict[str, SummaryEntry]]]:
+        """(field, language, word → stats) sections for content summaries.
+
+        Sections are sorted by (field, language) for deterministic
+        export; words inside a section are left to the caller to order.
+        """
+        return [
+            (field, language, dict(words))
+            for (field, language), words in sorted(self._summary.items())
+        ]
+
+    def summary_vocabulary_size(self) -> int:
+        """Distinct (field, language, word) triples tracked for summaries."""
+        return sum(len(words) for words in self._summary.values())

@@ -1,0 +1,134 @@
+"""Saving and loading indexed collections.
+
+A production source does not re-crawl and re-index its collection on
+every restart.  This module serializes an engine's document store and
+inverted index to a single JSON file and restores it into a fresh
+engine.  The format is versioned and self-describing; the analyzer and
+ranking configuration are *not* serialized (they are code, chosen when
+the engine is constructed), but their identifying parameters are
+recorded and checked on load so an index built by a stemming analyzer
+is never silently served by a non-stemming one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.engine.documents import Document
+from repro.engine.index import Posting, SummaryEntry
+from repro.engine.search import SearchEngine
+
+__all__ = ["save_engine", "load_engine", "PersistenceError"]
+
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(Exception):
+    """Raised on version or configuration mismatches at load time."""
+
+
+def _analyzer_signature(engine: SearchEngine) -> dict:
+    analyzer = engine.analyzer
+    return {
+        "tokenizer": analyzer.tokenizer.tokenizer_id,
+        "stem": analyzer.stem,
+        "case_sensitive": analyzer.case_sensitive,
+        "index_stop_words": analyzer.index_stop_words,
+    }
+
+
+def save_engine(engine: SearchEngine, path: str | pathlib.Path) -> None:
+    """Serialize ``engine``'s documents and index to ``path``."""
+    store = engine.store
+    index = engine.index
+
+    documents = [
+        {
+            "linkage": document.linkage,
+            "fields": dict(document.fields),
+            "language": document.language,
+            "token_count": store.token_count(doc_id),
+        }
+        for doc_id, document in zip(store.ids(), store)
+    ]
+
+    postings = {
+        field: {
+            term: [[posting.doc_id, list(posting.positions)] for posting in plist]
+            for term, plist in index._postings[field].items()
+        }
+        for field in index._postings
+    }
+
+    summary = [
+        {
+            "field": field,
+            "language": language,
+            "words": {
+                word: [stats.postings, stats.document_frequency]
+                for word, stats in words.items()
+            },
+        }
+        for field, language, words in index.summary_sections()
+    ]
+
+    payload = {
+        "version": _FORMAT_VERSION,
+        "analyzer": _analyzer_signature(engine),
+        "ranking": engine.ranking.algorithm_id if engine.ranking else None,
+        "documents": documents,
+        "postings": postings,
+        "summary": summary,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_engine(engine: SearchEngine, path: str | pathlib.Path) -> SearchEngine:
+    """Restore a saved collection into a *fresh, empty* ``engine``.
+
+    The engine must be configured with the same analyzer parameters the
+    index was built with.
+
+    Raises:
+        PersistenceError: on version mismatch, non-empty engine, or
+            analyzer configuration mismatch.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+
+    if payload.get("version") != _FORMAT_VERSION:
+        raise PersistenceError(f"unsupported format version: {payload.get('version')}")
+    if engine.document_count != 0:
+        raise PersistenceError("load_engine needs an empty engine")
+    saved_signature = payload["analyzer"]
+    if saved_signature != _analyzer_signature(engine):
+        raise PersistenceError(
+            f"analyzer mismatch: index built with {saved_signature}, "
+            f"engine configured as {_analyzer_signature(engine)}"
+        )
+
+    for record in payload["documents"]:
+        doc_id = engine.store.add(
+            Document(record["linkage"], record["fields"], record["language"]),
+            token_count=record["token_count"],
+        )
+        # Keep ids dense and aligned with the saved postings.
+        assert doc_id == len(engine.store) - 1
+
+    index = engine.index
+    for field, terms in payload["postings"].items():
+        field_postings = index._postings[field]
+        for term, plist in terms.items():
+            field_postings[term] = [
+                Posting(doc_id, tuple(positions)) for doc_id, positions in plist
+            ]
+        index._sorted_vocab_dirty.add(field)
+        index._soundex_dirty.add(field)
+
+    for section in payload["summary"]:
+        bucket = index._summary[(section["field"], section["language"])]
+        for word, (postings, df) in section["words"].items():
+            bucket[word] = SummaryEntry(postings, df)
+
+    index._doc_count = len(engine.store)
+    return engine

@@ -1,0 +1,213 @@
+"""Pluggable ranking algorithms — the "secret vendor formulas".
+
+Section 3.2 of the paper: engines rank with proprietary, mutually
+incomparable algorithms; one engine's 0.3 may be better than another's
+1,000.  STARTS copes by having sources export ``RankingAlgorithmID``
+and ``ScoreRange`` and per-term statistics.  To reproduce that world we
+need several genuinely different scoring functions with different score
+ranges.  Each algorithm here has a stable id (what the source exports)
+and a declared score range.
+
+All algorithms consume the same inputs — tf, df, collection size, doc
+length — so they are interchangeable inside :class:`~repro.engine.search.
+SearchEngine`, but their outputs are deliberately *not* comparable
+across algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "RankingAlgorithm",
+    "CosineTfIdf",
+    "Bm25",
+    "InqueryScorer",
+    "ScaledCosine",
+    "PivotedCosine",
+    "RANKING_ALGORITHMS",
+]
+
+
+class RankingAlgorithm:
+    """Base class for document scorers.
+
+    Attributes:
+        algorithm_id: the opaque identifier exported via the
+            ``RankingAlgorithmID`` metadata attribute (e.g. ``Acme-1``).
+        score_range: (min, max) exported via ``ScoreRange``.  ``math.inf``
+            is allowed, as the paper permits.
+    """
+
+    algorithm_id: str = "base"
+    score_range: tuple[float, float] = (0.0, 1.0)
+
+    def term_weight(
+        self, tf: int, df: int, n_docs: int, doc_len: int, avg_doc_len: float
+    ) -> float:
+        """The weight of one query term in one document.
+
+        This is the ``Term-weight`` statistic a STARTS source returns in
+        ``TermStats`` — "whatever weighing of terms in documents the
+        search engine might use".
+        """
+        raise NotImplementedError
+
+    def combine(self, contributions: Sequence[tuple[float, float]]) -> float:
+        """Combine (query_term_weight, document_term_weight) pairs.
+
+        The default is the weighted sum used for ``list(...)`` ranking
+        expressions.
+        """
+        return sum(q_weight * t_weight for q_weight, t_weight in contributions)
+
+    def finalize(self, scores: dict[int, float]) -> dict[int, float]:
+        """Post-process the full result's scores (e.g. rescaling)."""
+        return scores
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.algorithm_id!r})"
+
+
+class CosineTfIdf(RankingAlgorithm):
+    """Salton-style tf·idf with length dampening, squashed into [0, 1].
+
+    The term weight is ``(1 + ln tf) * ln(1 + N/df)`` divided by a
+    square-root length norm; the combined score is squashed by
+    ``x / (1 + x)`` so the exported ``ScoreRange`` is a clean ``0.0 1.0``
+    like the paper's Source-1.
+    """
+
+    algorithm_id = "Acme-1"
+    score_range = (0.0, 1.0)
+
+    def term_weight(
+        self, tf: int, df: int, n_docs: int, doc_len: int, avg_doc_len: float
+    ) -> float:
+        if tf <= 0 or df <= 0 or n_docs <= 0:
+            return 0.0
+        tf_part = 1.0 + math.log(tf)
+        idf_part = math.log(1.0 + n_docs / df)
+        norm = math.sqrt(max(doc_len, 1))
+        return tf_part * idf_part / norm
+
+    def combine(self, contributions: Sequence[tuple[float, float]]) -> float:
+        raw = sum(q * t for q, t in contributions)
+        return raw / (1.0 + raw)
+
+
+class Bm25(RankingAlgorithm):
+    """Okapi BM25 (k1 = 1.2, b = 0.75); unbounded positive scores.
+
+    Exported range is ``0.0 +inf`` — the paper explicitly allows
+    infinities in ``ScoreRange``.
+    """
+
+    algorithm_id = "Okapi-1"
+    score_range = (0.0, math.inf)
+
+    k1 = 1.2
+    b = 0.75
+
+    def term_weight(
+        self, tf: int, df: int, n_docs: int, doc_len: int, avg_doc_len: float
+    ) -> float:
+        if tf <= 0 or n_docs <= 0:
+            return 0.0
+        # Robertson-Sparck-Jones idf, floored at a small positive value
+        # so very common terms do not go negative.
+        idf = max(1e-3, math.log((n_docs - df + 0.5) / (df + 0.5) + 1.0))
+        denom_len = avg_doc_len if avg_doc_len > 0 else 1.0
+        tf_part = (
+            tf * (self.k1 + 1.0)
+            / (tf + self.k1 * (1.0 - self.b + self.b * doc_len / denom_len))
+        )
+        return idf * tf_part
+
+
+class InqueryScorer(RankingAlgorithm):
+    """INQUERY-style belief scoring: 0.4 + 0.6 · tf-part · idf-part.
+
+    This is the CORI/inference-network family of ref [5]; beliefs live
+    in [0.4, 1.0] per term, and the document score is the weighted mean
+    of beliefs, so the exported range is ``0.0 1.0``.
+    """
+
+    algorithm_id = "Inquery-1"
+    score_range = (0.0, 1.0)
+
+    def term_weight(
+        self, tf: int, df: int, n_docs: int, doc_len: int, avg_doc_len: float
+    ) -> float:
+        if tf <= 0 or n_docs <= 0:
+            return 0.0
+        denom_len = avg_doc_len if avg_doc_len > 0 else 1.0
+        tf_part = tf / (tf + 0.5 + 1.5 * doc_len / denom_len)
+        idf_part = math.log(n_docs + 0.5) and (
+            math.log((n_docs + 0.5) / max(df, 1)) / math.log(n_docs + 1.0)
+        )
+        return 0.4 + 0.6 * tf_part * max(idf_part, 0.0)
+
+    def combine(self, contributions: Sequence[tuple[float, float]]) -> float:
+        total_weight = sum(q for q, _ in contributions)
+        if total_weight <= 0:
+            return 0.0
+        return sum(q * t for q, t in contributions) / total_weight
+
+
+class ScaledCosine(CosineTfIdf):
+    """Cosine scoring rescaled so the top document always scores 1,000.
+
+    The paper singles this behaviour out: "Some search engines are
+    designed so that the top document for a query always has a score
+    of, say, 1,000."  Rank order matches :class:`CosineTfIdf`; absolute
+    scores are incomparable across queries, which is exactly the trap
+    rank-merging strategies must survive.
+    """
+
+    algorithm_id = "Zeus-1000"
+    score_range = (0.0, 1000.0)
+
+    def finalize(self, scores: dict[int, float]) -> dict[int, float]:
+        if not scores:
+            return scores
+        top = max(scores.values())
+        if top <= 0:
+            return scores
+        return {doc_id: 1000.0 * score / top for doc_id, score in scores.items()}
+
+
+class PivotedCosine(RankingAlgorithm):
+    """Pivoted length normalization (Singhal/Salton "Lnu.ltu" lineage).
+
+    The tf part is the log-average-normalized ``(1 + ln tf) /
+    (1 + ln avg_tf)`` approximated with avg_tf = doc_len-independent 1,
+    divided by the pivoted norm ``(1 - s) + s * doc_len / avg_doc_len``
+    with slope s = 0.25.  Unbounded above like BM25, but with a very
+    different length behaviour — another incomparable vendor formula.
+    """
+
+    algorithm_id = "Salton-2"
+    score_range = (0.0, math.inf)
+
+    slope = 0.25
+
+    def term_weight(
+        self, tf: int, df: int, n_docs: int, doc_len: int, avg_doc_len: float
+    ) -> float:
+        if tf <= 0 or df <= 0 or n_docs <= 0:
+            return 0.0
+        tf_part = 1.0 + math.log(1.0 + math.log(tf))
+        denom_len = avg_doc_len if avg_doc_len > 0 else 1.0
+        pivot = (1.0 - self.slope) + self.slope * doc_len / denom_len
+        idf = math.log((n_docs + 1.0) / df)
+        return (tf_part / pivot) * idf
+
+
+#: Registry by algorithm id, mirroring how a metasearcher would resolve
+#: the ``RankingAlgorithmID`` metadata attribute.
+RANKING_ALGORITHMS: dict[str, type[RankingAlgorithm]] = {
+    cls.algorithm_id: cls
+    for cls in (CosineTfIdf, Bm25, InqueryScorer, ScaledCosine, PivotedCosine)
+}

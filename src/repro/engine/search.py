@@ -1,0 +1,449 @@
+"""The search engine: indexing, Boolean filtering, vector-space ranking.
+
+This is the engine a STARTS source wraps.  It supports the full Basic-1
+operator set for filter expressions (``and``, ``or``, ``and-not``,
+``prox``), fuzzy-logic interpretation of Boolean operators inside
+ranking expressions (Example 4 of the paper: ``and`` as min, ``or`` as
+max), per-term query weights (Example 5), and — crucially for rank
+merging — returns with every hit the statistics STARTS requires:
+term frequency, the engine's own term weight, document frequency,
+document size and token count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.engine import fields as F
+from repro.engine.documents import Document, DocumentStore
+from repro.engine.index import InvertedIndex
+from repro.engine.matching import TermMatcher
+from repro.engine.query import (
+    AND,
+    AND_NOT,
+    OR,
+    BooleanQuery,
+    EngineQuery,
+    ListQuery,
+    ProxQuery,
+    TermQuery,
+)
+from repro.engine.ranking import CosineTfIdf, RankingAlgorithm
+from repro.text.analysis import Analyzer
+from repro.text.thesaurus import Thesaurus
+
+__all__ = ["TermHitStats", "EngineHit", "SearchEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class TermHitStats:
+    """Per-query-term statistics for one document (STARTS ``TermStats``).
+
+    Attributes:
+        field: field the term was evaluated against.
+        text: the query term's original text.
+        term_frequency: occurrences of the (expanded) term in the doc.
+        term_weight: the engine's internal weight for the term.
+        document_frequency: documents in the source containing the term.
+    """
+
+    field: str
+    text: str
+    term_frequency: int
+    term_weight: float
+    document_frequency: int
+
+
+@dataclass(slots=True)
+class EngineHit:
+    """One document in an engine result, with merge-grade statistics."""
+
+    doc_id: int
+    score: float
+    term_stats: list[TermHitStats] = dataclass_field(default_factory=list)
+
+
+class SearchEngine:
+    """A complete single-collection engine.
+
+    Args:
+        analyzer: the tokenize/stop/stem pipeline (defines the engine's
+            observable query model).
+        ranking: the scoring algorithm, or None for a Boolean-only
+            engine like Glimpse (``QueryPartsSupported: F``).
+        thesaurus: synonym source for the ``thesaurus`` modifier.
+    """
+
+    def __init__(
+        self,
+        analyzer: Analyzer | None = None,
+        ranking: RankingAlgorithm | None = CosineTfIdf(),
+        thesaurus: Thesaurus | None = None,
+    ) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self.ranking = ranking
+        self.store = DocumentStore()
+        self.index = InvertedIndex()
+        self.matcher = TermMatcher(self.index, self.analyzer, thesaurus)
+
+    # -- indexing ---------------------------------------------------------
+
+    def add(self, document: Document) -> int:
+        """Index one document; returns its dense id."""
+        doc_id = self.store.add(document)
+        total_tokens = 0
+        for field_name, value in document.text_fields():
+            analyzed = self.analyzer.analyze(
+                value,
+                document.language,
+                drop_stop_words=not self.analyzer.index_stop_words,
+            )
+            total_tokens += len(analyzed)
+            self.index.add_field_tokens(
+                doc_id,
+                field_name,
+                [(token.term, token.surface, token.position) for token in analyzed],
+                language=document.language,
+            )
+        self.store.set_token_count(doc_id, total_tokens)
+        return doc_id
+
+    def add_all(self, documents: list[Document]) -> list[int]:
+        return [self.add(document) for document in documents]
+
+    def remove(self, linkage: str) -> bool:
+        """Remove the document with this URL; returns False if absent.
+
+        Removal compacts: the surviving documents are re-indexed into a
+        fresh store/index, so every statistic (df, summaries, token
+        counts) is exact afterwards.  Document ids are reassigned —
+        callers must not hold ids across a removal (linkages are the
+        stable identity, as everywhere in STARTS).
+        """
+        if self.store.by_linkage(linkage) is None:
+            return False
+        survivors = [
+            document for document in self.store if document.linkage != linkage
+        ]
+        self._rebuild(survivors)
+        return True
+
+    def replace(self, document: Document) -> int:
+        """Replace (or add) the document with ``document.linkage``."""
+        self.remove(document.linkage)
+        return self.add(document)
+
+    def _rebuild(self, documents: list[Document]) -> None:
+        self.store = DocumentStore()
+        self.index = InvertedIndex()
+        self.matcher = TermMatcher(self.index, self.analyzer, self.matcher._thesaurus)
+        self.add_all(documents)
+
+    @property
+    def document_count(self) -> int:
+        return len(self.store)
+
+    # -- filter (Boolean) evaluation ---------------------------------------
+
+    def evaluate_filter(self, query: EngineQuery) -> set[int]:
+        """The set of document ids satisfying a Boolean filter."""
+        if isinstance(query, TermQuery):
+            return self._term_docs(query)
+        if isinstance(query, BooleanQuery):
+            child_sets = [self.evaluate_filter(child) for child in query.children]
+            if query.operator == AND:
+                result = child_sets[0]
+                for child_set in child_sets[1:]:
+                    result = result & child_set
+                return result
+            if query.operator == OR:
+                result = set()
+                for child_set in child_sets:
+                    result |= child_set
+                return result
+            if query.operator == AND_NOT:
+                return child_sets[0] - child_sets[1]
+        if isinstance(query, ProxQuery):
+            return self._prox_docs(query)
+        if isinstance(query, ListQuery):
+            # A list in filter position behaves as OR (every query must
+            # keep a positive component).
+            result: set[int] = set()
+            for child in query.children:
+                result |= self.evaluate_filter(child)
+            return result
+        raise TypeError(f"cannot evaluate filter node: {type(query).__name__}")
+
+    def _term_docs(self, term: TermQuery) -> set[int]:
+        comparison = term.comparison()
+        if comparison and term.field in F.DATE_FIELDS:
+            return self._date_comparison_docs(term, comparison)
+        if term.field in F.METADATA_FIELDS:
+            return self._metadata_field_docs(term)
+        docs: set[int] = set()
+        for field_name, index_terms in self.matcher.expand(term).items():
+            for index_term in index_terms:
+                docs.update(
+                    posting.doc_id
+                    for posting in self.index.postings(field_name, index_term)
+                )
+        return docs
+
+    def _metadata_field_docs(self, term: TermQuery) -> set[int]:
+        """Exact whitespace-token match over metadata-valued fields.
+
+        ``(languages "es")`` matches documents whose ``languages`` value
+        lists ``es``; ``(linkage "http://...")`` matches the document
+        with that URL.  Matching is case-insensitive.
+        """
+        wanted = term.text.lower()
+        matched: set[int] = set()
+        for doc_id in self.store.ids():
+            document = self.store[doc_id]
+            if term.field == F.LINKAGE:
+                value = document.linkage
+            else:
+                value = document.get(term.field)
+            if not value and term.field == F.LANGUAGES:
+                value = document.language
+            if not value:
+                continue
+            tokens = {token.lower() for token in value.split()}
+            if wanted in tokens:
+                matched.add(doc_id)
+        return matched
+
+    def _date_comparison_docs(self, term: TermQuery, comparison: str) -> set[int]:
+        """Evaluate <, <=, =, >=, >, != against the ISO date field."""
+        wanted = term.text
+        matched: set[int] = set()
+        for doc_id in self.store.ids():
+            value = self.store[doc_id].get(term.field)
+            if not value:
+                continue
+            # ISO dates compare correctly as strings.
+            keep = {
+                "<": value < wanted,
+                "<=": value <= wanted,
+                "=": value == wanted,
+                ">=": value >= wanted,
+                ">": value > wanted,
+                "!=": value != wanted,
+            }[comparison]
+            if keep:
+                matched.add(doc_id)
+        return matched
+
+    def _prox_docs(self, query: ProxQuery) -> set[int]:
+        """Documents where the two terms satisfy the proximity constraint.
+
+        ``prox[d, ordered]`` matches when the terms appear in the same
+        field with at most ``d`` words in between; if ordered, left
+        must precede right (Example 3).
+        """
+        left_matches = self.matcher.expand(query.left)
+        right_matches = self.matcher.expand(query.right)
+        matched: set[int] = set()
+        for field_name in set(left_matches) & set(right_matches):
+            left_positions = self._positions_by_doc(field_name, left_matches[field_name])
+            right_positions = self._positions_by_doc(field_name, right_matches[field_name])
+            for doc_id in set(left_positions) & set(right_positions):
+                if self._prox_satisfied(
+                    left_positions[doc_id],
+                    right_positions[doc_id],
+                    query.distance,
+                    query.ordered,
+                ):
+                    matched.add(doc_id)
+        return matched
+
+    def _positions_by_doc(
+        self, field_name: str, index_terms: set[str]
+    ) -> dict[int, list[int]]:
+        positions: dict[int, list[int]] = defaultdict(list)
+        for index_term in index_terms:
+            for posting in self.index.postings(field_name, index_term):
+                positions[posting.doc_id].extend(posting.positions)
+        return {doc_id: sorted(plist) for doc_id, plist in positions.items()}
+
+    @staticmethod
+    def _prox_satisfied(
+        left: list[int], right: list[int], distance: int, ordered: bool
+    ) -> bool:
+        for p_left in left:
+            for p_right in right:
+                if p_left == p_right:
+                    continue
+                gap = p_right - p_left - 1 if p_right > p_left else p_left - p_right - 1
+                if gap > distance:
+                    continue
+                if ordered and p_right < p_left:
+                    continue
+                return True
+        return False
+
+    # -- ranking evaluation --------------------------------------------------
+
+    def evaluate_ranking(
+        self, query: EngineQuery, candidates: set[int] | None = None
+    ) -> dict[int, float]:
+        """Score documents against a ranking expression.
+
+        Args:
+            query: the ranking expression (``list`` or fuzzy Boolean).
+            candidates: restrict scoring to these doc ids (the filter
+                result); None means every document matching any term.
+
+        Returns:
+            doc id → score, after the algorithm's ``finalize`` pass.
+
+        Raises:
+            RuntimeError: if this is a Boolean-only engine.
+        """
+        if self.ranking is None:
+            raise RuntimeError("this engine does not support ranking expressions")
+        scores: dict[int, float] = {}
+        universe = candidates if candidates is not None else self._candidate_docs(query)
+        for doc_id in universe:
+            score = self._score_node(query, doc_id)
+            if score > 0.0 or candidates is not None:
+                scores[doc_id] = score
+        return self.ranking.finalize(scores)
+
+    def _candidate_docs(self, query: EngineQuery) -> set[int]:
+        docs: set[int] = set()
+        for term in query.terms():
+            docs |= self._term_docs(term)
+        return docs
+
+    def _score_node(self, query: EngineQuery, doc_id: int) -> float:
+        if isinstance(query, TermQuery):
+            return self._term_score(query, doc_id)
+        if isinstance(query, ListQuery):
+            contributions = [
+                (child.weight if isinstance(child, TermQuery) else 1.0,
+                 self._score_node(child, doc_id))
+                for child in query.children
+            ]
+            assert self.ranking is not None
+            return self.ranking.combine(contributions)
+        if isinstance(query, BooleanQuery):
+            child_scores = [self._score_node(child, doc_id) for child in query.children]
+            if query.operator == AND:
+                return min(child_scores)
+            if query.operator == OR:
+                return max(child_scores)
+            if query.operator == AND_NOT:
+                return max(0.0, child_scores[0] - child_scores[1])
+        if isinstance(query, ProxQuery):
+            if doc_id in self._prox_docs(query):
+                return min(
+                    self._term_score(query.left, doc_id),
+                    self._term_score(query.right, doc_id),
+                )
+            return 0.0
+        raise TypeError(f"cannot score node: {type(query).__name__}")
+
+    def _term_score(self, term: TermQuery, doc_id: int) -> float:
+        assert self.ranking is not None
+        tf, df = self._term_doc_stats(term, doc_id)
+        if tf == 0:
+            return 0.0
+        weight = self.ranking.term_weight(
+            tf,
+            df,
+            self.document_count,
+            self.store.token_count(doc_id),
+            self.store.average_token_count(),
+        )
+        return term.weight * weight
+
+    def _term_doc_stats(self, term: TermQuery, doc_id: int) -> tuple[int, int]:
+        """(tf in this doc, df in the source) for a query term.
+
+        The term's modifier expansion is honoured: tf/df aggregate over
+        every index term the query term denotes, and df counts distinct
+        documents.
+        """
+        tf = 0
+        df_docs: set[int] = set()
+        for field_name, index_terms in self.matcher.expand(term).items():
+            for index_term in index_terms:
+                for posting in self.index.postings(field_name, index_term):
+                    df_docs.add(posting.doc_id)
+                    if posting.doc_id == doc_id:
+                        tf += posting.term_frequency
+        return tf, len(df_docs)
+
+    # -- the combined search entry point -------------------------------------
+
+    def search(
+        self,
+        filter_query: EngineQuery | None = None,
+        ranking_query: EngineQuery | None = None,
+    ) -> list[EngineHit]:
+        """Run a STARTS-style query: Boolean filter + vector-space rank.
+
+        Per Section 4.1.1: with no filter, all documents qualify and are
+        ranked; with no ranking expression, the result is the filter's
+        document set (scores 0.0).  Hits are sorted by descending score,
+        then ascending doc id for determinism, and each carries the
+        TermStats for the ranking expression's terms.
+        """
+        if filter_query is None and ranking_query is None:
+            return []
+
+        candidates: set[int] | None = None
+        if filter_query is not None:
+            candidates = self.evaluate_filter(filter_query)
+            if not candidates:
+                return []
+
+        if ranking_query is None or self.ranking is None:
+            if candidates is None:
+                # A Boolean-only engine given only a ranking expression
+                # has nothing it can evaluate.
+                return []
+            return [EngineHit(doc_id, 0.0) for doc_id in sorted(candidates)]
+
+        if candidates is None:
+            scores = self.evaluate_ranking(ranking_query)
+        else:
+            scores = self.evaluate_ranking(ranking_query, candidates)
+
+        hits = [
+            EngineHit(doc_id, score, self._hit_term_stats(ranking_query, doc_id))
+            for doc_id, score in scores.items()
+        ]
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits
+
+    def _hit_term_stats(self, ranking_query: EngineQuery, doc_id: int) -> list[TermHitStats]:
+        stats: list[TermHitStats] = []
+        for term in ranking_query.terms():
+            tf, df = self._term_doc_stats(term, doc_id)
+            weight = 0.0
+            if tf and self.ranking is not None:
+                weight = self.ranking.term_weight(
+                    tf,
+                    df,
+                    self.document_count,
+                    self.store.token_count(doc_id),
+                    self.store.average_token_count(),
+                )
+            stats.append(TermHitStats(term.field, term.text, tf, weight, df))
+        return stats
+
+    # -- statistics for metadata export ---------------------------------------
+
+    def document_frequency(self, term: TermQuery) -> int:
+        """Source-wide df of a query term (for content summaries)."""
+        docs: set[int] = set()
+        for field_name, index_terms in self.matcher.expand(term).items():
+            for index_term in index_terms:
+                docs.update(
+                    posting.doc_id
+                    for posting in self.index.postings(field_name, index_term)
+                )
+        return len(docs)

@@ -1,0 +1,108 @@
+"""Keyword-in-context snippets for result display.
+
+STARTS results carry answer fields, but a metasearcher's user interface
+wants a *snippet*: the stretch of body text where the query terms
+cluster, with the hits highlighted.  This module scores every window of
+the document by the number of distinct query terms it covers (ties
+break toward more total hits, then earlier position) and renders the
+best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.analysis import Analyzer
+
+__all__ = ["Snippet", "make_snippet"]
+
+_DEFAULT_ANALYZER = Analyzer()
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A rendered snippet.
+
+    Attributes:
+        text: the snippet with terms wrapped in ``**``, ellipses at cut
+            edges.
+        distinct_terms: how many distinct query terms the window holds.
+        total_hits: total query-term occurrences in the window.
+    """
+
+    text: str
+    distinct_terms: int
+    total_hits: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def make_snippet(
+    body: str,
+    terms: list[str],
+    window: int = 20,
+    analyzer: Analyzer | None = None,
+    highlight: str = "**",
+) -> Snippet:
+    """The best ``window``-word snippet of ``body`` for ``terms``.
+
+    Terms are matched after the analyzer's normalization (so a stemmed
+    engine's surface variants still highlight).  With no term present,
+    the snippet is the document head.
+    """
+    analyzer = analyzer or _DEFAULT_ANALYZER
+    wanted = {analyzer.normalize(term) for term in terms}
+    # Tokenize for spans only; display surfaces come from the raw body
+    # so the snippet preserves the document's own casing.
+    raw_tokens = analyzer.tokenizer.tokenize(body)
+    if not raw_tokens:
+        return Snippet("", 0, 0)
+    surfaces = [body[token.start : token.end] for token in raw_tokens]
+    tokens = list(zip(surfaces, (token.text for token in raw_tokens)))
+
+    hits = [
+        (index, surface)
+        for index, (surface, normalized_text) in enumerate(tokens)
+        if analyzer.normalize(normalized_text) in wanted
+    ]
+
+    if not hits:
+        head = " ".join(surface for surface, _ in tokens[:window])
+        suffix = " ..." if len(tokens) > window else ""
+        return Snippet(head + suffix, 0, 0)
+
+    best_start, best_key = 0, (-1, -1, 0)
+    for start in range(0, max(1, len(tokens) - window + 1)):
+        end = start + window
+        in_window = [
+            (index, surface) for index, surface in hits if start <= index < end
+        ]
+        if not in_window:
+            continue
+        distinct = len({
+            analyzer.normalize(surface) for _, surface in in_window
+        })
+        key = (distinct, len(in_window), -start)
+        if key > best_key:
+            best_key, best_start = key, start
+
+    start = best_start
+    end = min(len(tokens), start + window)
+    hit_indexes = {index for index, _ in hits}
+    words = []
+    for index in range(start, end):
+        surface = tokens[index][0]
+        if index in hit_indexes:
+            surface = f"{highlight}{surface}{highlight}"
+        words.append(surface)
+
+    text = " ".join(words)
+    if start > 0:
+        text = "... " + text
+    if end < len(tokens):
+        text = text + " ..."
+
+    in_best = [(i, s) for i, s in hits if start <= i < end]
+    distinct = len({analyzer.normalize(surface) for _, surface in in_best})
+    return Snippet(text, distinct, len(in_best))

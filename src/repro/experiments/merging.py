@@ -1,0 +1,137 @@
+"""Experiments E2 and E6: rank-merging quality.
+
+E2: every merge strategy consumes the same per-source results from the
+heterogeneous vendors and is scored against (a) the containment oracle
+(precision@10) and (b) the single-large-collection reference ranking
+(Spearman) — §4.2's own framing of the merging goal.
+
+E6: the same comparison when sources *withhold TermStats* (the engines
+that lose statistics by result time, §4.2's last paragraph).  Only
+strategies that need no TermStats remain meaningful, and the
+sample-calibration strategy should recover most of what range
+normalization gives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.federation import Federation
+from repro.experiments.metrics import mean, precision_at_k, spearman_overlap
+from repro.metasearch.merging import (
+    CalibratedMerge,
+    CoriMerge,
+    MergeContext,
+    MergeStrategy,
+    NormalizedScoreMerge,
+    RawScoreMerge,
+    RoundRobinMerge,
+    TermFrequencyMerge,
+    TfIdfRecomputeMerge,
+)
+from repro.starts.results import SQResults
+
+__all__ = ["MergingResult", "default_strategies", "run_merging_experiment"]
+
+
+@dataclass(frozen=True)
+class MergingResult:
+    """Mean quality of one merge strategy over the workload."""
+
+    strategy: str
+    precision_at_10: float
+    spearman_vs_reference: float
+
+    def row(self) -> str:
+        return (
+            f"{self.strategy:<18} P@10={self.precision_at_10:.3f} "
+            f"rho={self.spearman_vs_reference:+.3f}"
+        )
+
+
+def default_strategies() -> list[MergeStrategy]:
+    return [
+        RawScoreMerge(),
+        NormalizedScoreMerge(),
+        TermFrequencyMerge(),
+        TfIdfRecomputeMerge(),
+        CoriMerge(),
+        RoundRobinMerge(),
+        CalibratedMerge(),
+    ]
+
+
+def run_merging_experiment(
+    federation: Federation,
+    strategies: list[MergeStrategy] | None = None,
+    n_queries: int | None = 25,
+    withhold_term_stats: bool = False,
+    k_eval: int = 10,
+) -> list[MergingResult]:
+    """Run E2 (or E6 with ``withhold_term_stats=True``).
+
+    Every query is evaluated at *all* sources so that the comparison
+    isolates merging quality from source selection.
+    """
+    strategies = strategies if strategies is not None else default_strategies()
+    queries = federation.workload.queries
+    if n_queries is not None:
+        queries = queries[:n_queries]
+
+    metadata = {
+        source_id: source.metadata()
+        for source_id, source in federation.sources.items()
+    }
+    summaries = {
+        source_id: source.content_summary()
+        for source_id, source in federation.sources.items()
+    }
+    samples = {
+        source_id: source.sample_results()
+        for source_id, source in federation.sources.items()
+    }
+
+    per_strategy: dict[str, dict[str, list[float]]] = {
+        strategy.name: {"p": [], "rho": []} for strategy in strategies
+    }
+
+    for query in queries:
+        squery = query.to_squery(max_documents=k_eval * 2)
+        results: dict[str, SQResults] = {}
+        for source_id, source in federation.sources.items():
+            result = source.search(squery)
+            if withhold_term_stats:
+                result = replace(
+                    result,
+                    documents=tuple(
+                        replace(document, term_stats=())
+                        for document in result.documents
+                    ),
+                )
+            if result.documents:
+                results[source_id] = result
+        if not results:
+            continue
+        context = MergeContext(
+            metadata=metadata,
+            summaries=summaries,
+            samples=samples,
+            query_terms=query.terms,
+        )
+        reference = federation.workload.reference_ranking(query)
+        for strategy in strategies:
+            merged = strategy.merge(results, context)
+            linkages = [m.linkage for m in merged]
+            per_strategy[strategy.name]["p"].append(
+                precision_at_k(linkages, set(query.relevant), k_eval)
+            )
+            per_strategy[strategy.name]["rho"].append(
+                spearman_overlap(reference, linkages)
+            )
+
+    return [
+        MergingResult(
+            name, mean(values["p"]), mean(values["rho"])
+        )
+        for name, values in per_strategy.items()
+    ]

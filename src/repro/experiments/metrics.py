@@ -1,0 +1,86 @@
+"""Evaluation metrics shared by the experiment runners.
+
+All metrics operate on linkage (URL) lists/sets so they are independent
+of any engine's internal document ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "rank_recall_at_k",
+    "spearman_overlap",
+    "mean",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def precision_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of the top-k that is relevant.
+
+    The denominator is ``min(k, len(ranked))`` when the rank is shorter
+    than k, and 0 results yield precision 0.
+    """
+    top = list(ranked[:k])
+    if not top:
+        return 0.0
+    hits = sum(1 for linkage in top if linkage in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(ranked: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of all relevant items found in the top-k."""
+    if not relevant:
+        return 0.0
+    top = set(ranked[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def rank_recall_at_k(
+    source_rank: Sequence[str], relevant_by_source: dict[str, int], k: int
+) -> float:
+    """GlOSS-style selection recall: of all relevant *documents*, what
+    fraction lives in the k sources chosen first?
+
+    Args:
+        source_rank: source ids, best first (a selector's output).
+        relevant_by_source: per-source relevant-document counts (the
+            workload oracle's goodness).
+        k: number of sources contacted.
+    """
+    total = sum(relevant_by_source.values())
+    if total == 0:
+        return 0.0
+    covered = sum(relevant_by_source.get(s, 0) for s in source_rank[:k])
+    return covered / total
+
+
+def spearman_overlap(reference: Sequence[str], candidate: Sequence[str]) -> float:
+    """Spearman rank correlation over the items both rankings contain.
+
+    Returns a value in [-1, 1]; 1 means identical relative order.  With
+    fewer than two shared items the correlation is undefined and 0.0 is
+    returned.
+    """
+    shared = [item for item in reference if item in set(candidate)]
+    if len(shared) < 2:
+        return 0.0
+    reference_rank = {item: index for index, item in enumerate(shared)}
+    candidate_order = [item for item in candidate if item in reference_rank]
+    candidate_rank = {item: index for index, item in enumerate(candidate_order)}
+
+    n = len(shared)
+    d_squared = sum(
+        (reference_rank[item] - candidate_rank[item]) ** 2 for item in shared
+    )
+    return 1.0 - (6.0 * d_squared) / (n * (n * n - 1))

@@ -1,0 +1,89 @@
+"""Experiment E4: content-summary size vs. collection size.
+
+The paper (§4.3.2): the automatically generated summary "is orders of
+magnitude smaller than the original contents".  For a sweep of
+collection sizes we measure the SOIF byte size of the full collection
+(as the crawler alternative would ship it), of the full summary, and of
+truncated summaries, plus the resulting compression ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.generator import CollectionSpec, generate_collection
+from repro.source.source import StartsSource
+from repro.starts.soif import SoifObject
+
+__all__ = ["SummarySizeRow", "run_summary_size_experiment"]
+
+
+@dataclass(frozen=True)
+class SummarySizeRow:
+    """Sizes for one collection size, in bytes."""
+
+    n_docs: int
+    collection_bytes: int
+    summary_bytes: int
+    truncated_summary_bytes: int
+
+    @property
+    def full_ratio(self) -> float:
+        return self.collection_bytes / max(self.summary_bytes, 1)
+
+    @property
+    def truncated_ratio(self) -> float:
+        return self.collection_bytes / max(self.truncated_summary_bytes, 1)
+
+    def row(self) -> str:
+        return (
+            f"N={self.n_docs:<5} corpus={self.collection_bytes:>9}B "
+            f"summary={self.summary_bytes:>8}B (x{self.full_ratio:.1f}) "
+            f"truncated={self.truncated_summary_bytes:>7}B "
+            f"(x{self.truncated_ratio:.1f})"
+        )
+
+
+def _collection_soif_bytes(source: StartsSource) -> int:
+    """What shipping the whole collection would cost on the wire."""
+    total = 0
+    for document in source.engine.store:
+        obj = SoifObject("Document")
+        obj.add("linkage", document.linkage)
+        for name, value in document.fields.items():
+            obj.add(name, value)
+        total += len(obj.dump().encode("utf-8"))
+    return total
+
+
+def run_summary_size_experiment(
+    sizes: tuple[int, ...] = (25, 50, 100, 200),
+    truncate_to: int = 50,
+    seed: int = 5,
+) -> list[SummarySizeRow]:
+    """Run E4 across a sweep of collection sizes."""
+    rows = []
+    for n_docs in sizes:
+        documents = generate_collection(
+            CollectionSpec(
+                name=f"Size-{n_docs}",
+                topics={"databases": 0.6, "retrieval": 0.4},
+                size=n_docs,
+                seed=seed,
+            )
+        )
+        source = StartsSource(f"Size-{n_docs}", documents)
+        collection_bytes = _collection_soif_bytes(source)
+        summary_bytes = len(
+            source.content_summary().to_soif().dump().encode("utf-8")
+        )
+        truncated_bytes = len(
+            source.content_summary(max_words_per_section=truncate_to)
+            .to_soif()
+            .dump()
+            .encode("utf-8")
+        )
+        rows.append(
+            SummarySizeRow(n_docs, collection_bytes, summary_bytes, truncated_bytes)
+        )
+    return rows

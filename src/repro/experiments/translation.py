@@ -1,0 +1,131 @@
+"""Experiment E3: query-translation coverage across vendors.
+
+A mix of queries exercising every Basic-1 feature is translated for
+every vendor's metadata.  Three things are measured per (vendor,
+feature) pair:
+
+* **survival** — did anything of the query survive for that source;
+* **losslessness** — did the full query survive untouched;
+* **contract fidelity** — does the client-side prediction equal the
+  source's actual-query report (the §4.2 contract)?
+
+The least-common-denominator comparison (§5's MetaCrawler critique):
+the intersection of all vendors' capabilities, i.e. the features a
+pre-STARTS metasearcher could have used at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.federation import Federation
+from repro.metasearch.translation import ClientTranslator
+from repro.starts.parser import parse_expression
+from repro.starts.query import SQuery
+
+__all__ = ["FEATURE_QUERIES", "TranslationCell", "run_translation_experiment"]
+
+#: Feature name → a query exercising exactly that feature.
+FEATURE_QUERIES: dict[str, SQuery] = {
+    "plain-term": SQuery(
+        filter_expression=parse_expression('(body-of-text "databases")')
+    ),
+    "title-field": SQuery(filter_expression=parse_expression('(title "databases")')),
+    "author-field": SQuery(filter_expression=parse_expression('(author "Ullman")')),
+    "stem": SQuery(
+        filter_expression=parse_expression('(title stem "databases")')
+    ),
+    "phonetic": SQuery(
+        filter_expression=parse_expression('(author phonetic "Ullman")')
+    ),
+    "thesaurus": SQuery(
+        filter_expression=parse_expression('(body-of-text thesaurus "database")')
+    ),
+    "right-truncation": SQuery(
+        filter_expression=parse_expression('(body-of-text right-truncation "data")')
+    ),
+    "case-sensitive": SQuery(
+        filter_expression=parse_expression('(title case-sensitive "Databases")')
+    ),
+    "date-comparison": SQuery(
+        filter_expression=parse_expression('(date-last-modified > "1995-01-01")')
+    ),
+    "prox": SQuery(
+        filter_expression=parse_expression(
+            '((body-of-text "distributed") prox[2,T] (body-of-text "databases"))'
+        )
+    ),
+    "ranking-list": SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        )
+    ),
+    "ranking-weights": SQuery(
+        ranking_expression=parse_expression(
+            'list(("distributed" 0.7) ("databases" 0.3))'
+        )
+    ),
+    "keep-stop-words": SQuery(
+        filter_expression=parse_expression(
+            '((body-of-text "The") and (body-of-text "Who"))'
+        ),
+        drop_stop_words=False,
+    ),
+    "boolean-and-not": SQuery(
+        filter_expression=parse_expression(
+            '((body-of-text "databases") and-not (body-of-text "legacy"))'
+        )
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TranslationCell:
+    """One (source, feature) measurement."""
+
+    source_id: str
+    feature: str
+    survived: bool
+    lossless: bool
+    prediction_matches_actual: bool
+
+
+def run_translation_experiment(federation: Federation) -> list[TranslationCell]:
+    """Run E3 over every (source, feature) pair."""
+    translator = ClientTranslator()
+    cells: list[TranslationCell] = []
+    for source_id in federation.source_ids():
+        source = federation.sources[source_id]
+        metadata = source.metadata()
+        for feature, query in FEATURE_QUERIES.items():
+            translated, report = translator.translate(query, metadata)
+            survived = (
+                translated.filter_expression is not None
+                or translated.ranking_expression is not None
+            )
+            actual = source.search(query)
+            prediction_ok = (
+                actual.actual_filter_expression == translated.filter_expression
+                and actual.actual_ranking_expression == translated.ranking_expression
+            )
+            cells.append(
+                TranslationCell(
+                    source_id,
+                    feature,
+                    survived,
+                    report.is_lossless(),
+                    prediction_ok,
+                )
+            )
+    return cells
+
+
+def least_common_denominator(cells: list[TranslationCell]) -> list[str]:
+    """Features lossless at EVERY source — all a pre-STARTS
+    metasearcher could rely on."""
+    by_feature: dict[str, bool] = {}
+    for cell in cells:
+        by_feature[cell.feature] = (
+            by_feature.get(cell.feature, True) and cell.lossless
+        )
+    return sorted(feature for feature, ok in by_feature.items() if ok)

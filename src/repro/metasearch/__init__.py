@@ -1,0 +1,78 @@
+"""The metasearcher: discovery, selection, translation, merging, facade."""
+
+from repro.metasearch.brokers import (
+    BrokerNode,
+    HierarchicalSelector,
+    merge_summaries,
+)
+from repro.metasearch.client import Metasearcher, MetasearchResult
+from repro.metasearch.dedup import collapse_near_duplicates, jaccard, word_shingles
+from repro.metasearch.discovery import DiscoveryService, KnownSource
+from repro.metasearch.merging import (
+    MERGE_STRATEGIES,
+    CalibratedMerge,
+    CoriMerge,
+    MergeContext,
+    MergedDocument,
+    MergeStrategy,
+    NormalizedScoreMerge,
+    RawScoreMerge,
+    RoundRobinMerge,
+    TermFrequencyMerge,
+    TfIdfRecomputeMerge,
+)
+from repro.metasearch.selection import (
+    BGloss,
+    BySize,
+    Cori,
+    CostAware,
+    RandomSelector,
+    SelectAll,
+    SourceSelector,
+    VGlossMax,
+    VGlossSum,
+)
+from repro.metasearch.rewriting import PredicateRewriter, RewriteReport
+from repro.metasearch.translation import (
+    ClientTranslator,
+    TranslationReport,
+    capabilities_from_metadata,
+)
+
+__all__ = [
+    "BrokerNode",
+    "HierarchicalSelector",
+    "merge_summaries",
+    "collapse_near_duplicates",
+    "jaccard",
+    "word_shingles",
+    "Metasearcher",
+    "MetasearchResult",
+    "DiscoveryService",
+    "KnownSource",
+    "MERGE_STRATEGIES",
+    "CalibratedMerge",
+    "CoriMerge",
+    "MergeContext",
+    "MergedDocument",
+    "MergeStrategy",
+    "NormalizedScoreMerge",
+    "RawScoreMerge",
+    "RoundRobinMerge",
+    "TermFrequencyMerge",
+    "TfIdfRecomputeMerge",
+    "BGloss",
+    "BySize",
+    "Cori",
+    "CostAware",
+    "RandomSelector",
+    "SelectAll",
+    "SourceSelector",
+    "VGlossMax",
+    "VGlossSum",
+    "PredicateRewriter",
+    "RewriteReport",
+    "ClientTranslator",
+    "TranslationReport",
+    "capabilities_from_metadata",
+]

@@ -1,0 +1,281 @@
+"""The metasearcher facade: select → translate → query → merge.
+
+This is the end-to-end client the paper's Introduction promises: "users
+have the illusion of a single combined document source."  One call to
+:meth:`Metasearcher.search` performs all three §1 tasks over the
+transport layer, using only what sources export through STARTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.metasearch.discovery import DiscoveryService, KnownSource
+from repro.metasearch.merging import (
+    MergeContext,
+    MergedDocument,
+    MergeStrategy,
+    TfIdfRecomputeMerge,
+)
+from repro.metasearch.selection import SourceSelector, VGlossMax
+from repro.metasearch.translation import ClientTranslator, TranslationReport
+from repro.starts.errors import ProtocolError
+from repro.starts.query import SQuery
+from repro.starts.results import SQResults
+from repro.transport.client import StartsClient
+from repro.transport.network import SimulatedInternet
+
+__all__ = ["MetasearchResult", "Metasearcher"]
+
+
+@dataclass
+class MetasearchResult:
+    """Everything one metasearch produced, for inspection and display.
+
+    Latency attributes model the two deployment styles: a serial client
+    pays the *sum* of per-source round trips, a parallel fan-out client
+    pays the *maximum* — the realistic figure for a metasearcher that
+    issues its per-source queries concurrently.
+    """
+
+    documents: list[MergedDocument]
+    selected_sources: list[str]
+    per_source_results: dict[str, SQResults] = dataclass_field(default_factory=dict)
+    translation_reports: dict[str, TranslationReport] = dataclass_field(
+        default_factory=dict
+    )
+    query_latency_serial_ms: float = 0.0
+    query_latency_parallel_ms: float = 0.0
+
+    def linkages(self) -> list[str]:
+        return [document.linkage for document in self.documents]
+
+    def top(self, k: int) -> list[MergedDocument]:
+        return self.documents[:k]
+
+
+class Metasearcher:
+    """A configurable metasearcher over a simulated internet.
+
+    Args:
+        internet: the network where sources are published.
+        resource_urls: @SResource URLs to harvest on :meth:`refresh`.
+        selector: source-selection strategy (default vGlOSS-Max).
+        merger: rank-merging strategy (default tf·idf recompute).
+    """
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        resource_urls: list[str] | None = None,
+        selector: SourceSelector | None = None,
+        merger: MergeStrategy | None = None,
+    ) -> None:
+        self.client = StartsClient(internet)
+        self.discovery = DiscoveryService(self.client)
+        self.selector = selector or VGlossMax()
+        self.merger = merger or TfIdfRecomputeMerge()
+        self.translator = ClientTranslator()
+        self.resource_urls = list(resource_urls or [])
+
+    # -- discovery ---------------------------------------------------------
+
+    def refresh(self) -> list[KnownSource]:
+        """Harvest every configured resource; returns all known sources."""
+        for url in self.resource_urls:
+            self.discovery.refresh_resource(url)
+        return self.discovery.known_sources()
+
+    def add_resource(self, resource_url: str) -> None:
+        if resource_url not in self.resource_urls:
+            self.resource_urls.append(resource_url)
+
+    # -- the three metasearch tasks -------------------------------------------
+
+    def search(
+        self,
+        query: SQuery,
+        k_sources: int = 3,
+        selector: SourceSelector | None = None,
+        merger: MergeStrategy | None = None,
+        group_by_resource: bool = False,
+    ) -> MetasearchResult:
+        """Run the full pipeline for one query.
+
+        Args:
+            group_by_resource: when True, selected sources that share a
+                resource receive *one* query, posted to the first source
+                with the siblings in the ``Sources`` attribute (Figure 1
+                routing) — the resource then eliminates duplicates
+                server-side.  Appropriate when a resource's sources
+                share an engine, so their raw scores are comparable.
+
+        Raises:
+            ProtocolError: if the query has neither expression, or no
+                sources have been discovered yet.
+        """
+        query.validate()
+        known = self.discovery.known_sources()
+        if not known:
+            raise ProtocolError("no sources discovered; call refresh() first")
+
+        selector = selector or self.selector
+        merger = merger or self.merger
+        terms = self._selection_terms(query)
+
+        summaries = self.discovery.summaries()
+        if summaries:
+            selected_ids = selector.select(terms, summaries, k_sources)
+        else:
+            selected_ids = [source.source_id for source in known[:k_sources]]
+
+        per_source_results: dict[str, SQResults] = {}
+        reports: dict[str, TranslationReport] = {}
+        query_round_start = len(self._internet_log())
+        groups = self._route(selected_ids, group_by_resource)
+        for entry_id, sibling_ids in groups:
+            source = self.discovery.source(entry_id)
+            translated, report = self.translator.translate(
+                query, source.metadata, summary=summaries.get(entry_id)
+            )
+            reports[entry_id] = report
+            if (
+                translated.filter_expression is None
+                and translated.ranking_expression is None
+            ):
+                continue  # Nothing would survive: skip the round trip.
+            if sibling_ids:
+                translated = translated.with_sources(*sibling_ids)
+            per_source_results[entry_id] = self.client.query(
+                source.query_url, translated
+            )
+
+        context = MergeContext(
+            metadata={
+                source_id: self.discovery.source(source_id).metadata
+                for source_id in per_source_results
+            },
+            summaries={
+                source_id: summary
+                for source_id, summary in summaries.items()
+                if source_id in per_source_results
+            },
+            samples={
+                source_id: sample
+                for source_id in per_source_results
+                if (sample := self.discovery.source(source_id).sample_results)
+                is not None
+            },
+            query_terms=tuple(terms),
+        )
+        documents = merger.merge(per_source_results, context)
+        if query.max_number_documents:
+            documents = documents[: query.max_number_documents]
+
+        round_latencies = [
+            record.latency_ms
+            for record in self._internet_log()[query_round_start:]
+        ]
+        return MetasearchResult(
+            documents,
+            selected_ids,
+            per_source_results,
+            reports,
+            query_latency_serial_ms=sum(round_latencies),
+            query_latency_parallel_ms=max(round_latencies, default=0.0),
+        )
+
+    def _internet_log(self):
+        return self.client._internet.log
+
+    def explain_plan(
+        self,
+        query: SQuery,
+        k_sources: int = 3,
+        selector: SourceSelector | None = None,
+    ) -> str:
+        """A dry run: what *would* happen, without touching the network.
+
+        Renders the selection ranking (with goodness and bGlOSS result
+        estimates) and, for each source that would be contacted, the
+        translated query and everything translation would drop.
+        """
+        from repro.metasearch.selection import BGloss
+
+        query.validate()
+        selector = selector or self.selector
+        terms = self._selection_terms(query)
+        summaries = self.discovery.summaries()
+
+        lines = [f"plan for terms {terms} (selector {selector.name}, k={k_sources})"]
+        ranked = selector.rank(terms, summaries) if summaries else []
+        estimator = BGloss()
+        for position, (source_id, goodness) in enumerate(ranked):
+            chosen = "->" if position < k_sources else "  "
+            estimate = estimator.score(terms, summaries[source_id])
+            lines.append(
+                f"{chosen} {source_id:<14} goodness={goodness:10.3f} "
+                f"est. matches={estimate:6.1f}"
+            )
+
+        for source_id, _ in ranked[:k_sources]:
+            known = self.discovery.source(source_id)
+            translated, report = self.translator.translate(
+                query, known.metadata, summary=summaries.get(source_id)
+            )
+            lines.append(f"\n{source_id}:")
+            filter_text = (
+                translated.filter_expression.serialize()
+                if translated.filter_expression
+                else "(none)"
+            )
+            ranking_text = (
+                translated.ranking_expression.serialize()
+                if translated.ranking_expression
+                else "(none)"
+            )
+            lines.append(f"  filter:  {filter_text}")
+            lines.append(f"  ranking: {ranking_text}")
+            if report.dropped:
+                for note in report.dropped:
+                    lines.append(f"  note: {note}")
+            else:
+                lines.append("  note: lossless")
+        return "\n".join(lines)
+
+    def _route(
+        self, selected_ids: list[str], group_by_resource: bool
+    ) -> list[tuple[str, list[str]]]:
+        """(entry source, sibling sources) pairs for the query round.
+
+        Without grouping every source is its own entry.  With grouping,
+        sources sharing a resource collapse into one entry (the
+        best-ranked one) carrying the rest in ``Sources``.
+        """
+        if not group_by_resource:
+            return [(source_id, []) for source_id in selected_ids]
+        by_resource: dict[str | None, list[str]] = {}
+        order: list[str | None] = []
+        for source_id in selected_ids:
+            resource_url = self.discovery.source(source_id).resource_url
+            if resource_url not in by_resource:
+                by_resource[resource_url] = []
+                order.append(resource_url)
+            by_resource[resource_url].append(source_id)
+        return [
+            (members[0], members[1:])
+            for members in (by_resource[resource_url] for resource_url in order)
+        ]
+
+    @staticmethod
+    def _selection_terms(query: SQuery) -> list[str]:
+        """The words used for source selection: all expression terms."""
+        seen: list[str] = []
+        for term in query.expression_terms():
+            if term.comparison_modifier_present():
+                continue  # Dates and other comparisons say nothing topical.
+            for word in term.lstring.text.split():
+                lowered = word.lower()
+                if lowered not in seen:
+                    seen.append(lowered)
+        return seen

@@ -1,0 +1,78 @@
+"""Near-duplicate collapsing across sources.
+
+Resources eliminate duplicates *within* themselves by URL (Figure 1),
+but the same document often exists at several resources under different
+URLs — mirrors, preprints, proceedings copies.  A metasearcher can
+collapse those too, using content similarity over whatever answer
+fields it asked for.
+
+Similarity is Jaccard overlap of word shingles; with only a title
+available that is already discriminating (titles are near-unique), and
+with the body requested it approaches true near-duplicate detection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.metasearch.merging import MergedDocument
+
+__all__ = ["word_shingles", "jaccard", "collapse_near_duplicates"]
+
+
+def word_shingles(text: str, width: int = 2) -> frozenset[tuple[str, ...]]:
+    """The set of ``width``-word shingles of ``text`` (lowercased).
+
+    Texts shorter than ``width`` words yield a single short shingle so
+    that identical short strings still compare equal.
+    """
+    words = text.lower().split()
+    if not words:
+        return frozenset()
+    if len(words) < width:
+        return frozenset({tuple(words)})
+    return frozenset(
+        tuple(words[i : i + width]) for i in range(len(words) - width + 1)
+    )
+
+
+def jaccard(a: frozenset, b: frozenset) -> float:
+    """Jaccard similarity; empty-vs-empty is 0 (nothing to compare)."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def _document_text(merged: MergedDocument, fields: Iterable[str]) -> str:
+    pieces = [merged.document.get(name, "") for name in fields]
+    return " ".join(piece for piece in pieces if piece)
+
+
+def collapse_near_duplicates(
+    documents: list[MergedDocument],
+    threshold: float = 0.8,
+    fields: tuple[str, ...] = ("title", "body-of-text"),
+) -> list[MergedDocument]:
+    """Collapse near-duplicates in a merged rank, keeping rank order.
+
+    A document is absorbed by the highest-ranked earlier document whose
+    shingle similarity reaches ``threshold``.  Documents without any
+    text in ``fields`` are never collapsed (nothing to compare).
+
+    Returns a new list; the input is untouched.
+    """
+    kept: list[MergedDocument] = []
+    kept_shingles: list[frozenset] = []
+    for merged in documents:
+        text = _document_text(merged, fields)
+        shingles = word_shingles(text)
+        absorbed = False
+        if shingles:
+            for existing in kept_shingles:
+                if jaccard(shingles, existing) >= threshold:
+                    absorbed = True
+                    break
+        if not absorbed:
+            kept.append(merged)
+            kept_shingles.append(shingles)
+    return kept

@@ -1,0 +1,112 @@
+"""Discovery and metadata harvesting (§3.4's periodic tasks).
+
+A metasearcher must "extract the list of sources from the resources
+periodically" and "extract metadata and content summaries from the
+sources periodically".  :class:`DiscoveryService` does both over the
+transport layer, caching everything it fetches and honouring the
+``DateExpires`` metadata attribute so stale entries are re-fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.source.sample import SampleResults
+from repro.starts.metadata import SContentSummary, SMetaAttributes
+from repro.transport.client import StartsClient
+from repro.transport.network import TransportError
+
+__all__ = ["KnownSource", "DiscoveryService"]
+
+
+@dataclass
+class KnownSource:
+    """Everything a metasearcher knows about one discovered source."""
+
+    source_id: str
+    metadata: SMetaAttributes
+    summary: SContentSummary | None = None
+    sample_results: SampleResults | None = None
+    resource_url: str | None = None
+
+    @property
+    def query_url(self) -> str:
+        return self.metadata.linkage
+
+    @property
+    def num_docs(self) -> int:
+        return self.summary.num_docs if self.summary is not None else 0
+
+
+@dataclass
+class DiscoveryService:
+    """Harvests resources → sources → metadata/summaries/samples.
+
+    Attributes:
+        client: the transport client.
+        clock: a monotonically advancing date string (``YYYY-MM-DD``);
+            entries whose ``DateExpires`` precedes the clock are
+            considered stale and re-fetched on the next refresh.
+    """
+
+    client: StartsClient
+    clock: str = "1996-08-01"
+    _sources: dict[str, KnownSource] = dataclass_field(default_factory=dict)
+
+    def refresh_resource(self, resource_url: str) -> list[KnownSource]:
+        """Fetch a resource's source list and harvest each new source.
+
+        Returns the known sources belonging to this resource.
+        """
+        resource = self.client.fetch_resource(resource_url)
+        harvested: list[KnownSource] = []
+        for source_id, metadata_url in resource.source_list:
+            known = self._sources.get(source_id)
+            if known is None or self._is_stale(known):
+                known = self._harvest(source_id, metadata_url, resource_url)
+                self._sources[source_id] = known
+            harvested.append(known)
+        return harvested
+
+    def _is_stale(self, known: KnownSource) -> bool:
+        expires = known.metadata.date_expires
+        return bool(expires) and expires < self.clock
+
+    def _harvest(
+        self, source_id: str, metadata_url: str, resource_url: str
+    ) -> KnownSource:
+        metadata = self.client.fetch_metadata(metadata_url)
+        known = KnownSource(source_id, metadata, resource_url=resource_url)
+        if metadata.content_summary_linkage:
+            try:
+                known.summary = self.client.fetch_summary(
+                    metadata.content_summary_linkage
+                )
+            except TransportError:
+                known.summary = None
+        if metadata.sample_database_results:
+            try:
+                known.sample_results = self.client.fetch_sample_results(
+                    metadata.sample_database_results
+                )
+            except TransportError:
+                known.sample_results = None
+        return known
+
+    # -- lookups -------------------------------------------------------------
+
+    def known_sources(self) -> list[KnownSource]:
+        return [self._sources[source_id] for source_id in sorted(self._sources)]
+
+    def source(self, source_id: str) -> KnownSource:
+        return self._sources[source_id]
+
+    def summaries(self) -> dict[str, SContentSummary]:
+        return {
+            source_id: known.summary
+            for source_id, known in self._sources.items()
+            if known.summary is not None
+        }
+
+    def forget(self, source_id: str) -> None:
+        self._sources.pop(source_id, None)

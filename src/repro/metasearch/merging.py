@@ -1,0 +1,294 @@
+"""Rank merging (§3.2, §4.2; refs [5, 6]).
+
+Merging per-source ranked results is the hardest metasearch task: raw
+scores are incomparable across engines (one engine's 0.3 can beat
+another's 1,000), and even a shared algorithm scores differently on
+different collections.  STARTS does not prescribe a merge — it supplies
+the "raw material": unnormalized scores, ``ScoreRange``,
+``RankingAlgorithmID``, per-term statistics, document size/count, and
+black-box sample results.  Each strategy below consumes a different
+slice of that material, so experiment E2 can show what each piece buys:
+
+* :class:`RawScoreMerge` — the naive baseline (what a metasearcher
+  without STARTS is reduced to);
+* :class:`NormalizedScoreMerge` — min-max normalization by the exported
+  ``ScoreRange``;
+* :class:`TermFrequencyMerge` — Example 9's "simple-minded" scheme:
+  ignore scores, re-rank by term counts;
+* :class:`TfIdfRecomputeMerge` — recompute a tf·idf score from
+  ``TermStats`` with *global* document frequencies aggregated across
+  sources ("more sophisticated schemes could also use the document
+  frequencies");
+* :class:`CoriMerge` — CORI-style result merging (ref [5]): normalized
+  document scores weighted by the source's selection belief;
+* :class:`RoundRobinMerge` — collection-fusion interleaving (ref [6]);
+* :class:`CalibratedMerge` — §4.2's black-box calibration from the
+  ``SampleDatabaseResults``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.metasearch.selection import Cori
+from repro.source.sample import SampleResults
+from repro.starts.metadata import SContentSummary, SMetaAttributes
+from repro.starts.results import SQRDocument, SQResults
+
+__all__ = [
+    "MergeContext",
+    "MergedDocument",
+    "MergeStrategy",
+    "RawScoreMerge",
+    "NormalizedScoreMerge",
+    "TermFrequencyMerge",
+    "TfIdfRecomputeMerge",
+    "CoriMerge",
+    "RoundRobinMerge",
+    "CalibratedMerge",
+    "MERGE_STRATEGIES",
+]
+
+
+@dataclass
+class MergeContext:
+    """The STARTS raw material available at merge time."""
+
+    metadata: dict[str, SMetaAttributes] = dataclass_field(default_factory=dict)
+    summaries: dict[str, SContentSummary] = dataclass_field(default_factory=dict)
+    samples: dict[str, SampleResults] = dataclass_field(default_factory=dict)
+    query_terms: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MergedDocument:
+    """One document in the merged rank."""
+
+    linkage: str
+    score: float
+    source_id: str
+    document: SQRDocument
+
+
+class MergeStrategy:
+    """Interface: per-source results → one merged, deduplicated rank."""
+
+    name = "base"
+
+    def merge(
+        self, results: dict[str, SQResults], context: MergeContext
+    ) -> list[MergedDocument]:
+        """Merged rank, best first; duplicates collapse to the best copy."""
+        scored: list[MergedDocument] = []
+        for source_id in sorted(results):
+            for document in results[source_id].documents:
+                score = self.score(source_id, document, results, context)
+                scored.append(
+                    MergedDocument(document.linkage, score, source_id, document)
+                )
+        return _dedupe_and_sort(scored)
+
+    def score(
+        self,
+        source_id: str,
+        document: SQRDocument,
+        results: dict[str, SQResults],
+        context: MergeContext,
+    ) -> float:
+        raise NotImplementedError
+
+
+def _dedupe_and_sort(scored: list[MergedDocument]) -> list[MergedDocument]:
+    best: dict[str, MergedDocument] = {}
+    for merged in scored:
+        existing = best.get(merged.linkage)
+        if existing is None or merged.score > existing.score:
+            best[merged.linkage] = merged
+    ordered = list(best.values())
+    ordered.sort(key=lambda merged: (-merged.score, merged.linkage))
+    return ordered
+
+
+class RawScoreMerge(MergeStrategy):
+    """Baseline: trust the raw scores across engines (incorrectly)."""
+
+    name = "raw-score"
+
+    def score(self, source_id, document, results, context) -> float:
+        return document.raw_score
+
+
+class NormalizedScoreMerge(MergeStrategy):
+    """Min-max normalize each score by the source's ScoreRange.
+
+    Infinite bounds (allowed by the protocol) fall back to the largest
+    raw score observed in that source's result, which is the best a
+    client can do with an unbounded engine.
+    """
+
+    name = "range-normalized"
+
+    def score(self, source_id, document, results, context) -> float:
+        metadata = context.metadata.get(source_id)
+        low, high = metadata.score_range if metadata else (0.0, 1.0)
+        if math.isinf(high) or high <= low:
+            observed = [doc.raw_score for doc in results[source_id].documents]
+            high = max(observed) if observed else 1.0
+            low = 0.0
+        if high <= low:
+            return 0.0
+        return (document.raw_score - low) / (high - low)
+
+
+class TermFrequencyMerge(MergeStrategy):
+    """Example 9: discard scores, rank by total query-term occurrences."""
+
+    name = "term-frequency"
+
+    def score(self, source_id, document, results, context) -> float:
+        return float(sum(stats.term_frequency for stats in document.term_stats))
+
+
+class TfIdfRecomputeMerge(MergeStrategy):
+    """Recompute tf·idf with globally aggregated document frequencies.
+
+    For each query term: global df = Σ over sources of the source-local
+    df (from content summaries, falling back to the TermStats df); the
+    global collection size N = Σ NumDocs.  A document's score is
+    Σ (tf / doc_count) · log(1 + N / df) — length-normalized tf times
+    global idf, i.e. the "single large collection" view of §4.2.
+    """
+
+    name = "tfidf-recompute"
+
+    def score(self, source_id, document, results, context) -> float:
+        total_docs = sum(
+            summary.num_docs for summary in context.summaries.values()
+        )
+        if total_docs <= 0:
+            total_docs = sum(len(r.documents) for r in results.values()) or 1
+        score = 0.0
+        doc_length = max(document.doc_count, 1)
+        for stats in document.term_stats:
+            if stats.term_frequency <= 0:
+                continue
+            word = stats.term.lstring.text
+            global_df = 0
+            for summary in context.summaries.values():
+                global_df += summary.document_frequency(word)
+            if global_df == 0:
+                global_df = max(stats.document_frequency, 1)
+            idf = math.log(1.0 + total_docs / global_df)
+            score += (stats.term_frequency / doc_length) * idf
+        return score
+
+
+class CoriMerge(MergeStrategy):
+    """CORI result merging: normalized doc score × source belief.
+
+    ``final = D · (1 + 0.4 · C) / 1.4`` with D the range-normalized
+    document score and C the source's CORI belief normalized over the
+    queried sources — the classic heuristic of ref [5].
+    """
+
+    name = "cori-weighted"
+
+    def __init__(self) -> None:
+        self._normalizer = NormalizedScoreMerge()
+
+    def merge(self, results, context) -> list[MergedDocument]:
+        beliefs = self._source_beliefs(results, context)
+        scored: list[MergedDocument] = []
+        for source_id in sorted(results):
+            belief = beliefs.get(source_id, 0.0)
+            for document in results[source_id].documents:
+                normalized = self._normalizer.score(
+                    source_id, document, results, context
+                )
+                score = normalized * (1.0 + 0.4 * belief) / 1.4
+                scored.append(
+                    MergedDocument(document.linkage, score, source_id, document)
+                )
+        return _dedupe_and_sort(scored)
+
+    def _source_beliefs(self, results, context) -> dict[str, float]:
+        summaries = {
+            source_id: summary
+            for source_id, summary in context.summaries.items()
+            if source_id in results
+        }
+        if not summaries or not context.query_terms:
+            return {source_id: 1.0 for source_id in results}
+        ranked = Cori().rank(context.query_terms, summaries)
+        if not ranked:
+            return {source_id: 1.0 for source_id in results}
+        top = max(goodness for _, goodness in ranked) or 1.0
+        return {source_id: goodness / top for source_id, goodness in ranked}
+
+    def score(self, source_id, document, results, context) -> float:
+        raise NotImplementedError("CoriMerge overrides merge()")
+
+
+class RoundRobinMerge(MergeStrategy):
+    """Collection fusion baseline: interleave per-source ranks.
+
+    The i-th document of each source gets score ``1 / (i + 1)``; ties
+    across sources at the same depth break alphabetically.  Uses no
+    score information at all — the floor any merge should beat.
+    """
+
+    name = "round-robin"
+
+    def merge(self, results, context) -> list[MergedDocument]:
+        scored: list[MergedDocument] = []
+        for source_id in sorted(results):
+            for position, document in enumerate(results[source_id].documents):
+                scored.append(
+                    MergedDocument(
+                        document.linkage,
+                        1.0 / (position + 1),
+                        source_id,
+                        document,
+                    )
+                )
+        return _dedupe_and_sort(scored)
+
+    def score(self, source_id, document, results, context) -> float:
+        raise NotImplementedError("RoundRobinMerge overrides merge()")
+
+
+class CalibratedMerge(MergeStrategy):
+    """§4.2 black-box calibration from SampleDatabaseResults.
+
+    Each raw score is divided by the source's best score over the fixed
+    sample collection — an empirical scale factor that needs neither
+    TermStats nor ScoreRange, only the published sample results.
+    """
+
+    name = "sample-calibrated"
+
+    def score(self, source_id, document, results, context) -> float:
+        sample = context.samples.get(source_id)
+        if sample is None:
+            return document.raw_score
+        top_scores = sample.all_scores()
+        scale = max(top_scores) if top_scores else 0.0
+        if scale <= 0:
+            return document.raw_score
+        return document.raw_score / scale
+
+
+#: Registry used by experiments to sweep every strategy.
+MERGE_STRATEGIES: dict[str, type[MergeStrategy]] = {
+    cls.name: cls
+    for cls in (
+        RawScoreMerge,
+        NormalizedScoreMerge,
+        TermFrequencyMerge,
+        TfIdfRecomputeMerge,
+        CoriMerge,
+        RoundRobinMerge,
+        CalibratedMerge,
+    )
+}

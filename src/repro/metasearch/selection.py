@@ -1,0 +1,277 @@
+"""Source selection from content summaries (§3.3, refs [7, 8] — GlOSS).
+
+Given a query and the content summaries harvested from every known
+source, rank the sources by how promising they are.  Implemented
+selectors:
+
+* :class:`BGloss` — the Boolean GlOSS estimator of ref [7]: under a
+  term-independence assumption, a source with N docs and per-term
+  document frequencies df_t is estimated to hold
+  ``N * prod(df_t / N)`` documents matching *all* query terms.
+* :class:`VGlossSum` / :class:`VGlossMax` — vector-space GlOSS
+  (ref [8]): goodness from aggregated term mass; Sum uses total
+  postings, Max weights document frequency by average within-document
+  tf.
+* :class:`Cori` — the inference-network selector of ref [5] (CORI):
+  a belief per term from a df-based T component and an ICF-based I
+  component.
+* Baselines: :class:`SelectAll`, :class:`RandomSelector`,
+  :class:`BySize` — what a summary-less metasearcher could do.
+* :class:`CostAware` — wraps any selector and discounts sources by
+  their monetary cost/latency (the §3.3 motivation: some sources
+  charge, some are slow).
+
+All selectors are pure functions of the summaries: no document content
+is touched, which is the protocol's whole point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from collections.abc import Sequence
+
+from repro.starts.metadata import SContentSummary
+
+__all__ = [
+    "SourceSelector",
+    "BGloss",
+    "VGlossSum",
+    "VGlossMax",
+    "Cori",
+    "SelectAll",
+    "RandomSelector",
+    "BySize",
+    "CostAware",
+]
+
+
+class SourceSelector:
+    """Interface: score every source for a query, best first."""
+
+    name = "base"
+
+    def rank(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+    ) -> list[tuple[str, float]]:
+        """(source_id, goodness) sorted by descending goodness.
+
+        Ties break on source id for determinism.
+        """
+        scored = [
+            (source_id, self.score(terms, summary))
+            for source_id, summary in summaries.items()
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def select(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+        k: int,
+    ) -> list[str]:
+        """The ids of the top-k sources."""
+        return [source_id for source_id, _ in self.rank(terms, summaries)[:k]]
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        raise NotImplementedError
+
+
+class BGloss(SourceSelector):
+    """Boolean GlOSS: expected number of documents matching ALL terms."""
+
+    name = "bGlOSS"
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        n_docs = summary.num_docs
+        if n_docs <= 0:
+            return 0.0
+        estimate = float(n_docs)
+        for term in terms:
+            df = summary.document_frequency(term)
+            estimate *= df / n_docs
+            if estimate == 0.0:
+                return 0.0
+        return estimate
+
+
+class VGlossSum(SourceSelector):
+    """Vector-space GlOSS, Sum variant: total postings mass of the terms."""
+
+    name = "vGlOSS-Sum"
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        return float(sum(summary.total_postings(term) for term in terms))
+
+
+class VGlossMax(SourceSelector):
+    """Vector-space GlOSS, Max variant: df weighted by average tf.
+
+    High when the source has many documents that each use the term
+    heavily — a proxy for the maximum similarity any single document
+    could achieve.
+    """
+
+    name = "vGlOSS-Max"
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        goodness = 0.0
+        for term in terms:
+            df = summary.document_frequency(term)
+            postings = summary.total_postings(term)
+            if df > 0:
+                average_tf = postings / df
+                goodness += df * (1.0 + math.log(max(average_tf, 1.0)))
+        return goodness
+
+
+class Cori(SourceSelector):
+    """CORI (Callan et al., ref [5]): df.icf belief scoring of sources.
+
+    Belief per term t for source s:
+        T = df / (df + 50 + 150 * cw_s / mean_cw)
+        I = log((C + 0.5) / cf_t) / log(C + 1.0)
+        belief = 0.4 + 0.6 * T * I
+    where cw_s is the source's total word mass, C the number of
+    sources, and cf_t how many sources contain t.  Requires the full
+    summary set, so ``rank`` is overridden; ``score`` alone cannot be
+    computed without corpus-level statistics.
+    """
+
+    name = "CORI"
+
+    def rank(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+    ) -> list[tuple[str, float]]:
+        if not summaries:
+            return []
+        n_sources = len(summaries)
+        word_mass = {
+            source_id: max(
+                1.0,
+                float(
+                    sum(
+                        max(entry.postings, 0)
+                        for section in summary.sections
+                        for entry in section.entries
+                    )
+                ),
+            )
+            for source_id, summary in summaries.items()
+        }
+        mean_mass = sum(word_mass.values()) / n_sources
+        collection_frequency = {
+            term: sum(
+                1 for summary in summaries.values() if summary.document_frequency(term) > 0
+            )
+            for term in terms
+        }
+
+        scored: list[tuple[str, float]] = []
+        for source_id, summary in summaries.items():
+            beliefs = []
+            for term in terms:
+                df = summary.document_frequency(term)
+                cf = collection_frequency[term]
+                if df == 0 or cf == 0:
+                    beliefs.append(0.4)
+                    continue
+                t_part = df / (df + 50.0 + 150.0 * word_mass[source_id] / mean_mass)
+                i_part = math.log((n_sources + 0.5) / cf) / math.log(n_sources + 1.0)
+                beliefs.append(0.4 + 0.6 * t_part * max(i_part, 0.0))
+            goodness = sum(beliefs) / len(beliefs) if beliefs else 0.0
+            scored.append((source_id, goodness))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        raise NotImplementedError("CORI needs the full summary set; use rank()")
+
+
+class SelectAll(SourceSelector):
+    """Baseline: every source is equally good (score 1)."""
+
+    name = "all"
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        return 1.0
+
+
+class RandomSelector(SourceSelector):
+    """Baseline: a seeded random permutation per query."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def rank(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+    ) -> list[tuple[str, float]]:
+        # zlib.crc32 rather than hash(): Python string hashing is
+        # randomized per process, which would break reproducibility.
+        digest = zlib.crc32(" ".join(terms).encode("utf-8"))
+        rng = random.Random((self._seed * 2654435761 + digest) & 0xFFFFFFFF)
+        ids = sorted(summaries)
+        rng.shuffle(ids)
+        return [(source_id, float(len(ids) - index)) for index, source_id in enumerate(ids)]
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        raise NotImplementedError("RandomSelector ranks, it does not score")
+
+
+class BySize(SourceSelector):
+    """Baseline: bigger sources first (crawler intuition, no summaries)."""
+
+    name = "by-size"
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        return float(summary.num_docs)
+
+
+class CostAware(SourceSelector):
+    """Discount an inner selector's goodness by per-source cost.
+
+    ``utility = goodness / (1 + tradeoff * cost)``; costs default to 0,
+    so unspecified sources are unaffected.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self,
+        inner: SourceSelector,
+        costs: dict[str, float],
+        tradeoff: float = 1.0,
+    ) -> None:
+        self._inner = inner
+        self._costs = costs
+        self._tradeoff = tradeoff
+        self.name = f"cost-aware({inner.name})"
+
+    def rank(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+    ) -> list[tuple[str, float]]:
+        ranked = self._inner.rank(terms, summaries)
+        discounted = [
+            (
+                source_id,
+                goodness / (1.0 + self._tradeoff * self._costs.get(source_id, 0.0)),
+            )
+            for source_id, goodness in ranked
+        ]
+        discounted.sort(key=lambda pair: (-pair[1], pair[0]))
+        return discounted
+
+    def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        raise NotImplementedError("CostAware wraps rank(), not score()")

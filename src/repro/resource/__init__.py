@@ -1,0 +1,5 @@
+"""Resources: groups of sources behind one query entry point (Figure 1)."""
+
+from repro.resource.resource import Resource
+
+__all__ = ["Resource"]

@@ -1,0 +1,116 @@
+"""Declared capabilities of a STARTS source.
+
+Sources differ in which fields, modifiers and query parts they support
+(§3.1); STARTS does not level them down to a least common denominator —
+instead each source *declares* its capabilities in its metadata and
+silently ignores what it cannot do, reporting the actual query it
+processed (§4.2).  :class:`SourceCapabilities` is that declaration, used
+in three places: by the execution layer to decide what to drop, by the
+metadata exporter to fill MBasic-1 attributes, and by metasearchers to
+pre-translate queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field, replace
+
+from repro.starts.attributes import BASIC1, canonical_field_name
+
+__all__ = ["SourceCapabilities"]
+
+
+def _default_fields() -> dict[str, tuple[str, ...]]:
+    return {name: () for name in BASIC1.fields}
+
+
+def _default_modifiers() -> dict[str, tuple[str, ...]]:
+    return {name: () for name in BASIC1.modifiers}
+
+
+@dataclass(frozen=True)
+class SourceCapabilities:
+    """What one source supports.
+
+    Attributes:
+        fields: supported field → languages it is supported for
+            (empty tuple = all languages).  Required Basic-1 fields must
+            be present — a source "must recognize" them even if it
+            interprets them freely.
+        modifiers: supported modifier → languages.
+        combinations: legal (field, modifier) pairs, or None when any
+            supported field combines with any supported modifier.
+        query_parts: ``"RF"``, ``"R"`` (ranking only) or ``"F"``
+            (filter only, e.g. Glimpse).
+        supports_prox: False downgrades ``prox`` to ``and`` — mirroring
+            the vendor who found even word-distance prox too complex.
+        turn_off_stop_words: can the client disable stop-word dropping.
+        supports_free_form: accepts native queries via Free-form-text.
+        result_cap: hard upper bound on returned documents (None = no
+            cap beyond the query's own MaxNumberDocuments).
+    """
+
+    fields: dict[str, tuple[str, ...]] = dataclass_field(default_factory=_default_fields)
+    modifiers: dict[str, tuple[str, ...]] = dataclass_field(
+        default_factory=_default_modifiers
+    )
+    combinations: frozenset[tuple[str, str]] | None = None
+    query_parts: str = "RF"
+    supports_prox: bool = True
+    turn_off_stop_words: bool = True
+    supports_free_form: bool = False
+    result_cap: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.query_parts.upper() not in ("R", "F", "RF"):
+            raise ValueError(f"bad query_parts: {self.query_parts!r}")
+        missing = [
+            name
+            for name in BASIC1.required_fields()
+            if canonical_field_name(name) not in self.fields
+        ]
+        if missing:
+            raise ValueError(f"required Basic-1 fields missing: {missing}")
+
+    # -- queries the execution layer asks -------------------------------
+
+    def supports_field(self, name: str) -> bool:
+        return canonical_field_name(name) in self.fields
+
+    def supports_modifier(self, name: str) -> bool:
+        return name.lower() in self.modifiers
+
+    def combination_is_legal(self, field_name: str, modifier_name: str) -> bool:
+        field_name = canonical_field_name(field_name)
+        modifier_name = modifier_name.lower()
+        if not (self.supports_field(field_name) and self.supports_modifier(modifier_name)):
+            return False
+        if self.combinations is None:
+            return True
+        return (field_name, modifier_name) in self.combinations
+
+    def supports_ranking(self) -> bool:
+        return "R" in self.query_parts.upper()
+
+    def supports_filter(self) -> bool:
+        return "F" in self.query_parts.upper()
+
+    # -- convenience constructors / variants ------------------------------
+
+    @classmethod
+    def full_basic1(cls) -> "SourceCapabilities":
+        """Everything in Basic-1, both query parts, prox included."""
+        return cls()
+
+    def without_fields(self, *names: str) -> "SourceCapabilities":
+        dropped = {canonical_field_name(name) for name in names}
+        return replace(
+            self,
+            fields={k: v for k, v in self.fields.items() if k not in dropped},
+        )
+
+    def without_modifiers(self, *names: str) -> "SourceCapabilities":
+        dropped = {name.lower() for name in names}
+        return replace(
+            self,
+            modifiers={k: v for k, v in self.modifiers.items() if k not in dropped},
+        )

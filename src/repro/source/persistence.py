@@ -1,0 +1,164 @@
+"""Saving and loading complete STARTS sources.
+
+Builds on engine persistence: a source directory holds the serialized
+index plus a ``source.json`` describing identity, capabilities and
+engine configuration, so ``load_source`` can reconstruct an equivalent
+:class:`~repro.source.source.StartsSource` — same search behaviour,
+same metadata exports — in a fresh process.
+
+Analyzer stop lists and the thesaurus are code, not data: the loader
+re-creates the default English/Spanish lists; custom lists must be
+re-attached by the caller (the saved analyzer signature catches
+mismatches for the parameters that shape the index).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.engine.persistence import PersistenceError, load_engine, save_engine
+from repro.engine.ranking import RANKING_ALGORITHMS
+from repro.engine.search import SearchEngine
+from repro.source.capabilities import SourceCapabilities
+from repro.source.source import StartsSource
+from repro.text.analysis import Analyzer
+from repro.text.tokenize import get_tokenizer
+from repro.vendors.native import NATIVE_SYNTAXES
+
+__all__ = ["save_source", "load_source"]
+
+_ENGINE_FILE = "engine.json"
+_SOURCE_FILE = "source.json"
+
+
+def _capabilities_payload(capabilities: SourceCapabilities) -> dict:
+    return {
+        "fields": {name: list(langs) for name, langs in capabilities.fields.items()},
+        "modifiers": {
+            name: list(langs) for name, langs in capabilities.modifiers.items()
+        },
+        "combinations": (
+            sorted(list(pair) for pair in capabilities.combinations)
+            if capabilities.combinations is not None
+            else None
+        ),
+        "query_parts": capabilities.query_parts,
+        "supports_prox": capabilities.supports_prox,
+        "turn_off_stop_words": capabilities.turn_off_stop_words,
+        "supports_free_form": capabilities.supports_free_form,
+        "result_cap": capabilities.result_cap,
+    }
+
+
+def _capabilities_from_payload(payload: dict) -> SourceCapabilities:
+    combinations = payload["combinations"]
+    return SourceCapabilities(
+        fields={name: tuple(langs) for name, langs in payload["fields"].items()},
+        modifiers={
+            name: tuple(langs) for name, langs in payload["modifiers"].items()
+        },
+        combinations=(
+            frozenset(tuple(pair) for pair in combinations)
+            if combinations is not None
+            else None
+        ),
+        query_parts=payload["query_parts"],
+        supports_prox=payload["supports_prox"],
+        turn_off_stop_words=payload["turn_off_stop_words"],
+        supports_free_form=payload["supports_free_form"],
+        result_cap=payload["result_cap"],
+    )
+
+
+def save_source(source: StartsSource, directory: str | pathlib.Path) -> pathlib.Path:
+    """Serialize ``source`` (index + configuration) under ``directory``."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    save_engine(source.engine, path / _ENGINE_FILE)
+
+    native_id = None
+    if source.native_syntax is not None:
+        native_id = source.native_syntax.syntax_id
+
+    payload = {
+        "source_id": source.source_id,
+        "base_url": source.base_url,
+        "source_name": source.source_name,
+        "abstract": source.abstract,
+        "access_constraints": source.access_constraints,
+        "contact": source.contact,
+        "date_changed": source.date_changed,
+        "export_term_stats": source.export_term_stats,
+        "native_syntax": native_id,
+        "capabilities": _capabilities_payload(source.capabilities),
+        "analyzer": {
+            "tokenizer": source.analyzer.tokenizer.tokenizer_id,
+            "stem": source.analyzer.stem,
+            "case_sensitive": source.analyzer.case_sensitive,
+            "can_disable_stop_words": source.analyzer.can_disable_stop_words,
+            "index_stop_words": source.analyzer.index_stop_words,
+        },
+        "ranking": source.engine.ranking.algorithm_id if source.engine.ranking else None,
+    }
+    (path / _SOURCE_FILE).write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_source(directory: str | pathlib.Path) -> StartsSource:
+    """Reconstruct a saved source.
+
+    Raises:
+        PersistenceError: on missing files or unknown configuration ids.
+    """
+    path = pathlib.Path(directory)
+    source_file = path / _SOURCE_FILE
+    if not source_file.exists():
+        raise PersistenceError(f"no {_SOURCE_FILE} under {path}")
+    payload = json.loads(source_file.read_text())
+
+    analyzer_config = payload["analyzer"]
+    try:
+        tokenizer = get_tokenizer(analyzer_config["tokenizer"])
+    except KeyError as error:
+        raise PersistenceError(f"unknown tokenizer: {error}") from error
+    analyzer = Analyzer(
+        tokenizer=tokenizer,
+        stem=analyzer_config["stem"],
+        case_sensitive=analyzer_config["case_sensitive"],
+        can_disable_stop_words=analyzer_config["can_disable_stop_words"],
+        index_stop_words=analyzer_config["index_stop_words"],
+    )
+
+    ranking = None
+    if payload["ranking"] is not None:
+        algorithm_class = RANKING_ALGORITHMS.get(payload["ranking"])
+        if algorithm_class is None:
+            raise PersistenceError(f"unknown ranking algorithm: {payload['ranking']}")
+        ranking = algorithm_class()
+
+    engine = SearchEngine(analyzer=analyzer, ranking=ranking)
+    load_engine(engine, path / _ENGINE_FILE)
+
+    native_syntax = None
+    if payload["native_syntax"] is not None:
+        native_syntax = NATIVE_SYNTAXES.get(payload["native_syntax"])
+        if native_syntax is None:
+            raise PersistenceError(
+                f"unknown native syntax: {payload['native_syntax']}"
+            )
+
+    source = StartsSource(
+        payload["source_id"],
+        engine=engine,
+        capabilities=_capabilities_from_payload(payload["capabilities"]),
+        base_url=payload["base_url"],
+        source_name=payload["source_name"],
+        abstract=payload["abstract"],
+        access_constraints=payload["access_constraints"],
+        contact=payload["contact"],
+        date_changed=payload["date_changed"],
+        export_term_stats=payload["export_term_stats"],
+        native_syntax=native_syntax,
+    )
+    return source

@@ -1,0 +1,71 @@
+"""Automatic content-summary generation (§4.3.2).
+
+A source's content summary is generated straight from its inverted
+index's surface-form statistics: the word list per (field, language),
+each word with its total postings count and document frequency, plus
+the total number of documents.  Per the paper's recommendation the
+exported words are unstemmed and carry field information; case
+sensitivity and stop-word inclusion follow the source's analyzer
+configuration and are declared in the summary header flags.
+"""
+
+from __future__ import annotations
+
+from repro.engine.search import SearchEngine
+from repro.starts.metadata import SContentSummary, SummaryEntryLine, SummarySection
+from repro.text.analysis import Analyzer
+
+__all__ = ["build_content_summary"]
+
+
+def build_content_summary(
+    engine: SearchEngine,
+    max_words_per_section: int | None = None,
+    include_postings: bool = True,
+    include_document_frequencies: bool = True,
+) -> SContentSummary:
+    """Extract a source's content summary from its engine.
+
+    Args:
+        engine: the source's engine (index already built).
+        max_words_per_section: truncate each (field, language) section
+            to its most frequent words — the knob the E4/A1 experiments
+            sweep to trade summary size against selection quality.
+            None exports everything.
+        include_postings / include_document_frequencies: the paper
+            requires "at least one of" the two statistics; both default
+            to exported.
+
+    Raises:
+        ValueError: if both statistics are disabled.
+    """
+    if not (include_postings or include_document_frequencies):
+        raise ValueError("a summary must include postings or document frequencies")
+
+    analyzer: Analyzer = engine.analyzer
+    sections = []
+    for field_name, language, words in engine.index.summary_sections():
+        entries = [
+            SummaryEntryLine(
+                word,
+                stats.postings if include_postings else -1,
+                stats.document_frequency if include_document_frequencies else -1,
+            )
+            for word, stats in words.items()
+        ]
+        # Most frequent first, then alphabetical for determinism.
+        entries.sort(key=lambda entry: (-max(entry.postings, entry.document_frequency), entry.word))
+        if max_words_per_section is not None:
+            entries = entries[:max_words_per_section]
+        sections.append(SummarySection(field_name, language, tuple(entries)))
+
+    return SContentSummary(
+        num_docs=engine.document_count,
+        sections=tuple(sections),
+        stemming=analyzer.stem,
+        stop_words=analyzer.index_stop_words,
+        case_sensitive=analyzer.case_sensitive,
+        fields=True,
+        has_postings=include_postings,
+        has_document_frequencies=include_document_frequencies,
+    )

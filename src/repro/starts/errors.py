@@ -1,0 +1,53 @@
+"""Exception hierarchy for the STARTS protocol implementation.
+
+The protocol itself deliberately has *no error reporting* (Section 4 of
+the paper: sources silently execute the parts of a query they support
+and return the "actual query").  These exceptions therefore never cross
+the wire; they are local programming errors — malformed queries handed
+to the parser, malformed SOIF blobs, violated protocol invariants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StartsError",
+    "QuerySyntaxError",
+    "SoifSyntaxError",
+    "ProtocolError",
+    "UnknownSourceError",
+]
+
+
+class StartsError(Exception):
+    """Base class for all STARTS reproduction errors."""
+
+
+class QuerySyntaxError(StartsError):
+    """A filter/ranking expression does not parse.
+
+    Attributes:
+        position: character offset where parsing failed, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SoifSyntaxError(StartsError):
+    """A SOIF stream is malformed (bad framing, byte counts, braces)."""
+
+
+class ProtocolError(StartsError):
+    """A STARTS object violates a protocol invariant.
+
+    Examples: a query with neither filter nor ranking expression sent to
+    a source, a term weight outside [0, 1], a results object whose
+    document count disagrees with its document list.
+    """
+
+
+class UnknownSourceError(StartsError):
+    """A query names a source the resource does not contain."""

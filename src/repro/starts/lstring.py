@@ -1,0 +1,95 @@
+"""l-strings: the multilingual building blocks of STARTS queries.
+
+Section 4.1.1: "an l-string is either a string (e.g. ``"Ullman"``), or a
+string qualified with its associated language and, optionally, with its
+associated country.  For example, ``[en-US "behavior"]`` is an l-string,
+meaning that the string 'behavior' represents a word in American
+English."  Strings are Unicode encoded as UTF-8, whose key property —
+called out in the paper — is that plain English text is byte-identical
+to its ASCII form, making English/ASCII the invisible default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.starts.errors import QuerySyntaxError
+from repro.text.langtags import DEFAULT_LANGUAGE, LanguageTag, parse_language_tag
+
+__all__ = ["LString", "parse_lstring"]
+
+
+@dataclass(frozen=True, slots=True)
+class LString:
+    """A query string with an optional explicit language qualification.
+
+    Attributes:
+        text: the Unicode string itself.
+        language: the RFC-1766 tag, or None when the string relies on
+            the protocol default (English).
+    """
+
+    text: str
+    language: LanguageTag | None = None
+
+    @property
+    def effective_language(self) -> LanguageTag:
+        """The language to interpret the string in (default: English)."""
+        return self.language if self.language is not None else DEFAULT_LANGUAGE
+
+    def is_qualified(self) -> bool:
+        return self.language is not None
+
+    def serialize(self) -> str:
+        """Render in query-language syntax.
+
+        Unqualified: ``"text"``.  Qualified: ``[en-US "text"]``.
+        Embedded double quotes are escaped with a backslash.
+        """
+        quoted = '"' + self.text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        if self.language is None:
+            return quoted
+        return f"[{self.language} {quoted}]"
+
+    def encode_utf8(self) -> bytes:
+        """The UTF-8 byte encoding of the text (what travels in SOIF)."""
+        return self.text.encode("utf-8")
+
+    def __str__(self) -> str:
+        return self.serialize()
+
+
+def parse_lstring(text: str) -> LString:
+    """Parse an l-string from its serialized form.
+
+    Accepts ``"word"``, ``word`` (bare, no spaces) and
+    ``[en-US "word"]``.  This is a convenience for tests and metadata
+    values; full query parsing lives in :mod:`repro.starts.parser`.
+
+    Raises:
+        QuerySyntaxError: on malformed input.
+    """
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise QuerySyntaxError(f"unterminated language qualification: {text!r}")
+        inner = text[1:-1].strip()
+        try:
+            tag_part, string_part = inner.split(None, 1)
+        except ValueError:
+            raise QuerySyntaxError(f"l-string needs a language and a string: {text!r}")
+        language = parse_language_tag(tag_part)
+        return LString(_unquote(string_part), language)
+    return LString(_unquote(text))
+
+
+def _unquote(text: str) -> str:
+    text = text.strip()
+    if text.startswith('"'):
+        if not text.endswith('"') or len(text) < 2:
+            raise QuerySyntaxError(f"unterminated string: {text!r}")
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if '"' in text:
+        raise QuerySyntaxError(f"stray quote in bare string: {text!r}")
+    return text

@@ -1,0 +1,216 @@
+"""Query results: SQResults, SQRDocument and TermStats (Section 4.2).
+
+A result stream starts with one ``@SQResults`` object reporting the
+*actual query* the source processed — the protocol's substitute for
+error reporting: a source that ignores, say, the ranking expression
+says so here — followed by one ``@SQRDocument`` per document.
+
+Each document carries what rank merging needs (Examples 8 and 9):
+
+* ``RawScore`` — the unnormalized score, interpretable only against the
+  source's exported ``ScoreRange``;
+* ``Sources`` — where the document appears (several, after resource-side
+  duplicate elimination);
+* ``TermStats`` — per ranking-expression term: term frequency, the
+  engine's own term weight, and document frequency;
+* ``DocSize`` (KBytes) and ``DocCount`` (tokens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.starts.ast import SNode, STerm
+from repro.starts.errors import ProtocolError, QuerySyntaxError, SoifSyntaxError
+from repro.starts.parser import parse_expression
+from repro.starts.query import PROTOCOL_VERSION
+from repro.starts.soif import SoifObject, parse_soif_stream
+
+__all__ = ["TermStats", "SQRDocument", "SQResults"]
+
+#: Attributes of SQRDocument that are not document fields.
+_RESERVED_DOC_ATTRIBUTES = frozenset(
+    ("version", "rawscore", "sources", "termstats", "docsize", "doccount")
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TermStats:
+    """Statistics for one ranking-expression term in one document."""
+
+    term: STerm
+    term_frequency: int
+    term_weight: float
+    document_frequency: int
+
+    def serialize(self) -> str:
+        return (
+            f"{self.term.serialize()} {self.term_frequency} "
+            f"{_format_weight(self.term_weight)} {self.document_frequency}"
+        )
+
+    @classmethod
+    def parse(cls, line: str) -> "TermStats":
+        line = line.strip()
+        # The term serialization ends at the last ')' or '"'; the three
+        # numbers follow.
+        parts = line.rsplit(None, 3)
+        if len(parts) != 4:
+            raise SoifSyntaxError(f"bad TermStats line: {line!r}")
+        term_text, tf_text, weight_text, df_text = parts
+        try:
+            node = parse_expression(term_text)
+            tf, weight, df = int(tf_text), float(weight_text), int(df_text)
+        except (QuerySyntaxError, ValueError) as error:
+            raise SoifSyntaxError(f"bad TermStats line: {line!r} ({error})") from error
+        if not isinstance(node, STerm):
+            raise SoifSyntaxError(f"TermStats entry is not a term: {term_text!r}")
+        return cls(node, tf, weight, df)
+
+
+def _format_weight(weight: float) -> str:
+    """Shortest representation that round-trips the exact float value.
+
+    The paper prints truncated scores (``0.82``) for readability, but a
+    lossy wire encoding would make rank merging depend on print
+    precision; ``repr`` keeps client-side and source-side scores
+    bit-identical.
+    """
+    return repr(float(weight))
+
+
+@dataclass(frozen=True)
+class SQRDocument:
+    """One document in a query result.
+
+    ``fields`` holds the answer fields the query asked for (title,
+    author, ...); ``linkage`` is always present per the protocol.
+    """
+
+    linkage: str
+    raw_score: float
+    sources: tuple[str, ...]
+    fields: dict[str, str] = dataclass_field(default_factory=dict)
+    term_stats: tuple[TermStats, ...] = ()
+    doc_size: int = 1
+    doc_count: int = 0
+    version: str = PROTOCOL_VERSION
+
+    def get(self, name: str, default: str = "") -> str:
+        if name == "linkage":
+            return self.linkage
+        return self.fields.get(name, default)
+
+    def to_soif(self) -> SoifObject:
+        obj = SoifObject("SQRDocument")
+        obj.add("Version", self.version)
+        obj.add("RawScore", _format_weight(self.raw_score))
+        obj.add("Sources", " ".join(self.sources))
+        obj.add("linkage", self.linkage)
+        for name, value in self.fields.items():
+            obj.add(name, value)
+        if self.term_stats:
+            obj.add(
+                "TermStats",
+                "\n".join(stats.serialize() for stats in self.term_stats),
+            )
+        obj.add("DocSize", str(self.doc_size))
+        obj.add("DocCount", str(self.doc_count))
+        return obj
+
+    @classmethod
+    def from_soif(cls, obj: SoifObject) -> "SQRDocument":
+        if obj.template != "SQRDocument":
+            raise SoifSyntaxError(f"expected @SQRDocument, got @{obj.template}")
+        linkage = obj.get("linkage")
+        if linkage is None:
+            raise SoifSyntaxError("SQRDocument without linkage")
+        stats_text = obj.get("TermStats", "") or ""
+        term_stats = tuple(
+            TermStats.parse(line) for line in stats_text.splitlines() if line.strip()
+        )
+        fields = {
+            name: value
+            for name, value in obj.pairs()
+            if name.lower() not in _RESERVED_DOC_ATTRIBUTES and name.lower() != "linkage"
+        }
+        return cls(
+            linkage=linkage,
+            raw_score=float(obj.get("RawScore", "0") or 0),
+            sources=tuple((obj.get("Sources") or "").split()),
+            fields=fields,
+            term_stats=term_stats,
+            doc_size=int(obj.get("DocSize", "1") or 1),
+            doc_count=int(obj.get("DocCount", "0") or 0),
+            version=obj.get("Version", PROTOCOL_VERSION) or PROTOCOL_VERSION,
+        )
+
+
+@dataclass(frozen=True)
+class SQResults:
+    """A full query result: header plus documents.
+
+    Attributes:
+        sources: the sources that evaluated the query.
+        actual_filter_expression / actual_ranking_expression: the query
+            the source *actually* processed after dropping unsupported
+            parts (Example 7); None where the source processed nothing.
+        documents: the SQRDocument list, already sorted per the query's
+            sort specification.
+    """
+
+    sources: tuple[str, ...]
+    actual_filter_expression: SNode | None = None
+    actual_ranking_expression: SNode | None = None
+    documents: tuple[SQRDocument, ...] = ()
+    version: str = PROTOCOL_VERSION
+
+    @property
+    def num_doc_soifs(self) -> int:
+        return len(self.documents)
+
+    def validate(self) -> None:
+        if not self.sources:
+            raise ProtocolError("SQResults must name at least one source")
+
+    def to_soif_stream(self) -> str:
+        """The wire form: @SQResults then the @SQRDocument series."""
+        header = SoifObject("SQResults")
+        header.add("Version", self.version)
+        header.add("Sources", " ".join(self.sources))
+        if self.actual_filter_expression is not None:
+            header.add(
+                "ActualFilterExpression", self.actual_filter_expression.serialize()
+            )
+        if self.actual_ranking_expression is not None:
+            header.add(
+                "ActualRankingExpression", self.actual_ranking_expression.serialize()
+            )
+        header.add("NumDocSOIFs", str(self.num_doc_soifs))
+        parts = [header.dump()]
+        parts.extend(document.to_soif().dump() for document in self.documents)
+        return "\n".join(parts)
+
+    @classmethod
+    def from_soif_stream(cls, text: str | bytes) -> "SQResults":
+        objects = parse_soif_stream(text)
+        if not objects or objects[0].template != "SQResults":
+            raise SoifSyntaxError("result stream must start with @SQResults")
+        header = objects[0]
+        documents = tuple(SQRDocument.from_soif(obj) for obj in objects[1:])
+        declared = header.get("NumDocSOIFs")
+        if declared is not None and int(declared) != len(documents):
+            raise SoifSyntaxError(
+                f"NumDocSOIFs says {declared} but stream has {len(documents)}"
+            )
+        return cls(
+            sources=tuple((header.get("Sources") or "").split()),
+            actual_filter_expression=parse_expression(
+                header.get("ActualFilterExpression", "") or ""
+            ),
+            actual_ranking_expression=parse_expression(
+                header.get("ActualRankingExpression", "") or ""
+            ),
+            documents=documents,
+            version=header.get("Version", PROTOCOL_VERSION) or PROTOCOL_VERSION,
+        )

@@ -1,0 +1,201 @@
+"""SOIF: the byte-counted attribute-value encoding STARTS examples use.
+
+The paper encodes STARTS content in Harvest's SOIF "just to illustrate
+how our content could be delivered" — the protocol allows other
+encodings, but SOIF is the one the specification's examples are written
+in, so it is the reproduction's wire format.  A SOIF object looks like:
+
+.. code-block:: text
+
+    @SQuery{
+    Version{10}: STARTS 1.0
+    FilterExpression{48}: ((author "Ullman") and
+    (title stem "databases"))
+    }
+
+``{48}`` is the *byte* length of the value (UTF-8), "to facilitate
+parsing": values may span lines and contain any characters, and the
+reader consumes exactly the declared number of bytes.  Attribute order
+is significant and names may repeat (the content-summary object repeats
+``Field``/``Language``/``TermDocFreq`` sections), so the object model
+is an ordered list of (name, value) pairs with dict-style helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.starts.errors import SoifSyntaxError
+
+__all__ = ["SoifObject", "dump_soif", "parse_soif", "parse_soif_stream"]
+
+
+class SoifObject:
+    """An ordered multi-map with a template type (e.g. ``SQuery``)."""
+
+    def __init__(
+        self,
+        template: str,
+        attributes: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self.template = template
+        self._pairs: list[tuple[str, str]] = list(attributes)
+
+    # -- building -------------------------------------------------------
+
+    def add(self, name: str, value: str) -> "SoifObject":
+        """Append an attribute; returns self for chaining."""
+        self._pairs.append((name, value))
+        return self
+
+    # -- reading ----------------------------------------------------------
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """First value for ``name`` (case-insensitive), or ``default``."""
+        wanted = name.lower()
+        for key, value in self._pairs:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    def __getitem__(self, name: str) -> str:
+        value = self.get(name)
+        if value is None:
+            raise KeyError(name)
+        return value
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def get_all(self, name: str) -> list[str]:
+        """All values for ``name``, in order."""
+        wanted = name.lower()
+        return [value for key, value in self._pairs if key.lower() == wanted]
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """The (name, value) pairs in wire order."""
+        return list(self._pairs)
+
+    def names(self) -> list[str]:
+        return [name for name, _ in self._pairs]
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SoifObject):
+            return NotImplemented
+        return self.template == other.template and self._pairs == other._pairs
+
+    def __repr__(self) -> str:
+        return f"SoifObject({self.template!r}, {len(self._pairs)} attributes)"
+
+    # -- serialization -------------------------------------------------------
+
+    def dump(self) -> str:
+        """Render to SOIF text with correct byte counts."""
+        lines = [f"@{self.template}{{"]
+        for name, value in self._pairs:
+            nbytes = len(value.encode("utf-8"))
+            lines.append(f"{name}{{{nbytes}}}: {value}")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def dump_soif(objects: Iterable[SoifObject]) -> str:
+    """Serialize several SOIF objects as one stream."""
+    return "\n".join(obj.dump() for obj in objects)
+
+
+class _Reader:
+    """Byte-level SOIF reader (byte counts refer to UTF-8 bytes)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def at_end(self) -> bool:
+        self._skip_whitespace()
+        return self._pos >= len(self._data)
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < len(self._data) and self._data[self._pos : self._pos + 1].isspace():
+            self._pos += 1
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise SoifSyntaxError("truncated SOIF value")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def _take_until(self, delimiter: bytes) -> bytes:
+        index = self._data.find(delimiter, self._pos)
+        if index < 0:
+            raise SoifSyntaxError(f"missing {delimiter!r} in SOIF input")
+        chunk = self._data[self._pos : index]
+        self._pos = index + len(delimiter)
+        return chunk
+
+    def read_object(self) -> SoifObject:
+        self._skip_whitespace()
+        if self._take(1) != b"@":
+            raise SoifSyntaxError("SOIF object must start with '@'")
+        template = self._take_until(b"{").strip().decode("utf-8")
+        if not template:
+            raise SoifSyntaxError("empty SOIF template name")
+        pairs: list[tuple[str, str]] = []
+        while True:
+            self._skip_whitespace()
+            if self._pos >= len(self._data):
+                raise SoifSyntaxError(f"unterminated SOIF object @{template}")
+            if self._data[self._pos : self._pos + 1] == b"}":
+                self._pos += 1
+                return SoifObject(template, pairs)
+            name = self._take_until(b"{").strip().decode("utf-8")
+            count_text = self._take_until(b"}").strip().decode("utf-8")
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise SoifSyntaxError(
+                    f"bad byte count {count_text!r} for attribute {name!r}"
+                ) from None
+            if count < 0:
+                raise SoifSyntaxError(
+                    f"negative byte count for attribute {name!r}"
+                )
+            if self._take(1) != b":":
+                raise SoifSyntaxError(f"expected ':' after {name}{{{count}}}")
+            # Exactly one space conventionally follows the colon; accept
+            # its absence for robustness.
+            if self._data[self._pos : self._pos + 1] == b" ":
+                self._pos += 1
+            value = self._take(count).decode("utf-8")
+            pairs.append((name, value))
+
+
+def parse_soif(text: str | bytes) -> SoifObject:
+    """Parse exactly one SOIF object.
+
+    Raises:
+        SoifSyntaxError: on malformed input or trailing non-whitespace.
+    """
+    data = text.encode("utf-8") if isinstance(text, str) else text
+    reader = _Reader(data)
+    obj = reader.read_object()
+    if not reader.at_end():
+        raise SoifSyntaxError("trailing data after SOIF object")
+    return obj
+
+
+def parse_soif_stream(text: str | bytes) -> list[SoifObject]:
+    """Parse a stream of SOIF objects (e.g. SQResults + SQRDocuments)."""
+    data = text.encode("utf-8") if isinstance(text, str) else text
+    reader = _Reader(data)
+    objects: list[SoifObject] = []
+    while not reader.at_end():
+        objects.append(reader.read_object())
+    return objects

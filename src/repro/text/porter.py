@@ -1,0 +1,249 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented in full.
+
+The Basic-1 attribute set's ``stem`` modifier ("no stemming" by default)
+is defined against English stemming; the classic reference algorithm for
+that era — and the one bundled with the engines STARTS federates — is
+Porter's.  This is a faithful implementation of the original five-step
+algorithm, including the m() measure, *o rule and all published suffix
+lists, with no "Porter2" revisions.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "porter_stem"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; ``stem()`` is the only public entry point.
+
+    The implementation follows the structure of the original paper: a
+    word is classified as a sequence of consonant/vowel runs of the form
+    [C](VC)^m[V], and each rule fires only when the measure ``m`` of the
+    stem meets the rule's condition.
+    """
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased first).
+
+        Words of length <= 2 are returned unchanged, as in the original
+        algorithm.
+        """
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- consonant/vowel machinery -------------------------------------
+
+    def _is_consonant(self, word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            if i == 0:
+                return True
+            return not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """The m() measure: number of VC sequences in [C](VC)^m[V]."""
+        m = 0
+        i = 0
+        n = len(stem)
+        # Skip the optional initial consonant run.
+        while i < n and self._is_consonant(stem, i):
+            i += 1
+        while i < n:
+            # Vowel run.
+            while i < n and not self._is_consonant(stem, i):
+                i += 1
+            if i >= n:
+                break
+            # Consonant run closes one VC pair.
+            while i < n and self._is_consonant(stem, i):
+                i += 1
+            m += 1
+        return m
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        if len(word) < 2:
+            return False
+        if word[-1] != word[-2]:
+            return False
+        return self._is_consonant(word, len(word) - 1)
+
+    def _ends_cvc(self, word: str) -> bool:
+        """*o: stem ends CVC where the final C is not w, x or y."""
+        if len(word) < 3:
+            return False
+        if not self._is_consonant(word, len(word) - 3):
+            return False
+        if self._is_consonant(word, len(word) - 2):
+            return False
+        if not self._is_consonant(word, len(word) - 1):
+            return False
+        return word[-1] not in "wxy"
+
+    def _replace(self, word: str, suffix: str, replacement: str, min_m: int) -> str | None:
+        """Replace ``suffix`` with ``replacement`` if m(stem) > min_m.
+
+        Returns the new word, or None if the rule did not fire.
+        """
+        if not word.endswith(suffix):
+            return None
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > min_m:
+            return stem + replacement
+        return word  # Suffix matched but condition failed: stop this step.
+
+    # -- the five steps --------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if self._contains_vowel(stem):
+                word = stem
+                flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_RULES:
+            result = self._replace(word, suffix, replacement, 0)
+            if result is not None:
+                return result
+        return word
+
+    _STEP3_RULES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_RULES:
+            result = self._replace(word, suffix, replacement, 0)
+            if result is not None:
+                return result
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        # "ion" requires the stem to end in s or t.
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+            if stem and stem[-1] in "st":
+                return word
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1:
+                return stem
+            if m == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            word.endswith("l")
+            and self._ends_double_consonant(word)
+            and self._measure(word) > 1
+        ):
+            return word[:-1]
+        return word
+
+
+_SHARED = PorterStemmer()
+
+
+def porter_stem(word: str) -> str:
+    """Stem a single word with a shared :class:`PorterStemmer` instance."""
+    return _SHARED.stem(word)

@@ -1,0 +1,53 @@
+"""Soundex phonetic codes — the Basic-1 ``phonetic`` modifier.
+
+The modifier table in the paper reads "Phonetic — default: no soundex",
+i.e. the recommended phonetic algorithm is classic American Soundex.
+This is the standard algorithm: keep the first letter, map the rest to
+digit classes, collapse adjacent duplicates (including across h/w),
+drop vowels, pad/truncate to four characters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["soundex"]
+
+_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2", "q": "2", "s": "2",
+    "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+
+# h and w are transparent: they do not break a run of same-coded letters.
+_TRANSPARENT = frozenset("hw")
+
+
+def soundex(word: str) -> str:
+    """Return the 4-character Soundex code of ``word`` (e.g. ``"R163"``).
+
+    Non-alphabetic characters are ignored; an empty or fully
+    non-alphabetic input yields ``"0000"``.
+    """
+    # Classic Soundex is defined over the 26 ASCII letters only.
+    letters = [ch for ch in word.lower() if "a" <= ch <= "z"]
+    if not letters:
+        return "0000"
+
+    first = letters[0]
+    code = first.upper()
+    previous = _CODES.get(first, "")
+
+    for ch in letters[1:]:
+        if ch in _TRANSPARENT:
+            continue  # Transparent, and keeps `previous` so duplicates collapse.
+        digit = _CODES.get(ch, "")
+        if digit and digit != previous:
+            code += digit
+            if len(code) == 4:
+                return code
+        previous = digit
+
+    return (code + "000")[:4]

@@ -1,0 +1,74 @@
+"""A light Spanish suffix-stripping stemmer.
+
+STARTS is multilingual: sources advertise, per language, which modifiers
+(including ``stem``) they support.  The paper's running example source
+indexes American English and Spanish documents, so the reproduction
+needs a Spanish stemmer alongside Porter's English one.  This is a
+compact rule-based stemmer in the spirit of Snowball's Spanish stemmer:
+it removes plural endings, then common derivational and verb suffixes,
+longest match first.  It is intentionally lighter than full Snowball —
+the goal is distinct, deterministic per-language stemming behaviour, not
+linguistic perfection.
+"""
+
+from __future__ import annotations
+
+__all__ = ["spanish_stem"]
+
+_VOWELS = "aeiouáéíóúü"
+
+# Derivational suffixes, longest first so the longest match wins.
+_DERIVATIONAL = (
+    "amientos", "imientos", "amiento", "imiento", "aciones", "uciones",
+    "adoras", "adores", "ancias", "logías", "idades", "ativas", "ativos",
+    "antes", "ación", "ución", "adora", "antes", "ancia", "logía",
+    "mente", "idad", "ble", "ista", "oso", "osa", "iva", "ivo",
+)
+
+# Verb suffixes for -ar / -er / -ir conjugations.
+_VERB = (
+    "aríamos", "eríamos", "iríamos", "iéramos", "iésemos",
+    "aremos", "eremos", "iremos", "ábamos", "áramos", "ásemos",
+    "arían", "arías", "erían", "erías", "irían", "irías",
+    "aban", "aran", "asen", "aron", "ando", "iendo",
+    "aría", "ería", "iría", "aste", "iste", "amos", "emos", "imos",
+    "ará", "erá", "irá", "aba", "ada", "ado", "ida", "ido",
+    "ía", "ar", "er", "ir", "as", "es", "an", "en", "ó", "é", "a", "e", "o",
+)
+
+
+def _strip_accents(word: str) -> str:
+    table = str.maketrans("áéíóúü", "aeiouu")
+    return word.translate(table)
+
+
+def _remove_plural(word: str) -> str:
+    if len(word) >= 5 and word.endswith("ces"):
+        return word[:-3] + "z"
+    if len(word) > 4 and word.endswith("es"):
+        return word[:-2]
+    if len(word) > 3 and word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def spanish_stem(word: str) -> str:
+    """Return a light stem for a Spanish ``word`` (lowercased first).
+
+    Words of length <= 3 are returned unchanged (accent-stripped), which
+    keeps short function words stable.
+    """
+    word = word.lower()
+    if len(word) <= 3:
+        return _strip_accents(word)
+    word = _remove_plural(word)
+    for suffix in _DERIVATIONAL:
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            word = word[: len(word) - len(suffix)]
+            break
+    else:
+        for suffix in _VERB:
+            if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+                word = word[: len(word) - len(suffix)]
+                break
+    return _strip_accents(word)

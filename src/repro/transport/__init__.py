@@ -1,0 +1,31 @@
+"""Transport: SOIF over a simulated internet with latency/cost accounting."""
+
+from repro.transport.client import StartsClient
+from repro.transport.filestore import (
+    export_resource,
+    export_source_blobs,
+    register_file_url,
+)
+from repro.transport.http import HttpTransport, StartsHttpServer
+from repro.transport.network import (
+    AccessRecord,
+    HostProfile,
+    SimulatedInternet,
+    TransportError,
+)
+from repro.transport.server import publish_resource, publish_source
+
+__all__ = [
+    "StartsClient",
+    "export_resource",
+    "export_source_blobs",
+    "register_file_url",
+    "HttpTransport",
+    "StartsHttpServer",
+    "AccessRecord",
+    "HostProfile",
+    "SimulatedInternet",
+    "TransportError",
+    "publish_resource",
+    "publish_source",
+]

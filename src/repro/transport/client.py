@@ -1,0 +1,57 @@
+"""Client-side transport: typed fetchers over the simulated internet.
+
+The metasearcher never touches sources directly — it speaks SOIF over
+the network, exactly as a real STARTS client would.  Each method posts
+or fetches a blob and decodes it into the corresponding protocol
+object.
+"""
+
+from __future__ import annotations
+
+from repro.source.sample import SampleResults
+from repro.starts.metadata import SContentSummary, SMetaAttributes, SResource
+from repro.starts.query import SQuery
+from repro.starts.results import SQResults
+from repro.starts.soif import parse_soif
+from repro.transport.network import SimulatedInternet
+
+__all__ = ["StartsClient"]
+
+
+class StartsClient:
+    """A thin, typed STARTS client bound to one network."""
+
+    def __init__(self, internet: SimulatedInternet) -> None:
+        self._internet = internet
+
+    def query(self, query_url: str, query: SQuery) -> SQResults:
+        """POST an @SQuery; decode the @SQResults stream."""
+        body = query.to_soif().dump().encode("utf-8")
+        response = self._internet.post(query_url, body)
+        return SQResults.from_soif_stream(response)
+
+    def fetch_resource(self, resource_url: str) -> SResource:
+        """GET an @SResource blob."""
+        return SResource.from_soif(parse_soif(self._internet.fetch(resource_url)))
+
+    def fetch_metadata(self, metadata_url: str) -> SMetaAttributes:
+        """GET an @SMetaAttributes blob."""
+        return SMetaAttributes.from_soif(parse_soif(self._internet.fetch(metadata_url)))
+
+    def fetch_summary(self, summary_url: str) -> SContentSummary:
+        """GET an @SContentSummary blob."""
+        return SContentSummary.from_soif(parse_soif(self._internet.fetch(summary_url)))
+
+    def fetch_sample_results(self, sample_url: str) -> SampleResults:
+        """GET an @SSampleResults blob."""
+        return SampleResults.from_soif(parse_soif(self._internet.fetch(sample_url)))
+
+    def scan(
+        self, scan_url: str, field: str, start_term: str, count: int = 10
+    ):
+        """POST an @SScanRequest; decode the vocabulary slice."""
+        from repro.source.scan import ScanRequest, ScanResponse
+
+        request = ScanRequest(field, start_term, count)
+        body = request.to_soif().dump().encode("utf-8")
+        return ScanResponse.parse(self._internet.post(scan_url, body))

@@ -1,0 +1,82 @@
+"""File-based export of STARTS blobs.
+
+The paper's running example serves the content summary from
+``ftp://www-db.stanford.edu/cont_sum.txt`` — metadata blobs are plain
+files a source administrator can publish anywhere.  This module writes
+a source's three blobs (metadata attributes, content summary, sample
+results) and a resource's definition to a directory, and registers the
+resulting ``file://`` URLs on a simulated internet so a metasearcher
+can harvest straight from disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.resource.resource import Resource
+from repro.source.source import StartsSource
+from repro.starts.metadata import SResource
+from repro.transport.network import SimulatedInternet
+
+__all__ = ["export_source_blobs", "export_resource", "register_file_url"]
+
+_METADATA_FILE = "meta.soif"
+_SUMMARY_FILE = "cont_sum.txt"
+_SAMPLE_FILE = "sample.soif"
+_RESOURCE_FILE = "resource.soif"
+
+
+def export_source_blobs(source: StartsSource, directory: str | pathlib.Path) -> dict[str, pathlib.Path]:
+    """Write a source's exportable blobs under ``directory``.
+
+    Returns the mapping blob name → written path.  The directory is
+    created if missing; existing files are overwritten (a periodic
+    export job's natural behaviour).
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    written = {
+        "metadata": path / _METADATA_FILE,
+        "summary": path / _SUMMARY_FILE,
+        "sample": path / _SAMPLE_FILE,
+    }
+    written["metadata"].write_text(source.metadata().to_soif().dump())
+    written["summary"].write_text(source.content_summary().to_soif().dump())
+    written["sample"].write_text(source.sample_results().to_soif().dump())
+    return written
+
+
+def export_resource(
+    resource: Resource, directory: str | pathlib.Path
+) -> dict[str, pathlib.Path]:
+    """Export a whole resource: one subdirectory per source plus the
+    @SResource blob whose SourceList points at the on-disk metadata.
+
+    Returns blob name → path, with sources keyed ``<source_id>/meta``.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    written: dict[str, pathlib.Path] = {}
+    source_list = []
+    for source_id in resource.source_ids():
+        source_dir = path / source_id
+        blobs = export_source_blobs(resource.source(source_id), source_dir)
+        for name, blob_path in blobs.items():
+            written[f"{source_id}/{name}"] = blob_path
+        source_list.append((source_id, blobs["metadata"].as_uri()))
+    resource_path = path / _RESOURCE_FILE
+    resource_path.write_text(SResource(source_list=tuple(source_list)).to_soif().dump())
+    written["resource"] = resource_path
+    return written
+
+
+def register_file_url(internet: SimulatedInternet, file_path: str | pathlib.Path) -> str:
+    """Serve one on-disk blob over the simulated internet.
+
+    The file is read lazily per request, so re-exports are picked up
+    without re-registration.  Returns the ``file://`` URL.
+    """
+    path = pathlib.Path(file_path).resolve()
+    url = path.as_uri()
+    internet.register_get(url, lambda: path.read_bytes())
+    return url

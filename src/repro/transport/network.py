@@ -1,0 +1,149 @@
+"""A simulated internet: URL registry with latency and cost accounting.
+
+STARTS deliberately leaves transport open; the reproduction moves SOIF
+blobs through an in-process network that nevertheless behaves like the
+one the paper worries about: some sources are slow, some charge per
+query (§3.3 — "Some of these sources might charge for their use.  Some
+of the sources might have large response times").  Every fetch/post is
+logged with its simulated latency and monetary cost, giving the
+cost-aware source-selection experiments a measurable substrate.
+
+Latency is deterministic: a seeded per-host jitter stream, so
+experiment runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from urllib.parse import urlparse
+
+__all__ = ["HostProfile", "AccessRecord", "SimulatedInternet", "TransportError"]
+
+
+class TransportError(Exception):
+    """Raised for unknown URLs or handler failures."""
+
+
+@dataclass(frozen=True, slots=True)
+class HostProfile:
+    """Performance/cost characteristics of one host.
+
+    Attributes:
+        latency_ms: mean simulated round-trip latency.
+        jitter_ms: uniform jitter added on top (deterministic stream).
+        cost_per_query: monetary cost charged per request to this host.
+    """
+
+    latency_ms: float = 20.0
+    jitter_ms: float = 5.0
+    cost_per_query: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRecord:
+    """One logged network interaction."""
+
+    url: str
+    method: str
+    latency_ms: float
+    cost: float
+
+
+@dataclass
+class _HostState:
+    profile: HostProfile
+    rng: random.Random
+    requests: int = 0
+
+
+class SimulatedInternet:
+    """URL → handler registry with latency/cost simulation.
+
+    Handlers are callables: GET handlers take no arguments and return
+    ``bytes``; POST handlers take the request body (``bytes``) and
+    return ``bytes``.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._get_handlers: dict[str, object] = {}
+        self._post_handlers: dict[str, object] = {}
+        self._hosts: dict[str, _HostState] = {}
+        self.log: list[AccessRecord] = []
+
+    # -- registration ----------------------------------------------------
+
+    def register_host(self, host: str, profile: HostProfile | None = None) -> None:
+        """Declare a host's performance profile (idempotent)."""
+        if host not in self._hosts:
+            # crc32 rather than hash(): Python string hashing is
+            # randomized per process, which would break cross-run
+            # reproducibility of the simulated latencies.
+            digest = zlib.crc32(host.encode("utf-8"))
+            self._hosts[host] = _HostState(
+                profile or HostProfile(),
+                random.Random((self._seed * 2654435761 + digest) & 0xFFFFFFFF),
+            )
+
+    def register_get(self, url: str, handler) -> None:
+        self.register_host(_host_of(url))
+        self._get_handlers[url] = handler
+
+    def register_post(self, url: str, handler) -> None:
+        self.register_host(_host_of(url))
+        self._post_handlers[url] = handler
+
+    # -- traffic ------------------------------------------------------------
+
+    def fetch(self, url: str) -> bytes:
+        """GET a URL; raises :class:`TransportError` if unregistered."""
+        handler = self._get_handlers.get(url)
+        if handler is None:
+            raise TransportError(f"no GET handler for {url!r}")
+        self._account(url, "GET")
+        return handler()
+
+    def post(self, url: str, body: bytes) -> bytes:
+        """POST a body to a URL; raises :class:`TransportError`."""
+        handler = self._post_handlers.get(url)
+        if handler is None:
+            raise TransportError(f"no POST handler for {url!r}")
+        self._account(url, "POST")
+        return handler(body)
+
+    def _account(self, url: str, method: str) -> None:
+        host = _host_of(url)
+        state = self._hosts.get(host)
+        if state is None:
+            self.register_host(host)
+            state = self._hosts[host]
+        jitter = state.rng.uniform(-state.profile.jitter_ms, state.profile.jitter_ms)
+        latency = max(0.0, state.profile.latency_ms + jitter)
+        cost = state.profile.cost_per_query
+        state.requests += 1
+        self.log.append(AccessRecord(url, method, latency, cost))
+
+    # -- accounting --------------------------------------------------------
+
+    def total_latency_ms(self) -> float:
+        return sum(record.latency_ms for record in self.log)
+
+    def total_cost(self) -> float:
+        return sum(record.cost for record in self.log)
+
+    def request_count(self, host: str | None = None) -> int:
+        if host is None:
+            return len(self.log)
+        return sum(1 for record in self.log if _host_of(record.url) == host)
+
+    def reset_log(self) -> None:
+        self.log.clear()
+
+    def known_urls(self) -> list[str]:
+        return sorted(set(self._get_handlers) | set(self._post_handlers))
+
+
+def _host_of(url: str) -> str:
+    return urlparse(url).netloc or url

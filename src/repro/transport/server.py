@@ -1,0 +1,100 @@
+"""Server-side transport bindings: publish sources and resources.
+
+Each source exposes four endpoints under its base URL, matching the
+linkages its metadata advertises:
+
+* ``{base}/query``         — POST an @SQuery, receive the result stream
+* ``{base}/meta``          — GET the @SMetaAttributes blob
+* ``{base}/cont_sum.txt``  — GET the @SContentSummary blob
+* ``{base}/sample``        — GET the @SSampleResults blob
+
+A resource additionally exposes ``{base}/resource`` (GET @SResource)
+and routes queries whose ``Sources`` attribute names sibling sources
+through resource-side duplicate elimination.
+"""
+
+from __future__ import annotations
+
+from repro.resource.resource import Resource
+from repro.source.source import StartsSource
+from repro.starts.query import SQuery
+from repro.starts.soif import parse_soif
+from repro.transport.network import HostProfile, SimulatedInternet
+
+__all__ = ["publish_source", "publish_resource"]
+
+
+def publish_source(
+    internet: SimulatedInternet,
+    source: StartsSource,
+    profile: HostProfile | None = None,
+    resource: Resource | None = None,
+) -> str:
+    """Register a source's endpoints; returns its query URL.
+
+    If ``resource`` is given, queries posted to this source are routed
+    through the resource so the ``Sources`` attribute works.
+    """
+    base = source.base_url
+    host = base.split("//", 1)[-1].split("/", 1)[0]
+    internet.register_host(host, profile)
+
+    def handle_query(body: bytes) -> bytes:
+        query = SQuery.from_soif(parse_soif(body))
+        if resource is not None:
+            results = resource.search(source.source_id, query)
+        else:
+            results = source.search(query)
+        return results.to_soif_stream().encode("utf-8")
+
+    internet.register_post(f"{base}/query", handle_query)
+    internet.register_get(
+        f"{base}/meta", lambda: source.metadata().to_soif().dump().encode("utf-8")
+    )
+    internet.register_get(
+        f"{base}/cont_sum.txt",
+        lambda: source.content_summary().to_soif().dump().encode("utf-8"),
+    )
+    internet.register_get(
+        f"{base}/sample",
+        lambda: source.sample_results().to_soif().dump().encode("utf-8"),
+    )
+
+    def handle_scan(body: bytes) -> bytes:
+        from repro.source.scan import ScanRequest
+
+        request = ScanRequest.from_soif(parse_soif(body))
+        response = source.scan(request.field, request.start_term, request.count)
+        return response.to_soif().dump().encode("utf-8")
+
+    internet.register_post(f"{base}/scan", handle_scan)
+    return f"{base}/query"
+
+
+def publish_resource(
+    internet: SimulatedInternet,
+    resource: Resource,
+    base_url: str,
+    profile: HostProfile | None = None,
+    source_profiles: dict[str, HostProfile] | None = None,
+) -> str:
+    """Register a resource and all of its sources; returns the SResource URL.
+
+    Args:
+        internet: the simulated network.
+        resource: the resource to publish.
+        base_url: where the @SResource blob lives (``{base}/resource``).
+        profile: host profile for the resource's own host.
+        source_profiles: optional per-source-id host profiles.
+    """
+    host = base_url.split("//", 1)[-1].split("/", 1)[0]
+    internet.register_host(host, profile)
+    internet.register_get(
+        f"{base_url}/resource",
+        lambda: resource.describe().to_soif().dump().encode("utf-8"),
+    )
+    for source_id in resource.source_ids():
+        source = resource.source(source_id)
+        source_profile = (source_profiles or {}).get(source_id)
+        publish_source(internet, source, source_profile, resource=resource)
+    return f"{base_url}/resource"

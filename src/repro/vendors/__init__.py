@@ -1,0 +1,27 @@
+"""Simulated heterogeneous search-engine vendors and native syntaxes."""
+
+from repro.vendors.catalog import (
+    VENDORS,
+    VendorProfile,
+    build_vendor_source,
+    vendor_names,
+)
+from repro.vendors.native import (
+    NATIVE_SYNTAXES,
+    InfixSyntax,
+    NativeSyntax,
+    PlusMinusSyntax,
+    SemicolonSyntax,
+)
+
+__all__ = [
+    "VENDORS",
+    "VendorProfile",
+    "build_vendor_source",
+    "vendor_names",
+    "NATIVE_SYNTAXES",
+    "InfixSyntax",
+    "NativeSyntax",
+    "PlusMinusSyntax",
+    "SemicolonSyntax",
+]

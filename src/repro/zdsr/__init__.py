@@ -1,0 +1,34 @@
+"""ZDSR: the Z39.50 profile bridge the paper anticipates (§2, §5).
+
+STARTS filter expressions are "a simple subset of the type-101 queries
+of the Z39.50-1995 standard"; this package makes the subset relation
+executable: PQF (prefix RPN) encoding of STARTS expressions with
+Bib-1/ZDSR attribute numbers, and a gateway that serves PQF queries and
+Explain-style records from any STARTS source.
+"""
+
+from repro.zdsr.bib1 import (
+    RELATION,
+    TRUNCATION,
+    USE,
+    field_for_use,
+    modifier_for_relation,
+    relation_number,
+    use_number,
+)
+from repro.zdsr.gateway import ExplainRecord, ZdsrGateway
+from repro.zdsr.pqf import pqf_to_starts, starts_to_pqf
+
+__all__ = [
+    "RELATION",
+    "TRUNCATION",
+    "USE",
+    "field_for_use",
+    "modifier_for_relation",
+    "relation_number",
+    "use_number",
+    "ExplainRecord",
+    "ZdsrGateway",
+    "pqf_to_starts",
+    "starts_to_pqf",
+]

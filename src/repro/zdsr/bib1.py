@@ -1,0 +1,100 @@
+"""Bib-1/ZDSR attribute mappings for the Z39.50 bridge.
+
+Section 2 of the paper: "the Z39.50 community is designing a profile of
+their Z39.50-1995 standard based on STARTS ... ZDSR, for Z39.50 Profile
+for Simple Distributed Search and Ranked Retrieval."  This module
+records the attribute-number mappings such a profile needs: Basic-1
+fields to Bib-1 *use* attributes (type 1), Basic-1 modifiers to Bib-1
+*relation* attributes (type 2) and *truncation* attributes (type 5).
+
+Registered Bib-1 numbers are used where they exist (Title = 4,
+Author = 1003, Any = 1016, Date/time-last-modified = 1012,
+Body-of-text = 1010); the fields STARTS added (marked *new* in the
+paper's table) take numbers from the private range 5000+, as profiles
+conventionally do.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "USE",
+    "RELATION",
+    "TRUNCATION",
+    "use_number",
+    "field_for_use",
+    "relation_number",
+    "modifier_for_relation",
+]
+
+#: Basic-1 field → Bib-1 use attribute (type 1).
+USE: dict[str, int] = {
+    "title": 4,
+    "author": 1003,
+    "body-of-text": 1010,
+    "date/time-last-modified": 1012,
+    "any": 1016,
+    "linkage": 1032,            # Bib-1 "doc-id"-adjacent; GILS linkage
+    "linkage-type": 5001,       # private range: STARTS-new fields
+    "cross-reference-linkage": 5002,
+    "languages": 54,            # Bib-1 code--language
+    "document-text": 5003,
+    "free-form-text": 5004,
+    "abstract": 62,             # Bib-1 abstract
+}
+
+_USE_REVERSE = {number: name for name, number in USE.items()}
+
+#: Comparison modifiers → Bib-1 relation attribute (type 2).
+RELATION: dict[str, int] = {
+    "<": 1,
+    "<=": 2,
+    "=": 3,
+    ">=": 4,
+    ">": 5,
+    "!=": 6,
+    "phonetic": 100,  # Bib-1 relation 100 = phonetic
+    "stem": 101,      # Bib-1 relation 101 = stem
+    "thesaurus": 102,  # Bib-1 relation 102 = relevance; ZDSR reuses it
+    "case-sensitive": 5100,  # private: no Bib-1 equivalent
+}
+
+_RELATION_REVERSE = {number: name for name, number in RELATION.items()}
+
+#: Truncation modifiers → Bib-1 truncation attribute (type 5).
+TRUNCATION: dict[str, int] = {
+    "right-truncation": 1,
+    "left-truncation": 2,
+}
+
+_TRUNCATION_REVERSE = {number: name for name, number in TRUNCATION.items()}
+
+
+def use_number(field_name: str) -> int:
+    """The type-1 attribute value for a Basic-1 field.
+
+    Raises:
+        KeyError: for fields outside the ZDSR mapping.
+    """
+    return USE[field_name]
+
+
+def field_for_use(number: int) -> str:
+    """Inverse of :func:`use_number`."""
+    return _USE_REVERSE[number]
+
+
+def relation_number(modifier_name: str) -> int | None:
+    """Type-2 value for a modifier, or None if it maps to truncation."""
+    return RELATION.get(modifier_name)
+
+
+def modifier_for_relation(number: int) -> str:
+    return _RELATION_REVERSE[number]
+
+
+def truncation_number(modifier_name: str) -> int | None:
+    return TRUNCATION.get(modifier_name)
+
+
+def modifier_for_truncation(number: int) -> str:
+    return _TRUNCATION_REVERSE[number]

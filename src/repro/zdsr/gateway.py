@@ -1,0 +1,110 @@
+"""The ZDSR gateway: Z39.50-style access to a STARTS source.
+
+The bridge the paper anticipates (§2, §5): a Z39.50 client speaks PQF
+type-101 queries and expects Explain-like capability records; the
+gateway translates both onto a STARTS source.  Like ZDSR itself, the
+gateway is deliberately thin — it demonstrates that the STARTS data
+model is a clean subset of Z39.50-1995 plus the ranked-retrieval
+statistics Z39.50 lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.source.source import StartsSource
+from repro.starts.query import SQuery
+from repro.starts.results import SQResults
+from repro.zdsr import bib1
+from repro.zdsr.pqf import pqf_to_starts, starts_to_pqf
+
+__all__ = ["ExplainRecord", "ZdsrGateway"]
+
+
+@dataclass(frozen=True)
+class ExplainRecord:
+    """A minimal Z39.50 Explain-style capability record.
+
+    Carries what a ZDSR client needs to configure itself: the supported
+    use/relation/truncation attribute numbers and the ranked-retrieval
+    extensions STARTS adds (score range, ranking algorithm id).
+    """
+
+    source_id: str
+    use_attributes: tuple[int, ...]
+    relation_attributes: tuple[int, ...]
+    truncation_attributes: tuple[int, ...]
+    supports_ranked_retrieval: bool
+    score_range: tuple[float, float]
+    ranking_algorithm_id: str
+
+
+class ZdsrGateway:
+    """Wraps one STARTS source behind a PQF/Explain interface."""
+
+    def __init__(self, source: StartsSource) -> None:
+        self._source = source
+
+    def explain(self) -> ExplainRecord:
+        """Build the Explain record from the source's MBasic-1 metadata."""
+        metadata = self._source.metadata()
+        uses = []
+        for ref, _ in metadata.fields_supported:
+            number = bib1.USE.get(ref.name)
+            if number is not None:
+                uses.append(number)
+        relations = []
+        truncations = []
+        for ref, _ in metadata.modifiers_supported:
+            relation = bib1.relation_number(ref.name)
+            if relation is not None:
+                relations.append(relation)
+            truncation = bib1.truncation_number(ref.name)
+            if truncation is not None:
+                truncations.append(truncation)
+        return ExplainRecord(
+            source_id=metadata.source_id,
+            use_attributes=tuple(sorted(uses)),
+            relation_attributes=tuple(sorted(relations)),
+            truncation_attributes=tuple(sorted(truncations)),
+            supports_ranked_retrieval=metadata.supports_ranking(),
+            score_range=metadata.score_range,
+            ranking_algorithm_id=metadata.ranking_algorithm_id,
+        )
+
+    def search_pqf(
+        self,
+        pqf: str,
+        max_documents: int = 20,
+        ranked: bool = False,
+    ) -> SQResults:
+        """Evaluate a PQF query at the wrapped source.
+
+        Args:
+            pqf: the type-101 query in prefix notation.
+            max_documents: result-set cap.
+            ranked: if True, the query is submitted as a ranking
+                expression (ZDSR's ranked-retrieval mode); otherwise as
+                a Boolean filter.
+        """
+        expression = pqf_to_starts(pqf)
+        if ranked:
+            query = SQuery(
+                ranking_expression=expression, max_number_documents=max_documents
+            )
+        else:
+            query = SQuery(
+                filter_expression=expression, max_number_documents=max_documents
+            )
+        return self._source.search(query)
+
+    def actual_pqf(self, results: SQResults) -> str | None:
+        """The actual query the source processed, rendered back as PQF."""
+        actual = (
+            results.actual_filter_expression
+            if results.actual_filter_expression is not None
+            else results.actual_ranking_expression
+        )
+        if actual is None:
+            return None
+        return starts_to_pqf(actual)

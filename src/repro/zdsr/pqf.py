@@ -1,0 +1,153 @@
+"""PQF (Prefix Query Format) encoding of STARTS expressions.
+
+Z39.50 type-101 queries are RPN trees; their standard textual notation
+is PQF: ``@and @attr 1=1003 "Ullman" @attr 1=4 @attr 2=101 "databases"``.
+This module converts between the STARTS AST (which §4.1.1 says is "a
+simple subset of the type-101 queries") and PQF, using the ZDSR
+attribute mappings of :mod:`repro.zdsr.bib1`.
+
+Supported constructs — exactly the Basic-1 operator set:
+
+* ``@and`` / ``@or`` / ``@not`` (binary; n-ary STARTS nodes are folded
+  left-associatively, and ``@not`` is Z39.50's and-not);
+* ``@prox exclusion distance ordered relation known-unit 2`` with the
+  two operands following (word unit = 2, relation <= = 2);
+* ``@attr`` lists on terms for use/relation/truncation attributes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.starts.ast import SAnd, SAndNot, SList, SNode, SOr, SProx, STerm
+from repro.starts.attributes import FieldRef, ModifierRef
+from repro.starts.errors import QuerySyntaxError
+from repro.starts.lstring import LString
+from repro.zdsr import bib1
+
+__all__ = ["starts_to_pqf", "pqf_to_starts"]
+
+
+def starts_to_pqf(node: SNode) -> str:
+    """Render a STARTS expression as a PQF string.
+
+    Raises:
+        KeyError: if a field has no ZDSR attribute number.
+    """
+    if isinstance(node, STerm):
+        return _term_to_pqf(node)
+    if isinstance(node, (SAnd, SOr)):
+        operator = "@and" if isinstance(node, SAnd) else "@or"
+        rendered = starts_to_pqf(node.children[0])
+        for child in node.children[1:]:
+            rendered = f"{operator} {rendered} {starts_to_pqf(child)}"
+        return rendered
+    if isinstance(node, SAndNot):
+        return f"@not {starts_to_pqf(node.positive)} {starts_to_pqf(node.negative)}"
+    if isinstance(node, SProx):
+        ordered = 1 if node.ordered else 0
+        return (
+            f"@prox 0 {node.distance} {ordered} 2 k 2 "
+            f"{_term_to_pqf(node.left)} {_term_to_pqf(node.right)}"
+        )
+    if isinstance(node, SList):
+        # ZDSR represents flat ranking lists as a chain of @or with the
+        # relevance relation; the simple subset folds to @or.
+        if len(node.children) == 1:
+            return starts_to_pqf(node.children[0])
+        rendered = starts_to_pqf(node.children[0])
+        for child in node.children[1:]:
+            rendered = f"@or {rendered} {starts_to_pqf(child)}"
+        return rendered
+    raise TypeError(f"cannot render {type(node).__name__} as PQF")
+
+
+def _term_to_pqf(term: STerm) -> str:
+    attrs: list[str] = []
+    if term.field is not None:
+        attrs.append(f"@attr 1={bib1.use_number(term.field.name)}")
+    for modifier in term.modifiers:
+        relation = bib1.relation_number(modifier.name)
+        if relation is not None:
+            attrs.append(f"@attr 2={relation}")
+            continue
+        truncation = bib1.truncation_number(modifier.name)
+        if truncation is not None:
+            attrs.append(f"@attr 5={truncation}")
+    quoted = '"' + term.lstring.text.replace('"', '\\"') + '"'
+    return " ".join(attrs + [quoted])
+
+
+_PQF_TOKEN = re.compile(r'"(?:[^"\\]|\\.)*"|\S+')
+
+
+def pqf_to_starts(text: str) -> SNode:
+    """Parse a PQF string back into a STARTS expression.
+
+    Raises:
+        QuerySyntaxError: on malformed PQF or unknown attributes.
+    """
+    tokens = _PQF_TOKEN.findall(text)
+    if not tokens:
+        raise QuerySyntaxError("empty PQF query")
+    node, position = _parse(tokens, 0)
+    if position != len(tokens):
+        raise QuerySyntaxError(f"trailing PQF tokens: {tokens[position:]}")
+    return node
+
+
+def _parse(tokens: list[str], position: int) -> tuple[SNode, int]:
+    if position >= len(tokens):
+        raise QuerySyntaxError("PQF query ended unexpectedly")
+    token = tokens[position]
+    if token in ("@and", "@or", "@not"):
+        left, position = _parse(tokens, position + 1)
+        right, position = _parse(tokens, position)
+        if token == "@and":
+            return SAnd((left, right)), position
+        if token == "@or":
+            return SOr((left, right)), position
+        return SAndNot(left, right), position
+    if token == "@prox":
+        if position + 6 >= len(tokens):
+            raise QuerySyntaxError("@prox needs six parameters")
+        # exclusion distance ordered relation which-code unit
+        distance = int(tokens[position + 2])
+        ordered = tokens[position + 3] == "1"
+        left, after_left = _parse(tokens, position + 7)
+        right, after_right = _parse(tokens, after_left)
+        if not isinstance(left, STerm) or not isinstance(right, STerm):
+            raise QuerySyntaxError("@prox operands must be terms")
+        return SProx(left, right, distance, ordered), after_right
+    return _parse_term(tokens, position)
+
+
+def _parse_term(tokens: list[str], position: int) -> tuple[STerm, int]:
+    field: FieldRef | None = None
+    modifiers: list[ModifierRef] = []
+    while position < len(tokens) and tokens[position] == "@attr":
+        if position + 1 >= len(tokens):
+            raise QuerySyntaxError("@attr needs type=value")
+        spec = tokens[position + 1]
+        try:
+            attr_type, value = spec.split("=")
+            attr_type_num, value_num = int(attr_type), int(value)
+        except ValueError:
+            raise QuerySyntaxError(f"bad @attr spec: {spec!r}") from None
+        if attr_type_num == 1:
+            field = FieldRef(bib1.field_for_use(value_num))
+        elif attr_type_num == 2:
+            modifiers.append(ModifierRef(bib1.modifier_for_relation(value_num)))
+        elif attr_type_num == 5:
+            modifiers.append(ModifierRef(bib1.modifier_for_truncation(value_num)))
+        else:
+            raise QuerySyntaxError(f"unsupported @attr type: {attr_type_num}")
+        position += 2
+    if position >= len(tokens):
+        raise QuerySyntaxError("PQF term without a search string")
+    raw = tokens[position]
+    if raw.startswith('"'):
+        word = raw[1:-1].replace('\\"', '"')
+    else:
+        word = raw
+    return STerm(LString(word), field, tuple(modifiers)), position + 1

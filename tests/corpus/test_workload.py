@@ -1,0 +1,95 @@
+"""Query workloads and the containment relevance oracle."""
+
+import pytest
+
+from repro.corpus.generator import CollectionSpec, generate_collection
+from repro.corpus.workload import build_workload
+
+
+@pytest.fixture(scope="module")
+def collections():
+    return {
+        "DB": generate_collection(
+            CollectionSpec(name="DB", topics={"databases": 1.0}, size=30, seed=1)
+        ),
+        "Med": generate_collection(
+            CollectionSpec(name="Med", topics={"medicine": 1.0}, size=30, seed=2)
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def workload(collections):
+    return build_workload(collections, n_queries=20, seed=7)
+
+
+class TestGeneration:
+    def test_requested_count(self, workload):
+        assert len(workload.queries) == 20
+
+    def test_every_query_has_relevant_documents(self, workload):
+        for query in workload.queries:
+            assert query.relevant
+
+    def test_deterministic(self, collections):
+        a = build_workload(collections, n_queries=5, seed=3)
+        b = build_workload(collections, n_queries=5, seed=3)
+        assert [q.terms for q in a.queries] == [q.terms for q in b.queries]
+
+    def test_term_count_bounds(self, collections):
+        workload = build_workload(
+            collections, n_queries=10, terms_per_query=(2, 2), seed=5
+        )
+        assert all(len(q.terms) == 2 for q in workload.queries)
+
+    def test_empty_collections_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload({}, n_queries=1)
+
+
+class TestOracle:
+    def test_containment_semantics(self, workload, collections):
+        """A linkage is relevant iff its tokenized body contains every
+        query term."""
+        from repro.text.tokenize import UnicodeTokenizer
+
+        tokenizer = UnicodeTokenizer()
+        query = workload.queries[0]
+        all_docs = {
+            doc.linkage: doc for docs in collections.values() for doc in docs
+        }
+        for linkage in query.relevant:
+            body_words = set(tokenizer.words(all_docs[linkage].body))
+            assert set(query.terms) <= body_words
+
+    def test_relevant_by_source_sums_to_total(self, workload):
+        for query in workload.queries:
+            assert sum(query.relevant_by_source.values()) == len(query.relevant)
+
+
+class TestQueryConversion:
+    def test_squery_shape(self, workload):
+        squery = workload.queries[0].to_squery(max_documents=5)
+        squery.validate()
+        assert squery.max_number_documents == 5
+        texts = [t.lstring.text for t in squery.ranking_expression.terms()]
+        assert tuple(texts) == workload.queries[0].terms
+
+    def test_engine_query_shape(self, workload):
+        engine_query = workload.queries[0].to_engine_query()
+        assert [t.text for t in engine_query.terms()] == list(
+            workload.queries[0].terms
+        )
+
+
+class TestReferenceRanking:
+    def test_reference_ranking_nonempty(self, workload):
+        ranking = workload.reference_ranking(workload.queries[0])
+        assert ranking
+
+    def test_reference_engine_holds_all_documents(self, workload, collections):
+        total = sum(len(docs) for docs in collections.values())
+        assert workload.reference_engine().document_count == total
+
+    def test_reference_engine_cached(self, workload):
+        assert workload.reference_engine() is workload.reference_engine()

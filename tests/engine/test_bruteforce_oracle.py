@@ -1,0 +1,126 @@
+"""Property test: the engine's Boolean evaluator vs. a brute-force oracle.
+
+Hypothesis generates small random collections and random filter
+expressions; a naive evaluator (re-tokenize every document per query,
+check the condition directly) defines the ground truth.  Any
+disagreement is an index/evaluator bug.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.query import AND, AND_NOT, OR, BooleanQuery, ProxQuery, TermQuery
+from repro.engine.search import SearchEngine
+from repro.text.stopwords import ENGLISH_STOP_WORDS
+
+_VOCAB = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+_documents = st.lists(
+    st.lists(st.sampled_from(_VOCAB), min_size=1, max_size=8),
+    min_size=1,
+    max_size=6,
+)
+
+_terms = st.sampled_from(_VOCAB)
+
+
+@st.composite
+def filter_queries(draw, depth=2):
+    if depth == 0:
+        return TermQuery(F.BODY_OF_TEXT, draw(_terms))
+    kind = draw(st.sampled_from(["term", "and", "or", "and-not", "prox"]))
+    if kind == "term":
+        return TermQuery(F.BODY_OF_TEXT, draw(_terms))
+    if kind == "prox":
+        return ProxQuery(
+            TermQuery(F.BODY_OF_TEXT, draw(_terms)),
+            TermQuery(F.BODY_OF_TEXT, draw(_terms)),
+            draw(st.integers(0, 3)),
+            draw(st.booleans()),
+        )
+    left = draw(filter_queries(depth=depth - 1))
+    right = draw(filter_queries(depth=depth - 1))
+    if kind == "and":
+        return BooleanQuery(AND, (left, right))
+    if kind == "or":
+        return BooleanQuery(OR, (left, right))
+    return BooleanQuery(AND_NOT, (left, right))
+
+
+def _oracle(query, words_by_doc):
+    """Naive evaluation over the token lists."""
+    if isinstance(query, TermQuery):
+        return {
+            doc_id
+            for doc_id, words in words_by_doc.items()
+            if query.text in words
+        }
+    if isinstance(query, BooleanQuery):
+        left = _oracle(query.children[0], words_by_doc)
+        right = _oracle(query.children[1], words_by_doc)
+        if query.operator == AND:
+            return left & right
+        if query.operator == OR:
+            return left | right
+        return left - right
+    if isinstance(query, ProxQuery):
+        matched = set()
+        for doc_id, words in words_by_doc.items():
+            positions_left = [i for i, w in enumerate(words) if w == query.left.text]
+            positions_right = [i for i, w in enumerate(words) if w == query.right.text]
+            for i in positions_left:
+                for j in positions_right:
+                    if i == j:
+                        continue
+                    gap = abs(j - i) - 1
+                    if gap > query.distance:
+                        continue
+                    if query.ordered and j < i:
+                        continue
+                    matched.add(doc_id)
+        return matched
+    raise TypeError(type(query))
+
+
+@settings(max_examples=150, deadline=None)
+@given(_documents, filter_queries())
+def test_filter_evaluation_matches_bruteforce(doc_words, query):
+    assert not any(
+        ENGLISH_STOP_WORDS.is_stop_word(word) for word in _VOCAB
+    ), "vocabulary must avoid stop words for the oracle to be exact"
+
+    engine = SearchEngine()
+    words_by_doc = {}
+    for index, words in enumerate(doc_words):
+        engine.add(
+            Document(f"http://x/{index}", {F.BODY_OF_TEXT: " ".join(words)})
+        )
+        words_by_doc[index] = words
+
+    assert engine.evaluate_filter(query) == _oracle(query, words_by_doc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_documents, st.lists(_terms, min_size=1, max_size=3, unique=True))
+def test_ranking_candidates_match_term_containment(doc_words, terms):
+    """A list-ranking query scores exactly the documents containing at
+    least one query term (with positive scores)."""
+    from repro.engine.query import ListQuery
+
+    engine = SearchEngine()
+    words_by_doc = {}
+    for index, words in enumerate(doc_words):
+        engine.add(Document(f"http://x/{index}", {F.BODY_OF_TEXT: " ".join(words)}))
+        words_by_doc[index] = set(words)
+
+    query = ListQuery(tuple(TermQuery(F.BODY_OF_TEXT, t) for t in terms))
+    hits = engine.search(ranking_query=query)
+    scored = {hit.doc_id for hit in hits}
+    expected = {
+        doc_id
+        for doc_id, words in words_by_doc.items()
+        if words & set(terms)
+    }
+    assert scored == expected
+    assert all(hit.score > 0 for hit in hits)

@@ -1,0 +1,103 @@
+"""Modifier-aware term matching (stem, phonetic, truncation, thesaurus)."""
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.query import TermQuery
+from repro.engine.search import SearchEngine
+
+
+def engine_with(*bodies: str) -> SearchEngine:
+    engine = SearchEngine()
+    for index, body in enumerate(bodies):
+        engine.add(
+            Document(f"http://x/{index}", {F.TITLE: "t", F.BODY_OF_TEXT: body})
+        )
+    return engine
+
+
+def expand(engine: SearchEngine, text: str, *modifiers: str, field=F.BODY_OF_TEXT):
+    term = TermQuery(field, text, modifiers=frozenset(modifiers))
+    return engine.matcher.expand(term)
+
+
+class TestExactMatching:
+    def test_present_term(self):
+        engine = engine_with("distributed databases")
+        assert expand(engine, "databases") == {F.BODY_OF_TEXT: {"databases"}}
+
+    def test_absent_term_empty(self):
+        engine = engine_with("distributed databases")
+        assert expand(engine, "missing") == {}
+
+    def test_any_field_fans_out(self):
+        engine = SearchEngine()
+        engine.add(
+            Document("http://x/0", {F.TITLE: "databases", F.BODY_OF_TEXT: "systems"})
+        )
+        matches = expand(engine, "databases", field=F.ANY)
+        assert F.TITLE in matches
+        assert F.BODY_OF_TEXT not in matches
+
+
+class TestStem:
+    def test_stem_matches_morphological_variants(self):
+        """Example 2: (title stem "databases") matches "database"."""
+        engine = engine_with("the database survey", "databases everywhere")
+        matches = expand(engine, "databases", "stem")
+        assert matches[F.BODY_OF_TEXT] == {"database", "databases"}
+
+    def test_stem_map_rebuilds_after_new_documents(self):
+        engine = engine_with("databases")
+        assert expand(engine, "databases", "stem")[F.BODY_OF_TEXT] == {"databases"}
+        engine.add(Document("http://x/9", {F.BODY_OF_TEXT: "database"}))
+        assert expand(engine, "databases", "stem")[F.BODY_OF_TEXT] == {
+            "database",
+            "databases",
+        }
+
+    def test_stem_hits_stemmed_index_directly(self):
+        from repro.engine.ranking import CosineTfIdf
+        from repro.text.analysis import Analyzer
+
+        engine = SearchEngine(analyzer=Analyzer(stem=True), ranking=CosineTfIdf())
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "databases"}))
+        matches = expand(engine, "database", "stem")
+        assert matches[F.BODY_OF_TEXT] == {"databas"}
+
+
+class TestPhonetic:
+    def test_soundex_equivalents_match(self):
+        engine = engine_with("robert writes", "rupert reads")
+        matches = expand(engine, "robert", "phonetic")
+        assert matches[F.BODY_OF_TEXT] == {"robert", "rupert"}
+
+
+class TestTruncation:
+    def test_right_truncation_is_prefix(self):
+        engine = engine_with("data database databases datum")
+        matches = expand(engine, "data", "right-truncation")
+        # "datum" shares only "dat", not the full "data" prefix.
+        assert matches[F.BODY_OF_TEXT] == {"data", "database", "databases"}
+
+    def test_left_truncation_is_suffix(self):
+        engine = engine_with("bases databases cases")
+        matches = expand(engine, "bases", "left-truncation")
+        assert matches[F.BODY_OF_TEXT] == {"bases", "databases"}
+
+
+class TestThesaurus:
+    def test_synonyms_expand_when_present(self):
+        engine = engine_with("the datastore holds data")
+        matches = expand(engine, "database", "thesaurus")
+        assert "datastore" in matches[F.BODY_OF_TEXT]
+
+    def test_absent_synonyms_not_invented(self):
+        engine = engine_with("nothing relevant here")
+        assert expand(engine, "database", "thesaurus") == {}
+
+
+class TestCombinedModifiers:
+    def test_stem_and_phonetic_union(self):
+        engine = engine_with("databases robert")
+        matches = expand(engine, "database", "stem", "phonetic")
+        assert "databases" in matches[F.BODY_OF_TEXT]

@@ -1,0 +1,102 @@
+"""Metadata-valued Basic-1 fields: linkage, linkage-type,
+cross-reference-linkage, languages."""
+
+import pytest
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.query import BooleanQuery, TermQuery
+from repro.engine.search import SearchEngine
+
+
+@pytest.fixture
+def engine():
+    e = SearchEngine()
+    e.add(Document(
+        "http://a.org/paper.ps",
+        {
+            F.TITLE: "First",
+            F.BODY_OF_TEXT: "databases",
+            F.LINKAGE_TYPE: "application/postscript",
+            F.CROSS_REFERENCE_LINKAGE: "http://b.org/other.html http://c.org/third.pdf",
+            F.LANGUAGES: "en-US es",
+        },
+    ))
+    e.add(Document(
+        "http://b.org/other.html",
+        {
+            F.TITLE: "Second",
+            F.BODY_OF_TEXT: "networks",
+            F.LINKAGE_TYPE: "text/html",
+            F.LANGUAGES: "en-US",
+        },
+    ))
+    return e
+
+
+def t(text, field):
+    return TermQuery(field, text)
+
+
+class TestLinkage:
+    def test_exact_url_match(self, engine):
+        assert engine.evaluate_filter(t("http://a.org/paper.ps", F.LINKAGE)) == {0}
+
+    def test_no_partial_url_match(self, engine):
+        assert engine.evaluate_filter(t("paper.ps", F.LINKAGE)) == set()
+
+
+class TestLinkageType:
+    def test_mime_type_match(self, engine):
+        assert engine.evaluate_filter(t("text/html", F.LINKAGE_TYPE)) == {1}
+        assert engine.evaluate_filter(
+            t("application/postscript", F.LINKAGE_TYPE)
+        ) == {0}
+
+    def test_case_insensitive(self, engine):
+        assert engine.evaluate_filter(t("TEXT/HTML", F.LINKAGE_TYPE)) == {1}
+
+
+class TestCrossReferenceLinkage:
+    def test_matches_any_listed_url(self, engine):
+        field = F.CROSS_REFERENCE_LINKAGE
+        assert engine.evaluate_filter(t("http://b.org/other.html", field)) == {0}
+        assert engine.evaluate_filter(t("http://c.org/third.pdf", field)) == {0}
+
+    def test_documents_without_the_field_excluded(self, engine):
+        assert engine.evaluate_filter(
+            t("http://a.org/paper.ps", F.CROSS_REFERENCE_LINKAGE)
+        ) == set()
+
+
+class TestLanguages:
+    def test_language_tag_match(self, engine):
+        assert engine.evaluate_filter(t("es", F.LANGUAGES)) == {0}
+        assert engine.evaluate_filter(t("en-US", F.LANGUAGES)) == {0, 1}
+
+    def test_falls_back_to_document_language(self):
+        engine = SearchEngine()
+        engine.add(
+            Document("http://x", {F.BODY_OF_TEXT: "datos"}, language="es")
+        )
+        assert engine.evaluate_filter(t("es", F.LANGUAGES)) == {0}
+
+
+class TestComposition:
+    def test_metadata_field_in_boolean_query(self, engine):
+        query = BooleanQuery(
+            "and",
+            (t("en-US", F.LANGUAGES), t("databases", F.BODY_OF_TEXT)),
+        )
+        assert engine.evaluate_filter(query) == {0}
+
+    def test_via_starts_source(self, engine):
+        """The whole path: a STARTS query on the languages field."""
+        from repro.source import StartsSource
+        from repro.starts import SQuery, parse_expression
+
+        source = StartsSource("Meta", [])
+        source.engine = engine
+        query = SQuery(filter_expression=parse_expression('(languages "es")'))
+        results = source.search(query)
+        assert [d.linkage for d in results.documents] == ["http://a.org/paper.ps"]

@@ -1,0 +1,111 @@
+"""Engine persistence: save/load round trips and config guards."""
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.engine import fields as F
+from repro.engine.persistence import PersistenceError, load_engine, save_engine
+from repro.engine.query import BooleanQuery, ListQuery, ProxQuery, TermQuery
+from repro.engine.ranking import Bm25
+from repro.engine.search import SearchEngine
+from repro.text.analysis import Analyzer
+
+
+def build_engine(**analyzer_kwargs):
+    engine = SearchEngine(analyzer=Analyzer(**analyzer_kwargs))
+    engine.add_all(source1_documents())
+    return engine
+
+
+def t(text, field=F.BODY_OF_TEXT, **kwargs):
+    return TermQuery(field, text, **kwargs)
+
+
+class TestRoundTrip:
+    def test_search_results_identical(self, tmp_path):
+        original = build_engine()
+        path = tmp_path / "index.json"
+        save_engine(original, path)
+        restored = load_engine(SearchEngine(), path)
+
+        queries = [
+            (t("databases"), None),
+            (BooleanQuery("and", (t("distributed"), t("databases"))), None),
+            (None, ListQuery((t("distributed"), t("databases")))),
+            (ProxQuery(t("deductive"), t("databases"), 1, True), None),
+        ]
+        for filter_query, ranking_query in queries:
+            assert original.search(filter_query, ranking_query) == restored.search(
+                filter_query, ranking_query
+            )
+
+    def test_documents_preserved(self, tmp_path):
+        original = build_engine()
+        path = tmp_path / "index.json"
+        save_engine(original, path)
+        restored = load_engine(SearchEngine(), path)
+        assert restored.document_count == original.document_count
+        for doc_id in original.store.ids():
+            assert restored.store[doc_id] == original.store[doc_id]
+            assert restored.store.token_count(doc_id) == original.store.token_count(
+                doc_id
+            )
+
+    def test_summary_statistics_preserved(self, tmp_path):
+        original = build_engine()
+        path = tmp_path / "index.json"
+        save_engine(original, path)
+        restored = load_engine(SearchEngine(), path)
+        assert restored.index.summary_sections() == original.index.summary_sections()
+
+    def test_modifier_lookups_work_after_load(self, tmp_path):
+        original = build_engine()
+        path = tmp_path / "index.json"
+        save_engine(original, path)
+        restored = load_engine(SearchEngine(), path)
+        stemmed = t("databases", modifiers=frozenset({"stem"}))
+        assert restored.evaluate_filter(stemmed) == original.evaluate_filter(stemmed)
+
+    def test_stemming_engine_round_trip(self, tmp_path):
+        original = SearchEngine(analyzer=Analyzer(stem=True))
+        original.add_all(source1_documents())
+        path = tmp_path / "stem.json"
+        save_engine(original, path)
+        restored = load_engine(SearchEngine(analyzer=Analyzer(stem=True)), path)
+        query = t("database")  # stems to "databas" in both engines
+        assert restored.evaluate_filter(query) == original.evaluate_filter(query)
+
+
+class TestGuards:
+    def test_analyzer_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        save_engine(build_engine(), path)
+        with pytest.raises(PersistenceError, match="analyzer mismatch"):
+            load_engine(SearchEngine(analyzer=Analyzer(stem=True)), path)
+
+    def test_nonempty_engine_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        save_engine(build_engine(), path)
+        target = build_engine()
+        with pytest.raises(PersistenceError, match="empty"):
+            load_engine(target, path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "index.json"
+        save_engine(build_engine(), path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="version"):
+            load_engine(SearchEngine(), path)
+
+    def test_ranking_config_is_not_serialized(self, tmp_path):
+        """Ranking is code: a BM25 engine can serve a saved index as
+        long as the analyzer matches."""
+        path = tmp_path / "index.json"
+        save_engine(build_engine(), path)
+        restored = load_engine(SearchEngine(ranking=Bm25()), path)
+        hits = restored.search(ranking_query=ListQuery((t("databases"),)))
+        assert hits

@@ -1,0 +1,123 @@
+"""Ranking algorithms: ranges, monotonicity, and vendor quirks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.ranking import (
+    RANKING_ALGORITHMS,
+    Bm25,
+    CosineTfIdf,
+    InqueryScorer,
+    PivotedCosine,
+    ScaledCosine,
+)
+
+ALGORITHMS = [CosineTfIdf(), Bm25(), InqueryScorer(), ScaledCosine(), PivotedCosine()]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.algorithm_id)
+class TestCommonProperties:
+    def test_zero_tf_scores_zero(self, algorithm):
+        assert algorithm.term_weight(0, 5, 100, 50, 50.0) == 0.0
+
+    def test_weight_monotonic_in_tf(self, algorithm):
+        low = algorithm.term_weight(1, 5, 100, 50, 50.0)
+        high = algorithm.term_weight(10, 5, 100, 50, 50.0)
+        assert high > low
+
+    def test_rarer_terms_weigh_more(self, algorithm):
+        rare = algorithm.term_weight(3, 2, 1000, 50, 50.0)
+        common = algorithm.term_weight(3, 500, 1000, 50, 50.0)
+        assert rare > common
+
+    def test_weight_non_negative(self, algorithm):
+        assert algorithm.term_weight(3, 999, 1000, 50, 50.0) >= 0.0
+
+    def test_declared_in_registry(self, algorithm):
+        assert RANKING_ALGORITHMS[algorithm.algorithm_id] is type(algorithm)
+
+
+class TestCosine:
+    def test_score_range_is_unit_interval(self):
+        assert CosineTfIdf().score_range == (0.0, 1.0)
+
+    def test_combined_score_below_one(self):
+        algorithm = CosineTfIdf()
+        weights = [(1.0, algorithm.term_weight(50, 1, 1000, 10, 50.0))] * 10
+        assert algorithm.combine(weights) < 1.0
+
+    def test_longer_documents_dampened(self):
+        algorithm = CosineTfIdf()
+        short = algorithm.term_weight(3, 5, 100, 10, 50.0)
+        long_ = algorithm.term_weight(3, 5, 100, 1000, 50.0)
+        assert short > long_
+
+
+class TestBm25:
+    def test_unbounded_range(self):
+        assert Bm25().score_range == (0.0, math.inf)
+
+    def test_tf_saturation(self):
+        """BM25's hallmark: the marginal gain of extra occurrences shrinks."""
+        algorithm = Bm25()
+        gain_early = algorithm.term_weight(2, 5, 100, 50, 50.0) - algorithm.term_weight(
+            1, 5, 100, 50, 50.0
+        )
+        gain_late = algorithm.term_weight(20, 5, 100, 50, 50.0) - algorithm.term_weight(
+            19, 5, 100, 50, 50.0
+        )
+        assert gain_early > gain_late
+
+    def test_very_common_terms_stay_positive(self):
+        assert Bm25().term_weight(3, 99, 100, 50, 50.0) > 0.0
+
+
+class TestInquery:
+    def test_beliefs_live_in_belief_range(self):
+        algorithm = InqueryScorer()
+        weight = algorithm.term_weight(5, 3, 100, 50, 50.0)
+        assert 0.4 <= weight <= 1.0
+
+    def test_combine_is_weighted_mean(self):
+        algorithm = InqueryScorer()
+        assert algorithm.combine([(1.0, 0.6), (1.0, 0.8)]) == pytest.approx(0.7)
+
+    def test_combine_respects_query_weights(self):
+        algorithm = InqueryScorer()
+        tilted = algorithm.combine([(0.9, 0.9), (0.1, 0.1)])
+        assert tilted > algorithm.combine([(0.5, 0.9), (0.5, 0.1)])
+
+    def test_combine_empty_is_zero(self):
+        assert InqueryScorer().combine([]) == 0.0
+
+
+class TestScaledCosine:
+    def test_top_document_scores_1000(self):
+        """The paper: "the top document for a query always has a score
+        of, say, 1,000"."""
+        scores = ScaledCosine().finalize({0: 0.2, 1: 0.5, 2: 0.1})
+        assert max(scores.values()) == pytest.approx(1000.0)
+
+    def test_rank_order_preserved(self):
+        raw = {0: 0.2, 1: 0.5, 2: 0.1}
+        scaled = ScaledCosine().finalize(dict(raw))
+        assert sorted(raw, key=raw.get) == sorted(scaled, key=scaled.get)
+
+    def test_empty_and_zero_results_untouched(self):
+        assert ScaledCosine().finalize({}) == {}
+        assert ScaledCosine().finalize({0: 0.0}) == {0: 0.0}
+
+
+@given(
+    tf=st.integers(1, 100),
+    df=st.integers(1, 100),
+    n=st.integers(100, 10000),
+    doc_len=st.integers(1, 1000),
+)
+def test_all_algorithms_finite(tf, df, n, doc_len):
+    for algorithm in ALGORITHMS:
+        weight = algorithm.term_weight(tf, df, n, doc_len, 100.0)
+        assert math.isfinite(weight)
+        assert weight >= 0.0

@@ -1,0 +1,152 @@
+"""Boolean filter evaluation: and/or/and-not/prox and date comparisons."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.query import BooleanQuery, ListQuery, ProxQuery, TermQuery
+from repro.engine.search import SearchEngine
+
+
+@pytest.fixture
+def engine():
+    e = SearchEngine()
+    e.add(Document("http://x/0", {
+        F.TITLE: "distributed databases",
+        F.AUTHOR: "Ullman",
+        F.BODY_OF_TEXT: "distributed databases on networks",
+        F.DATE_LAST_MODIFIED: "1996-08-15",
+    }))
+    e.add(Document("http://x/1", {
+        F.TITLE: "operating systems",
+        F.AUTHOR: "Silberschatz",
+        F.BODY_OF_TEXT: "kernels and systems but also databases sometimes",
+        F.DATE_LAST_MODIFIED: "1995-02-01",
+    }))
+    e.add(Document("http://x/2", {
+        F.TITLE: "networks",
+        F.AUTHOR: "Tanenbaum",
+        F.BODY_OF_TEXT: "networks route packets",
+        F.DATE_LAST_MODIFIED: "1996-01-01",
+    }))
+    return e
+
+
+def t(text, field=F.BODY_OF_TEXT, **kwargs):
+    return TermQuery(field, text, **kwargs)
+
+
+class TestBooleanOperators:
+    def test_and(self, engine):
+        q = BooleanQuery("and", (t("distributed"), t("databases")))
+        assert engine.evaluate_filter(q) == {0}
+
+    def test_or(self, engine):
+        q = BooleanQuery("or", (t("distributed"), t("packets")))
+        assert engine.evaluate_filter(q) == {0, 2}
+
+    def test_and_not(self, engine):
+        q = BooleanQuery("and-not", (t("databases"), t("distributed")))
+        assert engine.evaluate_filter(q) == {1}
+
+    def test_nary_and(self, engine):
+        q = BooleanQuery("and", (t("databases"), t("networks"), t("distributed")))
+        assert engine.evaluate_filter(q) == {0}
+
+    def test_fields_restrict_matches(self, engine):
+        assert engine.evaluate_filter(t("networks", field=F.TITLE)) == {2}
+        assert engine.evaluate_filter(t("networks", field=F.BODY_OF_TEXT)) == {0, 2}
+
+    def test_list_in_filter_position_is_or(self, engine):
+        q = ListQuery((t("distributed"), t("packets")))
+        assert engine.evaluate_filter(q) == {0, 2}
+
+    def test_empty_result(self, engine):
+        assert engine.evaluate_filter(t("nonexistent")) == set()
+
+
+class TestProximity:
+    def test_adjacent_ordered(self, engine):
+        q = ProxQuery(t("distributed"), t("databases"), distance=0, ordered=True)
+        assert engine.evaluate_filter(q) == {0}
+
+    def test_order_matters_when_ordered(self, engine):
+        q = ProxQuery(t("databases"), t("distributed"), distance=0, ordered=True)
+        assert engine.evaluate_filter(q) == set()
+
+    def test_unordered_matches_both_directions(self, engine):
+        q = ProxQuery(t("databases"), t("distributed"), distance=0, ordered=False)
+        assert engine.evaluate_filter(q) == {0}
+
+    def test_distance_counts_intervening_words(self, engine):
+        # "databases on networks": one word between databases and networks.
+        close = ProxQuery(t("databases"), t("networks"), distance=1, ordered=True)
+        tight = ProxQuery(t("databases"), t("networks"), distance=0, ordered=True)
+        assert engine.evaluate_filter(close) == {0}
+        assert engine.evaluate_filter(tight) == set()
+
+    def test_prox_requires_same_field(self, engine):
+        q = ProxQuery(
+            t("distributed", field=F.TITLE), t("packets", field=F.TITLE), distance=10
+        )
+        assert engine.evaluate_filter(q) == set()
+
+    def test_stop_word_gaps_count(self):
+        """Positions are preserved across removed stop words, so "kernels
+        and systems" has one word between kernels and systems."""
+        engine = SearchEngine()
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "kernels and systems"}))
+        gap1 = ProxQuery(t("kernels"), t("systems"), distance=1, ordered=True)
+        gap0 = ProxQuery(t("kernels"), t("systems"), distance=0, ordered=True)
+        assert engine.evaluate_filter(gap1) == {0}
+        assert engine.evaluate_filter(gap0) == set()
+
+
+class TestDateComparisons:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (">", {0}),
+            (">=", {0}),
+            ("<", {1, 2}),
+            ("<=", {1, 2}),
+            ("=", set()),
+            ("!=", {0, 1, 2}),
+        ],
+    )
+    def test_operators(self, engine, op, expected):
+        q = t("1996-05-01", field=F.DATE_LAST_MODIFIED, modifiers=frozenset({op}))
+        assert engine.evaluate_filter(q) == expected
+
+    def test_exact_date_equality(self, engine):
+        q = t("1996-08-15", field=F.DATE_LAST_MODIFIED, modifiers=frozenset({"="}))
+        assert engine.evaluate_filter(q) == {0}
+
+    def test_documents_without_dates_never_match(self):
+        engine = SearchEngine()
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "no date"}))
+        q = t("1996-01-01", field=F.DATE_LAST_MODIFIED, modifiers=frozenset({">"}))
+        assert engine.evaluate_filter(q) == set()
+
+
+class TestAlgebraicProperties:
+    @given(st.sampled_from(["distributed", "databases", "networks", "systems"]))
+    def test_and_subset_of_or(self, word):
+        engine = SearchEngine()
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "distributed databases"}))
+        engine.add(Document("http://x/1", {F.BODY_OF_TEXT: "networks systems"}))
+        a, b = t(word), t("databases")
+        and_set = engine.evaluate_filter(BooleanQuery("and", (a, b)))
+        or_set = engine.evaluate_filter(BooleanQuery("or", (a, b)))
+        assert and_set <= or_set
+
+    def test_and_not_disjoint_from_negative(self, engine):
+        q = BooleanQuery("and-not", (t("databases"), t("distributed")))
+        result = engine.evaluate_filter(q)
+        negative = engine.evaluate_filter(t("distributed"))
+        assert result.isdisjoint(negative)
+
+    def test_results_within_store(self, engine):
+        q = BooleanQuery("or", (t("databases"), t("networks")))
+        assert engine.evaluate_filter(q) <= set(engine.store.ids())

@@ -1,0 +1,160 @@
+"""Vector-space ranking: fuzzy operators, weights, term statistics."""
+
+import pytest
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.query import BooleanQuery, ListQuery, ProxQuery, TermQuery
+from repro.engine.search import SearchEngine
+
+
+def t(text, weight=1.0):
+    return TermQuery(F.BODY_OF_TEXT, text, weight=weight)
+
+
+@pytest.fixture
+def engine():
+    e = SearchEngine()
+    e.add(Document("http://x/0", {F.BODY_OF_TEXT: "databases databases databases"}))
+    e.add(Document("http://x/1", {F.BODY_OF_TEXT: "databases and networks"}))
+    e.add(Document("http://x/2", {F.BODY_OF_TEXT: "networks networks routing"}))
+    return e
+
+
+class TestListRanking:
+    def test_higher_tf_ranks_higher(self, engine):
+        hits = engine.search(ranking_query=ListQuery((t("databases"),)))
+        assert hits[0].doc_id == 0
+        assert hits[0].score > hits[1].score
+
+    def test_only_matching_documents_returned(self, engine):
+        hits = engine.search(ranking_query=ListQuery((t("routing"),)))
+        assert [hit.doc_id for hit in hits] == [2]
+
+    def test_term_weights_tilt_ranking(self, engine):
+        """Example 5: per-term weights change which document wins."""
+        net_tilted = ListQuery((t("databases", 0.1), t("networks", 0.9)))
+        db_tilted = ListQuery((t("databases", 0.9), t("networks", 0.1)))
+        net_hits = engine.search(ranking_query=net_tilted)
+        db_hits = engine.search(ranking_query=db_tilted)
+        net_ranks = {hit.doc_id: rank for rank, hit in enumerate(net_hits)}
+        db_ranks = {hit.doc_id: rank for rank, hit in enumerate(db_hits)}
+        # Doc 2 (networks-heavy) beats doc 0 (databases-heavy) only
+        # under the networks-tilted weights.
+        assert net_ranks[2] < net_ranks[0]
+        assert db_ranks[0] < db_ranks[2]
+
+    def test_deterministic_tiebreak_by_doc_id(self):
+        engine = SearchEngine()
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "identical words"}))
+        engine.add(Document("http://x/1", {F.BODY_OF_TEXT: "identical words"}))
+        hits = engine.search(ranking_query=ListQuery((t("identical"),)))
+        assert [hit.doc_id for hit in hits] == [0, 1]
+
+
+class TestFuzzyOperators:
+    """Example 4: boolean-like operators in ranking expressions get
+    fuzzy-logic readings — and=min, or=max."""
+
+    def test_and_is_min(self, engine):
+        both = BooleanQuery("and", (t("databases"), t("networks")))
+        scores = engine.evaluate_ranking(both)
+        # Doc 1 contains both; docs 0 and 2 miss one -> min is 0.
+        assert scores.get(0, 0.0) == 0.0
+        assert scores[1] > 0.0
+        assert scores.get(2, 0.0) == 0.0
+
+    def test_or_is_max(self, engine):
+        either = BooleanQuery("or", (t("databases"), t("networks")))
+        scores = engine.evaluate_ranking(either)
+        assert all(score > 0.0 for score in scores.values())
+        assert set(scores) == {0, 1, 2}
+
+    def test_and_not_subtracts(self, engine):
+        query = BooleanQuery("and-not", (t("databases"), t("networks")))
+        scores = engine.evaluate_ranking(query)
+        # Doc 0 has no "networks": full score.  Doc 1 has both: reduced.
+        assert scores[0] > scores.get(1, 0.0)
+
+    def test_and_not_never_negative(self, engine):
+        query = BooleanQuery("and-not", (t("databases"), t("networks")))
+        scores = engine.evaluate_ranking(query)
+        assert all(score >= 0.0 for score in scores.values())
+
+    def test_prox_scores_only_when_satisfied(self, engine):
+        close = ProxQuery(t("databases"), t("networks"), distance=1, ordered=True)
+        scores = engine.evaluate_ranking(close)
+        assert scores.get(1, 0.0) > 0.0  # "databases and networks"
+        assert scores.get(0, 0.0) == 0.0
+
+    def test_list_and_and_differ(self, engine):
+        """The same terms under list() vs and score differently
+        (Example 4's R1 vs R2)."""
+        list_scores = engine.evaluate_ranking(
+            ListQuery((t("databases"), t("networks")))
+        )
+        and_scores = engine.evaluate_ranking(
+            BooleanQuery("and", (t("databases"), t("networks")))
+        )
+        assert list_scores[0] > 0.0
+        assert and_scores.get(0, 0.0) == 0.0
+
+
+class TestFilterPlusRanking:
+    def test_filter_restricts_ranked_set(self, engine):
+        hits = engine.search(
+            filter_query=t("networks"),
+            ranking_query=ListQuery((t("databases"),)),
+        )
+        assert {hit.doc_id for hit in hits} == {1, 2}
+
+    def test_filtered_nonmatching_rank_terms_score_zero(self, engine):
+        hits = engine.search(
+            filter_query=t("routing"),
+            ranking_query=ListQuery((t("databases"),)),
+        )
+        assert len(hits) == 1
+        assert hits[0].score == 0.0
+
+    def test_filter_only_returns_zero_scores(self, engine):
+        hits = engine.search(filter_query=t("databases"))
+        assert [hit.score for hit in hits] == [0.0, 0.0]
+        assert [hit.doc_id for hit in hits] == [0, 1]
+
+    def test_no_queries_returns_empty(self, engine):
+        assert engine.search() == []
+
+    def test_boolean_only_engine_rejects_ranking(self):
+        engine = SearchEngine(ranking=None)
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "text"}))
+        with pytest.raises(RuntimeError):
+            engine.evaluate_ranking(ListQuery((t("text"),)))
+
+    def test_boolean_only_engine_filter_still_works(self):
+        engine = SearchEngine(ranking=None)
+        engine.add(Document("http://x/0", {F.BODY_OF_TEXT: "text"}))
+        hits = engine.search(filter_query=t("text"), ranking_query=ListQuery((t("text"),)))
+        assert [hit.doc_id for hit in hits] == [0]
+
+
+class TestTermStatistics:
+    def test_term_stats_report_tf_weight_df(self, engine):
+        hits = engine.search(ranking_query=ListQuery((t("databases"),)))
+        stats = hits[0].term_stats[0]
+        assert stats.text == "databases"
+        assert stats.term_frequency == 3
+        assert stats.document_frequency == 2
+        assert stats.term_weight > 0.0
+
+    def test_stats_for_absent_terms_zero(self, engine):
+        hits = engine.search(
+            ranking_query=ListQuery((t("databases"), t("missing")))
+        )
+        absent = hits[0].term_stats[1]
+        assert absent.term_frequency == 0
+        assert absent.term_weight == 0.0
+
+    def test_document_frequency_helper(self, engine):
+        assert engine.document_frequency(t("databases")) == 2
+        assert engine.document_frequency(t("routing")) == 1
+        assert engine.document_frequency(t("missing")) == 0

@@ -1,0 +1,89 @@
+"""Cross-package integration: the whole stack under one roof."""
+
+import pytest
+
+from repro import Metasearcher, SQuery, parse_expression, quick_federation
+from repro.metasearch import MERGE_STRATEGIES
+
+
+@pytest.fixture(scope="module")
+def federation():
+    internet, resource_url = quick_federation(seed=21, docs_per_source=40)
+    searcher = Metasearcher(internet, [resource_url])
+    searcher.refresh()
+    return internet, searcher
+
+
+def ranking_query(*words, **overrides):
+    terms = " ".join(f'(body-of-text "{word}")' for word in words)
+    defaults = dict(
+        ranking_expression=parse_expression(f"list({terms})"),
+        max_number_documents=10,
+    )
+    defaults.update(overrides)
+    return SQuery(**defaults)
+
+
+class TestEveryMergeStrategyEndToEnd:
+    @pytest.mark.parametrize("strategy_name", sorted(MERGE_STRATEGIES))
+    def test_strategy_produces_ordered_dedup_results(self, federation, strategy_name):
+        internet, searcher = federation
+        merger = MERGE_STRATEGIES[strategy_name]()
+        result = searcher.search(
+            ranking_query("databases", "distributed"), k_sources=3, merger=merger
+        )
+        linkages = result.linkages()
+        assert len(linkages) == len(set(linkages)), "no duplicates"
+        scores = [doc.score for doc in result.documents]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestWireOnlyKnowledge:
+    def test_client_never_touches_source_objects(self, federation):
+        """Everything the metasearcher knows arrived as SOIF bytes."""
+        internet, searcher = federation
+        for known in searcher.discovery.known_sources():
+            # Round-tripped objects, not references into the sources.
+            assert known.metadata.source_id == known.source_id
+            assert known.summary is not None
+            assert known.summary.num_docs > 0
+
+    def test_query_round_trip_counts_requests(self, federation):
+        internet, searcher = federation
+        internet.reset_log()
+        searcher.search(ranking_query("databases"), k_sources=2)
+        assert internet.request_count() == 2  # one POST per selected source
+
+
+class TestMixedQueryAcrossStack:
+    def test_filter_plus_ranking_plus_answer_spec(self, federation):
+        internet, searcher = federation
+        query = SQuery(
+            filter_expression=parse_expression(
+                '(date-last-modified > "1994-06-01")'
+            ),
+            ranking_expression=parse_expression(
+                'list((body-of-text "databases") (body-of-text "networks"))'
+            ),
+            answer_fields=("title", "author"),
+            max_number_documents=5,
+        )
+        result = searcher.search(query, k_sources=3)
+        for document in result.documents:
+            assert document.document.get("title")
+            date = document.document.get("date/time-last-modified", "9999")
+            # Answer fields only include what was asked: date was not.
+            assert date == "9999" or date > "1994-06-01"
+
+    def test_the_full_story_in_one_flow(self, federation):
+        """Discovery → selection → translation → query → merge, with
+        every intermediate visible."""
+        internet, searcher = federation
+        result = searcher.search(
+            ranking_query("databases", "query"), k_sources=2
+        )
+        assert len(result.selected_sources) == 2
+        assert set(result.per_source_results) <= set(result.selected_sources)
+        for source_id, report in result.translation_reports.items():
+            assert report.source_id == source_id
+        assert result.documents

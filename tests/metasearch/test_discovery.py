@@ -1,0 +1,86 @@
+"""Metadata harvesting: resource → sources, caching, expiry."""
+
+import pytest
+
+from repro.metasearch.discovery import DiscoveryService
+from repro.transport import StartsClient
+
+
+@pytest.fixture
+def service(small_federation):
+    internet, resource_url, _ = small_federation
+    return DiscoveryService(StartsClient(internet)), resource_url, internet
+
+
+class TestHarvesting:
+    def test_refresh_discovers_all_sources(self, service):
+        discovery, url, _ = service
+        harvested = discovery.refresh_resource(url)
+        assert sorted(s.source_id for s in harvested) == [
+            "Fed-DB",
+            "Fed-Med",
+            "Fed-Net",
+        ]
+
+    def test_metadata_and_summary_fetched(self, service):
+        discovery, url, _ = service
+        discovery.refresh_resource(url)
+        known = discovery.source("Fed-DB")
+        assert known.metadata.source_id == "Fed-DB"
+        assert known.summary is not None
+        assert known.summary.num_docs == 40
+        assert known.sample_results is not None
+
+    def test_query_url_from_metadata(self, service):
+        discovery, url, _ = service
+        discovery.refresh_resource(url)
+        assert discovery.source("Fed-DB").query_url.endswith("/query")
+
+    def test_summaries_view(self, service):
+        discovery, url, _ = service
+        discovery.refresh_resource(url)
+        assert set(discovery.summaries()) == {"Fed-DB", "Fed-Med", "Fed-Net"}
+
+
+class TestCaching:
+    def test_second_refresh_reuses_cache(self, service):
+        discovery, url, internet = service
+        discovery.refresh_resource(url)
+        count_after_first = internet.request_count()
+        discovery.refresh_resource(url)
+        # Only the resource blob is re-fetched; sources are cached.
+        assert internet.request_count() == count_after_first + 1
+
+    def test_forget_forces_refetch(self, service):
+        discovery, url, internet = service
+        discovery.refresh_resource(url)
+        discovery.forget("Fed-DB")
+        count_before = internet.request_count()
+        discovery.refresh_resource(url)
+        assert internet.request_count() > count_before + 1
+
+
+class TestExpiry:
+    def test_expired_metadata_refetched(self, small_federation):
+        internet, url, resource = small_federation
+        # Make one source advertise an already-past expiry date.
+        resource.source("Fed-DB").date_changed = "1996-01-01"
+        source = resource.source("Fed-DB")
+        original_metadata = source.metadata
+
+        def expiring_metadata():
+            metadata = original_metadata()
+            from dataclasses import replace
+
+            return replace(metadata, date_expires="1996-06-01")
+
+        source.metadata = expiring_metadata
+        try:
+            discovery = DiscoveryService(StartsClient(internet), clock="1996-08-01")
+            discovery.refresh_resource(url)
+            count = internet.request_count()
+            discovery.refresh_resource(url)
+            # Fed-DB was stale: its blobs were re-fetched.
+            assert internet.request_count() > count + 1
+        finally:
+            source.metadata = original_metadata

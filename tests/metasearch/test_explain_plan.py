@@ -1,0 +1,64 @@
+"""The dry-run query planner."""
+
+import pytest
+
+from repro.metasearch import Metasearcher
+from repro.starts import SQuery, parse_expression
+from repro.starts.errors import ProtocolError
+
+
+@pytest.fixture
+def searcher(small_federation):
+    internet, resource_url, _ = small_federation
+    searcher = Metasearcher(internet, [resource_url])
+    searcher.refresh()
+    return searcher, internet
+
+
+def query():
+    return SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "databases") (body-of-text "patient"))'
+        )
+    )
+
+
+class TestExplainPlan:
+    def test_plan_lists_all_sources_marks_chosen(self, searcher):
+        client, _ = searcher
+        plan = client.explain_plan(query(), k_sources=2)
+        for source_id in ("Fed-DB", "Fed-Med", "Fed-Net"):
+            assert source_id in plan
+        assert plan.count("->") == 2
+
+    def test_plan_shows_translated_expressions(self, searcher):
+        client, _ = searcher
+        plan = client.explain_plan(query(), k_sources=1)
+        assert "ranking: list(" in plan
+        assert "filter:  (none)" in plan
+
+    def test_plan_touches_no_network(self, searcher):
+        client, internet = searcher
+        internet.reset_log()
+        client.explain_plan(query(), k_sources=3)
+        assert internet.request_count() == 0
+
+    def test_plan_reports_result_estimates(self, searcher):
+        client, _ = searcher
+        plan = client.explain_plan(query(), k_sources=1)
+        assert "est. matches=" in plan
+
+    def test_plan_notes_translation_losses(self, searcher):
+        client, _ = searcher
+        lossy = SQuery(
+            ranking_expression=parse_expression(
+                'list((body-of-text "the") (body-of-text "databases"))'
+            )
+        )
+        plan = client.explain_plan(lossy, k_sources=1)
+        assert "stop word" in plan
+
+    def test_invalid_query_rejected(self, searcher):
+        client, _ = searcher
+        with pytest.raises(ProtocolError):
+            client.explain_plan(SQuery())

@@ -1,0 +1,74 @@
+"""Serial vs parallel latency accounting on metasearch results."""
+
+import pytest
+
+from repro.corpus import source1_documents, source2_documents
+from repro.metasearch import Metasearcher, SelectAll
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import HostProfile, SimulatedInternet, publish_resource
+
+
+@pytest.fixture
+def world():
+    internet = SimulatedInternet(seed=10)
+    resource = Resource(
+        "World",
+        [
+            StartsSource("Fast", source1_documents(), base_url="http://fast.org/s"),
+            StartsSource("Slow", source2_documents(), base_url="http://slow.org/s"),
+        ],
+    )
+    publish_resource(
+        internet,
+        resource,
+        "http://world.org",
+        source_profiles={
+            "Fast": HostProfile(latency_ms=10.0, jitter_ms=0.0),
+            "Slow": HostProfile(latency_ms=400.0, jitter_ms=0.0),
+        },
+    )
+    searcher = Metasearcher(internet, ["http://world.org/resource"])
+    searcher.refresh()
+    return searcher
+
+
+def query():
+    return SQuery(
+        ranking_expression=parse_expression('list((body-of-text "databases"))')
+    )
+
+
+class TestLatencyAccounting:
+    def test_serial_is_sum_parallel_is_max(self, world):
+        result = world.search(query(), k_sources=2, selector=SelectAll())
+        assert result.query_latency_serial_ms == pytest.approx(410.0)
+        assert result.query_latency_parallel_ms == pytest.approx(400.0)
+
+    def test_single_source_degenerate(self, world):
+        result = world.search(query(), k_sources=1, selector=SelectAll())
+        assert result.query_latency_serial_ms == result.query_latency_parallel_ms
+
+    def test_no_queries_zero_latency(self, world):
+        """A query nothing survives at produces zero query latency."""
+        from repro.corpus import source1_documents
+        from repro.source import SourceCapabilities
+
+        internet = SimulatedInternet()
+        resource = Resource(
+            "R",
+            [
+                StartsSource(
+                    "FOnly",
+                    source1_documents(),
+                    capabilities=SourceCapabilities(query_parts="F"),
+                )
+            ],
+        )
+        publish_resource(internet, resource, "http://r.org")
+        searcher = Metasearcher(internet, ["http://r.org/resource"])
+        searcher.refresh()
+        result = searcher.search(query(), k_sources=1)
+        assert result.query_latency_serial_ms == 0.0
+        assert result.query_latency_parallel_ms == 0.0

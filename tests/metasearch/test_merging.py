@@ -1,0 +1,233 @@
+"""Rank merging strategies over crafted heterogeneous results."""
+
+import math
+
+import pytest
+
+from repro.metasearch.merging import (
+    MERGE_STRATEGIES,
+    CalibratedMerge,
+    CoriMerge,
+    MergeContext,
+    NormalizedScoreMerge,
+    RawScoreMerge,
+    RoundRobinMerge,
+    TermFrequencyMerge,
+    TfIdfRecomputeMerge,
+)
+from repro.source.sample import SampleResults
+from repro.starts.ast import STerm
+from repro.starts.attributes import FieldRef
+from repro.starts.lstring import LString
+from repro.starts.metadata import (
+    SContentSummary,
+    SMetaAttributes,
+    SummaryEntryLine,
+    SummarySection,
+)
+from repro.starts.results import SQRDocument, SQResults, TermStats
+
+
+def stats(word, tf, weight, df):
+    return TermStats(
+        STerm(LString(word), FieldRef("body-of-text")), tf, weight, df
+    )
+
+
+def doc(linkage, score, source, tf_map, doc_count=1000):
+    return SQRDocument(
+        linkage=linkage,
+        raw_score=score,
+        sources=(source,),
+        term_stats=tuple(
+            stats(word, tf, 0.5, df) for word, (tf, df) in tf_map.items()
+        ),
+        doc_count=doc_count,
+    )
+
+
+@pytest.fixture
+def scenario():
+    """The paper's §3.2 trap: S1 scores 0..1, S2 scores 0..1000.
+
+    S2's document d2 is the better match (higher tf of both terms) but
+    has the *lower* normalized quality under raw comparison because S1
+    maxes at 1.0 while S2's raw scores look huge.
+    """
+    d1 = doc("http://s1/d1", 0.82, "S1", {"distributed": (10, 190), "databases": (15, 232)})
+    d2 = doc("http://s2/d2", 270.0, "S2", {"distributed": (20, 901), "databases": (34, 788)})
+    d3 = doc("http://s2/d3", 120.0, "S2", {"distributed": (2, 901), "databases": (1, 788)})
+    results = {
+        "S1": SQResults(sources=("S1",), documents=(d1,)),
+        "S2": SQResults(sources=("S2",), documents=(d2, d3)),
+    }
+    metadata = {
+        "S1": SMetaAttributes(source_id="S1", score_range=(0.0, 1.0)),
+        "S2": SMetaAttributes(source_id="S2", score_range=(0.0, 1000.0)),
+    }
+    summaries = {
+        "S1": SContentSummary(
+            num_docs=1000,
+            sections=(
+                SummarySection(
+                    "body-of-text",
+                    "en",
+                    (
+                        SummaryEntryLine("distributed", 400, 190),
+                        SummaryEntryLine("databases", 500, 232),
+                    ),
+                ),
+            ),
+        ),
+        "S2": SContentSummary(
+            num_docs=9000,
+            sections=(
+                SummarySection(
+                    "body-of-text",
+                    "en",
+                    (
+                        SummaryEntryLine("distributed", 2000, 901),
+                        SummaryEntryLine("databases", 1800, 788),
+                    ),
+                ),
+            ),
+        ),
+    }
+    context = MergeContext(
+        metadata=metadata,
+        summaries=summaries,
+        query_terms=("distributed", "databases"),
+    )
+    return results, context
+
+
+class TestRawScore:
+    def test_falls_into_the_trap(self, scenario):
+        """Raw merging ranks S2's mediocre d3 above S1's strong d1 —
+        exactly the incomparability the paper warns about."""
+        results, context = scenario
+        merged = RawScoreMerge().merge(results, context)
+        order = [m.linkage for m in merged]
+        assert order.index("http://s2/d3") < order.index("http://s1/d1")
+
+
+class TestNormalized:
+    def test_score_range_normalization_corrects_scale(self, scenario):
+        results, context = scenario
+        merged = NormalizedScoreMerge().merge(results, context)
+        by_linkage = {m.linkage: m.score for m in merged}
+        assert by_linkage["http://s1/d1"] == pytest.approx(0.82)
+        assert by_linkage["http://s2/d2"] == pytest.approx(0.27)
+        # The strong S1 document now beats S2's weak one.
+        order = [m.linkage for m in merged]
+        assert order.index("http://s1/d1") < order.index("http://s2/d3")
+
+    def test_infinite_range_falls_back_to_observed_max(self, scenario):
+        results, context = scenario
+        context.metadata["S2"] = SMetaAttributes(
+            source_id="S2", score_range=(0.0, math.inf)
+        )
+        merged = NormalizedScoreMerge().merge(results, context)
+        by_linkage = {m.linkage: m.score for m in merged}
+        assert by_linkage["http://s2/d2"] == pytest.approx(1.0)
+
+    def test_missing_metadata_defaults_to_unit_range(self, scenario):
+        results, context = scenario
+        context.metadata.pop("S2")
+        merged = NormalizedScoreMerge().merge(results, context)
+        assert merged  # no crash; S2 treated as 0..1
+
+
+class TestTermFrequency:
+    def test_example9_reranking(self, scenario):
+        """Example 9: counting occurrences ranks S2's d2 (20+34) above
+        S1's d1 (10+15) despite the lower raw score."""
+        results, context = scenario
+        merged = TermFrequencyMerge().merge(results, context)
+        assert merged[0].linkage == "http://s2/d2"
+        assert merged[0].score == 54.0
+
+
+class TestTfIdfRecompute:
+    def test_uses_global_statistics(self, scenario):
+        results, context = scenario
+        merged = TfIdfRecomputeMerge().merge(results, context)
+        by_linkage = {m.linkage: m.score for m in merged}
+        # d2 has double the tf at the same doc length: clearly ahead.
+        assert by_linkage["http://s2/d2"] > by_linkage["http://s1/d1"]
+        assert by_linkage["http://s1/d1"] > by_linkage["http://s2/d3"]
+
+    def test_survives_missing_summaries(self, scenario):
+        results, context = scenario
+        context.summaries.clear()
+        merged = TfIdfRecomputeMerge().merge(results, context)
+        assert len(merged) == 3
+
+
+class TestCoriMerge:
+    def test_belief_weighted_order(self, scenario):
+        results, context = scenario
+        merged = CoriMerge().merge(results, context)
+        assert len(merged) == 3
+        scores = [m.score for m in merged]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_degrades_without_summaries(self, scenario):
+        results, context = scenario
+        context.summaries.clear()
+        merged = CoriMerge().merge(results, context)
+        assert len(merged) == 3
+
+
+class TestRoundRobin:
+    def test_interleaves_by_rank(self, scenario):
+        results, context = scenario
+        merged = RoundRobinMerge().merge(results, context)
+        # Depth-0 documents (d1, d2) precede depth-1 (d3).
+        top_two = {m.linkage for m in merged[:2]}
+        assert top_two == {"http://s1/d1", "http://s2/d2"}
+
+
+class TestCalibrated:
+    def test_sample_scale_correction(self, scenario):
+        results, context = scenario
+        context.samples = {
+            "S1": SampleResults({("q",): [1.0]}),
+            "S2": SampleResults({("q",): [1000.0]}),
+        }
+        merged = CalibratedMerge().merge(results, context)
+        by_linkage = {m.linkage: m.score for m in merged}
+        assert by_linkage["http://s1/d1"] == pytest.approx(0.82)
+        assert by_linkage["http://s2/d2"] == pytest.approx(0.27)
+
+    def test_without_samples_equals_raw(self, scenario):
+        results, context = scenario
+        raw = [m.linkage for m in RawScoreMerge().merge(results, context)]
+        uncalibrated = [m.linkage for m in CalibratedMerge().merge(results, context)]
+        assert raw == uncalibrated
+
+
+class TestDeduplication:
+    def test_duplicate_linkage_keeps_best(self, scenario):
+        results, context = scenario
+        dup = doc("http://s1/d1", 0.9, "S2", {"distributed": (10, 901)})
+        results["S2"] = SQResults(
+            sources=("S2",), documents=results["S2"].documents + (dup,)
+        )
+        merged = RawScoreMerge().merge(results, context)
+        entries = [m for m in merged if m.linkage == "http://s1/d1"]
+        assert len(entries) == 1
+        assert entries[0].score == pytest.approx(0.9)
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert set(MERGE_STRATEGIES) == {
+            "raw-score",
+            "range-normalized",
+            "term-frequency",
+            "tfidf-recompute",
+            "cori-weighted",
+            "round-robin",
+            "sample-calibrated",
+        }

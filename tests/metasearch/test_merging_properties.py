@@ -1,0 +1,102 @@
+"""Property tests on the merge strategies' shared invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metasearch.merging import (
+    MERGE_STRATEGIES,
+    MergeContext,
+)
+from repro.starts.ast import STerm
+from repro.starts.attributes import FieldRef
+from repro.starts.lstring import LString
+from repro.starts.metadata import SMetaAttributes
+from repro.starts.results import SQRDocument, SQResults, TermStats
+
+
+def _term_stats(tf, df):
+    return TermStats(
+        STerm(LString("word"), FieldRef("body-of-text")), tf, 0.5, df
+    )
+
+
+@st.composite
+def result_sets(draw):
+    """1-3 sources, each with 0-5 documents; linkages may overlap."""
+    n_sources = draw(st.integers(1, 3))
+    linkage_pool = [f"http://d/{i}" for i in range(8)]
+    results = {}
+    for s in range(n_sources):
+        source_id = f"S{s}"
+        n_docs = draw(st.integers(0, 5))
+        linkages = draw(
+            st.lists(st.sampled_from(linkage_pool), min_size=n_docs, max_size=n_docs,
+                     unique=True)
+        )
+        docs = []
+        for linkage in linkages:
+            score = draw(st.floats(0.0, 1.0, allow_nan=False))
+            tf = draw(st.integers(0, 30))
+            docs.append(
+                SQRDocument(
+                    linkage=linkage,
+                    raw_score=score,
+                    sources=(source_id,),
+                    term_stats=(_term_stats(tf, max(tf, 1)),),
+                    doc_count=draw(st.integers(1, 500)),
+                )
+            )
+        docs.sort(key=lambda d: -d.raw_score)
+        results[source_id] = SQResults(sources=(source_id,), documents=tuple(docs))
+    return results
+
+
+def _context(results):
+    return MergeContext(
+        metadata={
+            source_id: SMetaAttributes(source_id=source_id, score_range=(0.0, 1.0))
+            for source_id in results
+        },
+        query_terms=("word",),
+    )
+
+
+@pytest.mark.parametrize("strategy_name", sorted(MERGE_STRATEGIES))
+@settings(max_examples=40, deadline=None)
+@given(results=result_sets())
+def test_merge_invariants(strategy_name, results):
+    strategy = MERGE_STRATEGIES[strategy_name]()
+    merged = strategy.merge(results, _context(results))
+
+    input_linkages = {
+        document.linkage
+        for result in results.values()
+        for document in result.documents
+    }
+
+    # 1. No duplicates.
+    linkages = [m.linkage for m in merged]
+    assert len(linkages) == len(set(linkages))
+
+    # 2. Exactly the union of the inputs (merging never invents or
+    #    loses documents).
+    assert set(linkages) == input_linkages
+
+    # 3. Best-first order.
+    scores = [m.score for m in merged]
+    assert scores == sorted(scores, reverse=True)
+
+    # 4. Provenance: each merged doc cites a source that returned it.
+    for m in merged:
+        assert m.source_id in results
+        assert any(
+            d.linkage == m.linkage for d in results[m.source_id].documents
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(results=result_sets())
+def test_range_normalized_scores_in_unit_interval(results):
+    strategy = MERGE_STRATEGIES["range-normalized"]()
+    for m in strategy.merge(results, _context(results)):
+        assert 0.0 <= m.score <= 1.0

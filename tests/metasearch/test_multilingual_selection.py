@@ -1,0 +1,85 @@
+"""Language-aware behaviour across selection and querying."""
+
+import pytest
+
+from repro.corpus import CollectionSpec, generate_collection
+from repro.metasearch import Metasearcher
+from repro.resource import Resource
+from repro.starts import SQuery, parse_expression
+from repro.transport import SimulatedInternet, publish_resource
+from repro.vendors import build_vendor_source
+
+
+@pytest.fixture(scope="module")
+def mixed_world():
+    internet = SimulatedInternet(seed=8)
+    resource = Resource("Mixed")
+    resource.add_source(
+        build_vendor_source(
+            "MundoDocs",
+            "Bilingual",
+            generate_collection(
+                CollectionSpec(
+                    name="Bilingual",
+                    topics={"databases": 1.0},
+                    size=40,
+                    spanish_fraction=0.6,
+                    seed=4,
+                )
+            ),
+        )
+    )
+    resource.add_source(
+        build_vendor_source(
+            "AcmeSearch",
+            "EnglishOnly",
+            generate_collection(
+                CollectionSpec(
+                    name="EnglishOnly", topics={"databases": 1.0}, size=40, seed=5
+                )
+            ),
+        )
+    )
+    publish_resource(internet, resource, "http://mixed.example.org")
+    searcher = Metasearcher(internet, ["http://mixed.example.org/resource"])
+    searcher.refresh()
+    return searcher
+
+
+class TestSpanishSelection:
+    def test_spanish_terms_select_bilingual_source(self, mixed_world):
+        query = SQuery(
+            ranking_expression=parse_expression(
+                'list((body-of-text [es "datos"]) (body-of-text [es "consulta"]))'
+            )
+        )
+        result = mixed_world.search(query, k_sources=1)
+        assert result.selected_sources == ["Bilingual"]
+
+    def test_english_terms_still_work(self, mixed_world):
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))')
+        )
+        result = mixed_world.search(query, k_sources=2)
+        assert result.documents
+
+    def test_spanish_results_come_from_spanish_documents(self, mixed_world):
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text [es "datos"]))'),
+            answer_fields=("title", "languages"),
+        )
+        result = mixed_world.search(query, k_sources=1)
+        assert result.documents
+        for merged in result.documents:
+            assert merged.document.get("languages", "") == "es"
+
+
+class TestSourceLanguagesMetadata:
+    def test_bilingual_source_declares_both(self, mixed_world):
+        metadata = mixed_world.discovery.source("Bilingual").metadata
+        assert "es" in metadata.source_languages
+        assert any(tag.startswith("en") for tag in metadata.source_languages)
+
+    def test_english_source_declares_english_only(self, mixed_world):
+        metadata = mixed_world.discovery.source("EnglishOnly").metadata
+        assert all(not tag.startswith("es") for tag in metadata.source_languages)

@@ -1,0 +1,71 @@
+"""Figure 1 routing through the metasearcher: one query per resource."""
+
+import pytest
+
+from repro.corpus import source1_documents, source2_documents, ullman_dood_document
+from repro.metasearch import Metasearcher, SelectAll
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import SimulatedInternet, publish_resource
+
+
+@pytest.fixture
+def world():
+    """One resource, two same-engine sources, one shared document."""
+    internet = SimulatedInternet(seed=6)
+    resource = Resource(
+        "Dialog",
+        [
+            StartsSource("Dialog-1", source1_documents()),
+            StartsSource("Dialog-2", [ullman_dood_document(), *source2_documents()]),
+        ],
+    )
+    publish_resource(internet, resource, "http://dialog.example.org")
+    searcher = Metasearcher(internet, ["http://dialog.example.org/resource"])
+    searcher.refresh()
+    return internet, searcher
+
+
+def query():
+    return SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        )
+    )
+
+
+class TestGroupedRouting:
+    def test_single_request_for_shared_resource(self, world):
+        internet, searcher = world
+        internet.reset_log()
+        searcher.search(
+            query(), k_sources=2, selector=SelectAll(), group_by_resource=True
+        )
+        assert internet.request_count() == 1
+
+    def test_ungrouped_sends_one_request_per_source(self, world):
+        internet, searcher = world
+        internet.reset_log()
+        searcher.search(query(), k_sources=2, selector=SelectAll())
+        assert internet.request_count() == 2
+
+    def test_resource_side_duplicate_elimination(self, world):
+        internet, searcher = world
+        result = searcher.search(
+            query(), k_sources=2, selector=SelectAll(), group_by_resource=True
+        )
+        ullman = [
+            doc for doc in result.documents if "ullman" in doc.linkage
+        ]
+        assert len(ullman) == 1
+        # The surviving entry carries both member sources.
+        assert set(ullman[0].document.sources) == {"Dialog-1", "Dialog-2"}
+
+    def test_grouped_and_ungrouped_cover_same_documents(self, world):
+        internet, searcher = world
+        grouped = searcher.search(
+            query(), k_sources=2, selector=SelectAll(), group_by_resource=True
+        )
+        ungrouped = searcher.search(query(), k_sources=2, selector=SelectAll())
+        assert set(grouped.linkages()) == set(ungrouped.linkages())

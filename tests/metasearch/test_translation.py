@@ -1,0 +1,128 @@
+"""Client-side translation from MBasic-1 metadata."""
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.metasearch.translation import (
+    ClientTranslator,
+    capabilities_from_metadata,
+)
+from repro.source import SourceCapabilities, StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.vendors import build_vendor_source
+
+
+def query_with_everything():
+    return SQuery(
+        filter_expression=parse_expression(
+            '((author "Ullman") and (title stem "databases"))'
+        ),
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+    )
+
+
+class TestCapabilityReconstruction:
+    def test_round_trip_through_metadata(self):
+        """capabilities → metadata → capabilities preserves support."""
+        original = SourceCapabilities.full_basic1().without_fields("author")
+        source = StartsSource("S", source1_documents(), capabilities=original)
+        rebuilt = capabilities_from_metadata(source.metadata())
+        assert not rebuilt.supports_field("author")
+        assert rebuilt.supports_field("title")
+        assert rebuilt.query_parts == original.query_parts
+        assert rebuilt.turn_off_stop_words == original.turn_off_stop_words
+
+    def test_required_fields_always_present(self):
+        source = StartsSource("S", source1_documents())
+        rebuilt = capabilities_from_metadata(source.metadata())
+        for name in ("title", "any", "linkage", "date/time-last-modified"):
+            assert rebuilt.supports_field(name)
+
+
+class TestClientTranslation:
+    def test_lossless_for_full_source(self):
+        source = StartsSource("S", source1_documents())
+        translated, report = ClientTranslator().translate(
+            query_with_everything(), source.metadata()
+        )
+        assert report.is_lossless()
+        assert translated.filter_expression == query_with_everything().filter_expression
+
+    def test_predicts_server_side_actual_query(self):
+        """The client's pre-translation equals the source's actual-query
+        report — the metadata is a faithful contract."""
+        source = StartsSource(
+            "S",
+            source1_documents(),
+            capabilities=SourceCapabilities.full_basic1()
+            .without_fields("author")
+            .without_modifiers("stem"),
+        )
+        query = query_with_everything()
+        translated, report = ClientTranslator().translate(query, source.metadata())
+        assert not report.is_lossless()
+
+        results = source.search(query)
+        assert results.actual_filter_expression == translated.filter_expression
+        assert results.actual_ranking_expression == translated.ranking_expression
+
+    def test_ranking_dropped_for_boolean_only_source(self):
+        source = build_vendor_source("GrepMaster", "G", source1_documents())
+        translated, report = ClientTranslator().translate(
+            query_with_everything(), source.metadata()
+        )
+        assert translated.ranking_expression is None
+        assert not report.ranking_survived
+        assert report.filter_survived
+
+    def test_stop_word_preservation_flag(self):
+        source = build_vendor_source("ZeusFind", "Z", source1_documents())
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))'),
+            drop_stop_words=False,
+        )
+        translated, report = ClientTranslator().translate(query, source.metadata())
+        assert not report.stop_words_preserved
+        assert translated.drop_stop_words is True
+
+    def test_client_predicts_stop_word_elimination(self):
+        source = StartsSource("S", source1_documents())
+        query = SQuery(
+            ranking_expression=parse_expression(
+                'list((body-of-text "the") (body-of-text "databases"))'
+            )
+        )
+        translated, report = ClientTranslator().translate(query, source.metadata())
+        terms = [t.lstring.text for t in translated.ranking_expression.terms()]
+        assert terms == ["databases"]
+        assert any("stop word" in note for note in report.dropped)
+
+
+class TestWorthQuerying:
+    def test_totally_unsupported_query_flagged(self):
+        source = build_vendor_source("GrepMaster", "G", source1_documents())
+        ranking_only = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))')
+        )
+        assert not ClientTranslator().worth_querying(ranking_only, source.metadata())
+
+    def test_supported_query_flagged_true(self):
+        source = StartsSource("S", source1_documents())
+        assert ClientTranslator().worth_querying(
+            query_with_everything(), source.metadata()
+        )
+
+
+class TestReport:
+    def test_feature_loss_counts_drops(self):
+        source = StartsSource(
+            "S",
+            source1_documents(),
+            capabilities=SourceCapabilities.full_basic1().without_fields("author"),
+        )
+        _, report = ClientTranslator().translate(
+            query_with_everything(), source.metadata()
+        )
+        assert report.feature_loss == len(report.dropped) > 0

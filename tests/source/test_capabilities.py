@@ -1,0 +1,59 @@
+"""Capability declarations."""
+
+import pytest
+
+from repro.source.capabilities import SourceCapabilities
+
+
+class TestConstruction:
+    def test_full_basic1_supports_everything(self):
+        caps = SourceCapabilities.full_basic1()
+        assert caps.supports_field("title")
+        assert caps.supports_field("free-form-text")
+        assert caps.supports_modifier("stem")
+        assert caps.supports_ranking() and caps.supports_filter()
+
+    def test_required_fields_cannot_be_dropped(self):
+        with pytest.raises(ValueError):
+            SourceCapabilities(fields={"author": ()})
+
+    def test_bad_query_parts_rejected(self):
+        with pytest.raises(ValueError):
+            SourceCapabilities(query_parts="X")
+
+    @pytest.mark.parametrize("parts", ["R", "F", "RF", "rf"])
+    def test_valid_query_parts(self, parts):
+        SourceCapabilities(query_parts=parts)
+
+
+class TestVariants:
+    def test_without_fields(self):
+        caps = SourceCapabilities.full_basic1().without_fields("author")
+        assert not caps.supports_field("author")
+        assert caps.supports_field("title")
+
+    def test_without_modifiers(self):
+        caps = SourceCapabilities.full_basic1().without_modifiers("stem", "thesaurus")
+        assert not caps.supports_modifier("stem")
+        assert caps.supports_modifier("phonetic")
+
+    def test_field_alias_resolution(self):
+        caps = SourceCapabilities.full_basic1()
+        assert caps.supports_field("date-last-modified")
+
+
+class TestCombinations:
+    def test_unconstrained_by_default(self):
+        caps = SourceCapabilities.full_basic1()
+        assert caps.combination_is_legal("author", "stem")
+
+    def test_explicit_combination_list(self):
+        caps = SourceCapabilities(
+            combinations=frozenset({("author", "phonetic")}),
+        )
+        assert caps.combination_is_legal("author", "phonetic")
+        assert not caps.combination_is_legal("author", "stem")
+
+    def test_unsupported_parts_never_legal(self):
+        caps = SourceCapabilities.full_basic1().without_modifiers("stem")
+        assert not caps.combination_is_legal("author", "stem")

@@ -1,0 +1,94 @@
+"""Whole-source persistence: identical behaviour after reload."""
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.engine.persistence import PersistenceError
+from repro.source import SourceCapabilities, StartsSource
+from repro.source.persistence import load_source, save_source
+from repro.starts import SQuery, parse_expression
+from repro.vendors import build_vendor_source
+
+
+def queries():
+    yield SQuery(
+        filter_expression=parse_expression(
+            '((author "Ullman") and (title stem "databases"))'
+        ),
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+    )
+    yield SQuery(
+        ranking_expression=parse_expression('list((body-of-text "databases"))'),
+        max_number_documents=2,
+    )
+
+
+class TestRoundTrip:
+    def test_search_identical_after_reload(self, tmp_path):
+        original = StartsSource("Persisted", source1_documents())
+        save_source(original, tmp_path)
+        restored = load_source(tmp_path)
+        for query in queries():
+            assert original.search(query) == restored.search(query)
+
+    def test_metadata_identical_after_reload(self, tmp_path):
+        original = StartsSource(
+            "Persisted",
+            source1_documents(),
+            abstract="CS papers",
+            date_changed="1996-03-31",
+        )
+        save_source(original, tmp_path)
+        restored = load_source(tmp_path)
+        assert restored.metadata() == original.metadata()
+
+    def test_content_summary_identical(self, tmp_path):
+        original = StartsSource("Persisted", source1_documents())
+        save_source(original, tmp_path)
+        restored = load_source(tmp_path)
+        assert restored.content_summary() == original.content_summary()
+
+    def test_vendor_source_round_trip(self, tmp_path):
+        """A vendor with quirks (BM25, whitespace tokenizer, restricted
+        capabilities, native syntax) survives persistence."""
+        original = build_vendor_source("OkapiWorks", "Okapi-P", source1_documents())
+        save_source(original, tmp_path)
+        restored = load_source(tmp_path)
+        assert restored.metadata() == original.metadata()
+        for query in queries():
+            assert original.search(query) == restored.search(query)
+        # Free-form support persisted with the native syntax.
+        free_form = SQuery(
+            filter_expression=parse_expression('(free-form-text "+databases")')
+        )
+        assert original.search(free_form) == restored.search(free_form)
+
+    def test_boolean_only_source(self, tmp_path):
+        original = StartsSource(
+            "Grep-P",
+            source1_documents(),
+            capabilities=SourceCapabilities(query_parts="F"),
+        )
+        save_source(original, tmp_path)
+        restored = load_source(tmp_path)
+        assert restored.capabilities.query_parts == "F"
+        assert restored.engine.ranking is not None  # default engine ranking kept
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_source(tmp_path / "nothing-here")
+
+    def test_corrupt_ranking_id(self, tmp_path):
+        import json
+
+        original = StartsSource("P", source1_documents())
+        save_source(original, tmp_path)
+        payload = json.loads((tmp_path / "source.json").read_text())
+        payload["ranking"] = "NoSuch-1"
+        (tmp_path / "source.json").write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="ranking"):
+            load_source(tmp_path)

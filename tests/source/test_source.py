@@ -1,0 +1,181 @@
+"""StartsSource: answer specification, metadata export, summaries."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.engine.search import SearchEngine
+from repro.source import SourceCapabilities, StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.starts.query import SortKey
+
+
+@pytest.fixture
+def ranking_query():
+    return SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+        answer_fields=("title", "author"),
+    )
+
+
+class TestAnswerSpecification:
+    def test_answer_fields_returned(self, source1, ranking_query):
+        doc = source1.search(ranking_query).documents[0]
+        assert "title" in doc.fields
+        assert "author" in doc.fields
+
+    def test_unrequested_fields_omitted(self, source1, ranking_query):
+        query = replace(ranking_query, answer_fields=("title",))
+        doc = source1.search(query).documents[0]
+        assert "author" not in doc.fields
+
+    def test_linkage_always_returned(self, source1, ranking_query):
+        query = replace(ranking_query, answer_fields=("title",))
+        doc = source1.search(query).documents[0]
+        assert doc.linkage
+
+    def test_max_number_documents(self, source1, ranking_query):
+        query = replace(ranking_query, max_number_documents=1)
+        assert len(source1.search(query).documents) == 1
+
+    def test_min_document_score_filters(self, source1, ranking_query):
+        unfiltered = source1.search(ranking_query)
+        top = unfiltered.documents[0].raw_score
+        query = replace(ranking_query, min_document_score=top)
+        results = source1.search(query)
+        assert all(d.raw_score >= top for d in results.documents)
+        assert len(results.documents) < len(unfiltered.documents)
+
+    def test_default_sort_is_score_descending(self, source1, ranking_query):
+        scores = [d.raw_score for d in source1.search(ranking_query).documents]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_field_sort(self, source1, ranking_query):
+        query = replace(ranking_query, sort_keys=(SortKey("title", descending=False),))
+        titles = [d.fields["title"] for d in source1.search(query).documents]
+        assert titles == sorted(titles)
+
+    def test_result_cap_applies(self):
+        source = StartsSource(
+            "Capped",
+            source1_documents(),
+            capabilities=SourceCapabilities(result_cap=1),
+        )
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))'),
+            max_number_documents=10,
+        )
+        assert len(source.search(query).documents) == 1
+
+
+class TestProtocolBehaviour:
+    def test_invalid_query_rejected(self, source1):
+        from repro.starts.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            source1.search(SQuery())
+
+    def test_untranslatable_query_returns_empty_results(self):
+        source = StartsSource(
+            "RankOnly",
+            source1_documents(),
+            capabilities=SourceCapabilities(query_parts="R"),
+        )
+        query = SQuery(filter_expression=parse_expression('(title "databases")'))
+        results = source.search(query)
+        assert results.documents == ()
+        assert results.actual_filter_expression is None
+
+    def test_sources_attribute_names_this_source(self, source1, ranking_query):
+        results = source1.search(ranking_query)
+        assert results.sources == ("Source-1",)
+        for doc in results.documents:
+            assert doc.sources == ("Source-1",)
+
+    def test_stateless_repeated_queries_identical(self, source1, ranking_query):
+        first = source1.search(ranking_query)
+        second = source1.search(ranking_query)
+        assert first == second
+
+    def test_boolean_only_engine_downgrades_declared_parts(self):
+        source = StartsSource(
+            "Grep",
+            source1_documents(),
+            engine=SearchEngine(ranking=None),
+            capabilities=SourceCapabilities(query_parts="RF"),
+        )
+        assert source.capabilities.query_parts == "F"
+
+
+class TestMetadataExport:
+    def test_metadata_reflects_capabilities(self, source1):
+        metadata = source1.metadata()
+        assert metadata.supports_field("author")
+        assert metadata.turn_off_stop_words
+        assert metadata.score_range == (0.0, 1.0)
+
+    def test_restricted_capabilities_visible(self):
+        source = StartsSource(
+            "Limited",
+            source1_documents(),
+            capabilities=SourceCapabilities.full_basic1().without_fields("author"),
+        )
+        assert not source.metadata().supports_field("author")
+
+    def test_stop_word_list_exported(self, source1):
+        assert "the" in source1.metadata().stop_word_list
+
+    def test_urls_derive_from_base(self):
+        source = StartsSource("S", source1_documents(), base_url="http://h.org/s")
+        metadata = source.metadata()
+        assert metadata.linkage == "http://h.org/s/query"
+        assert metadata.content_summary_linkage == "http://h.org/s/cont_sum.txt"
+        assert metadata.sample_database_results == "http://h.org/s/sample"
+
+    def test_optional_attributes_passed_through(self):
+        source = StartsSource(
+            "S",
+            source1_documents(),
+            abstract="CS papers",
+            contact="admin@example.org",
+            access_constraints="none",
+            date_changed="1996-03-31",
+        )
+        metadata = source.metadata()
+        assert metadata.abstract == "CS papers"
+        assert metadata.contact == "admin@example.org"
+        assert metadata.date_changed == "1996-03-31"
+
+
+class TestContentSummary:
+    def test_summary_counts_documents(self, source1):
+        assert source1.content_summary().num_docs == 3
+
+    def test_summary_contains_body_words(self, source1):
+        summary = source1.content_summary()
+        assert summary.document_frequency("databases") > 0
+
+    def test_truncation_keeps_most_frequent(self, source1):
+        full = source1.content_summary()
+        small = source1.content_summary(max_words_per_section=3)
+        assert small.vocabulary_size() < full.vocabulary_size()
+        # The dominant body word survives truncation.
+        assert small.document_frequency("databases") > 0
+
+
+class TestSampleResults:
+    def test_sample_results_round_trip(self, source1):
+        from repro.source.sample import SampleResults
+        from repro.starts.soif import parse_soif
+
+        sample = source1.sample_results()
+        parsed = SampleResults.from_soif(parse_soif(sample.to_soif().dump()))
+        assert parsed == sample
+
+    def test_scores_respect_engine_range(self, source1):
+        sample = source1.sample_results()
+        for score in sample.all_scores():
+            assert 0.0 <= score <= 1.0

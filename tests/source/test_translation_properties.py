@@ -1,0 +1,137 @@
+"""Property tests on query down-translation.
+
+The central protocol property: pruning is **idempotent** — the actual
+query a source reports is fully supported by that source, so
+re-translating it changes nothing.  This is what makes the client-side
+prediction (ClientTranslator) coherent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.source.capabilities import SourceCapabilities
+from repro.source.execution import QueryTranslator
+from repro.starts.ast import SAnd, SAndNot, SList, SOr, SProx, STerm
+from repro.starts.attributes import FieldRef, ModifierRef
+from repro.starts.lstring import LString
+from repro.text.analysis import Analyzer
+
+_FIELDS = ["title", "author", "body-of-text", "any", "abstract"]
+_MODIFIERS = ["stem", "phonetic", "thesaurus", "right-truncation", "case-sensitive"]
+_WORDS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+
+
+@st.composite
+def terms(draw):
+    word = draw(st.sampled_from(_WORDS))
+    field = draw(st.sampled_from(_FIELDS + [None]))
+    modifiers = tuple(
+        ModifierRef(m)
+        for m in draw(st.lists(st.sampled_from(_MODIFIERS), max_size=2, unique=True))
+    )
+    return STerm(
+        LString(word), FieldRef(field) if field else None, modifiers
+    )
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        return draw(terms())
+    kind = draw(st.sampled_from(["term", "and", "or", "and-not", "prox", "list"]))
+    if kind == "term":
+        return draw(terms())
+    if kind == "and":
+        return SAnd(
+            tuple(draw(st.lists(expressions(depth=depth - 1), min_size=2, max_size=3)))
+        )
+    if kind == "or":
+        return SOr(
+            tuple(draw(st.lists(expressions(depth=depth - 1), min_size=2, max_size=3)))
+        )
+    if kind == "and-not":
+        return SAndNot(
+            draw(expressions(depth=depth - 1)), draw(expressions(depth=depth - 1))
+        )
+    if kind == "prox":
+        return SProx(draw(terms()), draw(terms()), draw(st.integers(0, 3)))
+    return SList(
+        tuple(draw(st.lists(expressions(depth=depth - 1), min_size=1, max_size=3)))
+    )
+
+
+@st.composite
+def capabilities(draw):
+    dropped_fields = draw(
+        st.lists(st.sampled_from(["author", "body-of-text", "abstract"]), max_size=2, unique=True)
+    )
+    dropped_modifiers = draw(
+        st.lists(st.sampled_from(_MODIFIERS), max_size=3, unique=True)
+    )
+    caps = SourceCapabilities(
+        fields={
+            name: ()
+            for name in SourceCapabilities.full_basic1().fields
+            if name not in dropped_fields
+        }
+        | ({"abstract": ()} if "abstract" not in dropped_fields else {}),
+        supports_prox=draw(st.booleans()),
+        query_parts=draw(st.sampled_from(["RF", "F", "R"])),
+    )
+    return caps.without_modifiers(*dropped_modifiers)
+
+
+def _translator(caps):
+    return QueryTranslator(caps, Analyzer())
+
+
+@settings(max_examples=120, deadline=None)
+@given(expressions(), capabilities())
+def test_filter_translation_is_idempotent(expression, caps):
+    translator = _translator(caps)
+    first = translator.translate_filter(expression, drop_stop_words=True)
+    if first.actual is None:
+        return
+    second = translator.translate_filter(first.actual, drop_stop_words=True)
+    assert second.actual == first.actual
+    assert second.dropped == [] or all(
+        "free-form" in note or "parsed" in note for note in second.dropped
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(expressions(), capabilities())
+def test_ranking_translation_is_idempotent(expression, caps):
+    translator = _translator(caps)
+    first = translator.translate_ranking(expression, drop_stop_words=True)
+    if first.actual is None:
+        return
+    second = translator.translate_ranking(first.actual, drop_stop_words=True)
+    assert second.actual == first.actual
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions(), capabilities())
+def test_actual_query_only_uses_supported_features(expression, caps):
+    """Every term surviving translation names a supported field and
+    only supported, legal modifiers."""
+    translator = _translator(caps)
+    outcome = translator.translate_filter(expression, drop_stop_words=True)
+    if outcome.actual is None:
+        return
+    for term in outcome.actual.terms():
+        assert caps.supports_field(term.field_name)
+        for modifier in term.modifier_names():
+            assert caps.combination_is_legal(term.field_name, modifier)
+
+
+@settings(max_examples=100, deadline=None)
+@given(expressions(), capabilities())
+def test_terms_never_invented(expression, caps):
+    """Translation only removes terms; it never adds words."""
+    translator = _translator(caps)
+    outcome = translator.translate_filter(expression, drop_stop_words=True)
+    if outcome.actual is None:
+        return
+    original_words = {t.lstring.text for t in expression.terms()}
+    surviving_words = {t.lstring.text for t in outcome.actual.terms()}
+    assert surviving_words <= original_words

@@ -1,0 +1,77 @@
+"""Incremental collection updates and their visibility to harvesters."""
+
+from repro.corpus import lagunita_document, source1_documents
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+
+
+def ranking_query():
+    return SQuery(
+        ranking_expression=parse_expression('list((body-of-text "databases"))')
+    )
+
+
+class TestAddDocuments:
+    def test_document_count_grows(self, source1):
+        before = source1.document_count
+        source1.add_documents([lagunita_document()])
+        assert source1.document_count == before + 1
+
+    def test_new_documents_searchable(self, source1):
+        source1.add_documents([lagunita_document()])
+        linkages = {d.linkage for d in source1.search(ranking_query()).documents}
+        assert "http://elib.stanford.edu/lagunita.ps" in linkages
+
+    def test_summary_reflects_update(self):
+        source = StartsSource("Evolving", source1_documents())
+        before_df = source.content_summary().document_frequency("databases")
+        source.add_documents([lagunita_document()])
+        after_df = source.content_summary().document_frequency("databases")
+        assert after_df == before_df + 1
+
+    def test_date_changed_bumped(self):
+        source = StartsSource(
+            "Evolving", source1_documents(), date_changed="1996-01-01"
+        )
+        source.add_documents([lagunita_document()], date_changed="1996-09-01")
+        assert source.metadata().date_changed == "1996-09-01"
+
+    def test_date_unchanged_without_stamp(self):
+        source = StartsSource(
+            "Evolving", source1_documents(), date_changed="1996-01-01"
+        )
+        source.add_documents([lagunita_document()])
+        assert source.metadata().date_changed == "1996-01-01"
+
+    def test_term_statistics_consistent_after_update(self, source1):
+        source1.add_documents([lagunita_document()])
+        results = source1.search(ranking_query())
+        for document in results.documents:
+            for stats in document.term_stats:
+                assert stats.document_frequency <= source1.document_count
+
+
+class TestRemoveDocuments:
+    def test_removed_documents_disappear(self):
+        source = StartsSource("Shrinking", source1_documents())
+        removed = source.remove_documents(
+            ["http://www-db.stanford.edu/~ullman/pub/dood.ps"],
+            date_changed="1996-10-01",
+        )
+        assert removed == 1
+        assert source.document_count == 2
+        linkages = {d.linkage for d in source.search(ranking_query()).documents}
+        assert "http://www-db.stanford.edu/~ullman/pub/dood.ps" not in linkages
+        assert source.metadata().date_changed == "1996-10-01"
+
+    def test_absent_linkages_counted_as_zero(self):
+        source = StartsSource("Stable", source1_documents(), date_changed="1996-01-01")
+        assert source.remove_documents(["http://nope"], date_changed="1996-10-01") == 0
+        # No removal, no date bump.
+        assert source.metadata().date_changed == "1996-01-01"
+
+    def test_summary_shrinks_after_removal(self):
+        source = StartsSource("Shrinking", source1_documents())
+        before = source.content_summary().num_docs
+        source.remove_documents(["http://www-db.stanford.edu/pub/gravano95.ps"])
+        assert source.content_summary().num_docs == before - 1

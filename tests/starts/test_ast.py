@@ -1,0 +1,126 @@
+"""The expression AST: construction rules and serialization forms."""
+
+import pytest
+
+from repro.starts.ast import SAnd, SAndNot, SList, SOr, SProx, STerm
+from repro.starts.attributes import FieldRef, ModifierRef
+from repro.starts.errors import ProtocolError
+from repro.starts.lstring import LString
+
+
+def term(text, field=None, modifiers=(), weight=1.0):
+    field_ref = FieldRef(field) if field else None
+    mods = tuple(ModifierRef(m) for m in modifiers)
+    return STerm(LString(text), field_ref, mods, weight)
+
+
+class TestTermSerialization:
+    def test_fielded(self):
+        assert term("Ullman", "author").serialize() == '(author "Ullman")'
+
+    def test_with_modifier(self):
+        assert (
+            term("databases", "title", ["stem"]).serialize()
+            == '(title stem "databases")'
+        )
+
+    def test_comparison(self):
+        assert (
+            term("1996-08-01", "date/time-last-modified", [">"]).serialize()
+            == '(date/time-last-modified > "1996-08-01")'
+        )
+
+    def test_bare_lstring_unparenthesized(self):
+        assert term("distributed").serialize() == '"distributed"'
+
+    def test_weighted_bare_term(self):
+        assert term("distributed", weight=0.7).serialize() == '("distributed" 0.7)'
+
+    def test_field_name_property(self):
+        assert term("x").field_name == "any"
+        assert term("x", "title").field_name == "title"
+
+
+class TestWeightValidation:
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ProtocolError):
+            term("x", weight=0.0)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ProtocolError):
+            term("x", weight=1.5)
+
+    def test_boundary_one_allowed(self):
+        assert term("x", weight=1.0).weight == 1.0
+
+
+class TestOperators:
+    def test_and_serialization(self):
+        node = SAnd((term("Ullman", "author"), term("databases", "title")))
+        assert node.serialize() == '((author "Ullman") and (title "databases"))'
+
+    def test_nary_and(self):
+        node = SAnd((term("a", "title"), term("b", "title"), term("c", "title")))
+        assert node.serialize().count(" and ") == 2
+
+    def test_or_and_not(self):
+        node = SAndNot(term("a", "title"), term("b", "title"))
+        assert "and-not" in node.serialize()
+
+    def test_minimum_arity_enforced(self):
+        with pytest.raises(ProtocolError):
+            SAnd((term("a"),))
+        with pytest.raises(ProtocolError):
+            SOr((term("a"),))
+
+    def test_bare_operands_get_wrapped(self):
+        node = SAnd((term("distributed"), term("databases")))
+        assert node.serialize() == '(("distributed") and ("databases"))'
+
+
+class TestProx:
+    def test_serialization_matches_example3(self):
+        node = SProx(term("t1", "title"), term("t2", "title"), 3, True)
+        assert node.serialize() == '((title "t1") prox[3,T] (title "t2"))'
+
+    def test_unordered_flag(self):
+        node = SProx(term("a"), term("b"), 0, False)
+        assert "prox[0,F]" in node.serialize()
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ProtocolError):
+            SProx(term("a"), term("b"), -1)
+
+
+class TestList:
+    def test_example1_ranking_expression(self):
+        node = SList(
+            (term("distributed", "body-of-text"), term("databases", "body-of-text"))
+        )
+        assert (
+            node.serialize()
+            == 'list((body-of-text "distributed") (body-of-text "databases"))'
+        )
+
+    def test_example5_weighted_list(self):
+        node = SList((term("distributed", weight=0.7), term("databases", weight=0.3)))
+        assert node.serialize() == 'list(("distributed" 0.7) ("databases" 0.3))'
+
+    def test_example4_bare_list(self):
+        node = SList((term("distributed"), term("databases")))
+        assert node.serialize() == 'list("distributed" "databases")'
+
+
+class TestTraversal:
+    def test_terms_in_order(self):
+        node = SAnd(
+            (
+                term("a", "title"),
+                SOr((term("b"), SAndNot(term("c"), term("d")))),
+            )
+        )
+        assert [t.lstring.text for t in node.terms()] == ["a", "b", "c", "d"]
+
+    def test_comparison_detection(self):
+        assert term("d", "date/time-last-modified", [">"]).comparison_modifier_present()
+        assert not term("x", "title", ["stem"]).comparison_modifier_present()

@@ -1,0 +1,96 @@
+"""Golden wire fixtures: serialization stability across releases.
+
+The checked-in ``tests/data/*.soif`` files are the canonical wire bytes
+for the paper's running scenario.  If an innocuous-looking refactor
+changes them, these tests fail — which is the point: STARTS blobs are a
+published interface, and byte-level drift silently breaks every cached
+summary and every interoperating client.
+
+To intentionally evolve the format, regenerate the fixtures (see each
+test's ``_generate`` twin) and note the change in docs/protocol.md.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.source import StartsSource
+from repro.starts import (
+    SContentSummary,
+    SMetaAttributes,
+    SQResults,
+    SQuery,
+    parse_expression,
+    parse_soif,
+)
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+
+
+@pytest.fixture(scope="module")
+def source():
+    return StartsSource("Source-1", source1_documents())
+
+
+@pytest.fixture(scope="module")
+def query():
+    return SQuery(
+        filter_expression=parse_expression(
+            '((author "Ullman") and (title stem "databases"))'
+        ),
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        ),
+        min_document_score=0.0,
+        max_number_documents=10,
+        answer_fields=("title", "author"),
+    )
+
+
+class TestGoldenBytes:
+    def test_query_bytes_stable(self, query):
+        assert query.to_soif().dump() == (DATA / "golden_query.soif").read_text()
+
+    def test_results_bytes_stable(self, source, query):
+        assert source.search(query).to_soif_stream() == (
+            DATA / "golden_results.soif"
+        ).read_text()
+
+    def test_metadata_bytes_stable(self, source):
+        assert source.metadata().to_soif().dump() == (
+            DATA / "golden_metadata.soif"
+        ).read_text()
+
+    def test_summary_bytes_stable(self, source):
+        assert source.content_summary(max_words_per_section=10).to_soif().dump() == (
+            DATA / "golden_summary.soif"
+        ).read_text()
+
+
+class TestGoldenParses:
+    """The fixtures also serve as decoder conformance inputs."""
+
+    def test_query_decodes(self, query):
+        decoded = SQuery.from_soif(parse_soif((DATA / "golden_query.soif").read_text()))
+        assert decoded == query
+
+    def test_results_decode(self):
+        results = SQResults.from_soif_stream(
+            (DATA / "golden_results.soif").read_text()
+        )
+        assert results.sources == ("Source-1",)
+        assert results.documents[0].linkage.endswith("dood.ps")
+
+    def test_metadata_decodes(self, source):
+        decoded = SMetaAttributes.from_soif(
+            parse_soif((DATA / "golden_metadata.soif").read_text())
+        )
+        assert decoded == source.metadata()
+
+    def test_summary_decodes(self):
+        summary = SContentSummary.from_soif(
+            parse_soif((DATA / "golden_summary.soif").read_text())
+        )
+        assert summary.num_docs == 3
+        assert summary.document_frequency("databases") > 0

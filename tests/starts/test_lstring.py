@@ -1,0 +1,67 @@
+"""l-strings: defaults, qualification, serialization."""
+
+import pytest
+
+from repro.starts.errors import QuerySyntaxError
+from repro.starts.lstring import LString, parse_lstring
+from repro.text.langtags import LanguageTag
+
+
+class TestDefaults:
+    def test_unqualified_defaults_to_english(self):
+        """The paper: English/ASCII are invisible defaults."""
+        ls = LString("databases")
+        assert ls.language is None
+        assert ls.effective_language == LanguageTag("en")
+        assert not ls.is_qualified()
+
+    def test_qualified_keeps_language(self):
+        ls = LString("behavior", LanguageTag("en", ("US",)))
+        assert ls.is_qualified()
+        assert str(ls.effective_language) == "en-US"
+
+
+class TestSerialization:
+    def test_plain(self):
+        assert LString("Ullman").serialize() == '"Ullman"'
+
+    def test_qualified(self):
+        """The paper's example: [en-US "behavior"]."""
+        ls = LString("behavior", LanguageTag("en", ("US",)))
+        assert ls.serialize() == '[en-US "behavior"]'
+
+    def test_embedded_quotes_escaped(self):
+        ls = LString('say "hi"')
+        assert ls.serialize() == '"say \\"hi\\""'
+        assert parse_lstring(ls.serialize()) == ls
+
+    def test_utf8_ascii_identity(self):
+        """The paper's "nice property": plain English encodes to itself."""
+        assert LString("databases").encode_utf8() == b"databases"
+
+    def test_utf8_non_ascii(self):
+        assert LString("análisis").encode_utf8().decode("utf-8") == "análisis"
+
+
+class TestParsing:
+    def test_quoted(self):
+        assert parse_lstring('"Ullman"') == LString("Ullman")
+
+    def test_bare(self):
+        assert parse_lstring("Ullman") == LString("Ullman")
+
+    def test_qualified(self):
+        ls = parse_lstring('[en-US "behavior"]')
+        assert ls.text == "behavior"
+        assert str(ls.language) == "en-US"
+
+    def test_round_trip(self):
+        for ls in (LString("x"), LString("ñ", LanguageTag("es"))):
+            assert parse_lstring(ls.serialize()) == ls
+
+    @pytest.mark.parametrize(
+        "bad", ['[en "x"', "[en]", '"unterminated', 'stray"quote']
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_lstring(bad)

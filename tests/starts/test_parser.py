@@ -1,0 +1,200 @@
+"""The query-language parser, including a serialize/parse round-trip
+property over randomly generated ASTs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.starts.ast import SAnd, SAndNot, SList, SOr, SProx, STerm
+from repro.starts.attributes import FieldRef, ModifierRef
+from repro.starts.errors import QuerySyntaxError
+from repro.starts.lstring import LString
+from repro.starts.parser import parse_expression
+from repro.text.langtags import LanguageTag
+
+
+class TestPaperExpressions:
+    """Every expression that appears verbatim in the paper parses."""
+
+    def test_example1_filter(self):
+        node = parse_expression('((author "Ullman") and (title "databases"))')
+        assert isinstance(node, SAnd)
+        assert node.children[0] == STerm(LString("Ullman"), FieldRef("author"))
+
+    def test_example1_ranking(self):
+        node = parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        )
+        assert isinstance(node, SList)
+        assert len(node.children) == 2
+
+    def test_example2_stem(self):
+        node = parse_expression('(title stem "databases")')
+        assert isinstance(node, STerm)
+        assert node.modifier_names() == ("stem",)
+
+    def test_example3_prox(self):
+        node = parse_expression('((title "t1") prox[3,T] (title "t2"))')
+        assert isinstance(node, SProx)
+        assert node.distance == 3
+        assert node.ordered
+
+    def test_example4_boolean_ranking(self):
+        node = parse_expression('("distributed" and "databases")')
+        assert isinstance(node, SAnd)
+
+    def test_example4_list_ranking(self):
+        node = parse_expression('list("distributed" "databases")')
+        assert isinstance(node, SList)
+        assert all(isinstance(child, STerm) for child in node.children)
+
+    def test_example5_weights(self):
+        node = parse_expression('list(("distributed" 0.7) ("databases" 0.3))')
+        assert [t.weight for t in node.terms()] == [0.7, 0.3]
+
+    def test_tex_quotes_accepted(self):
+        """The paper's typography: ``databases'' parses as "databases"."""
+        node = parse_expression("(title ``databases'')")
+        assert node == STerm(LString("databases"), FieldRef("title"))
+
+    def test_date_comparison(self):
+        node = parse_expression('(date-last-modified > "1996-08-01")')
+        assert node.field_name == "date/time-last-modified"
+        assert node.modifier_names() == (">",)
+
+    def test_language_qualified_term(self):
+        node = parse_expression('(body-of-text [en-US "behavior"])')
+        assert node.lstring.language == LanguageTag("en", ("US",))
+
+
+class TestGrammarCorners:
+    def test_empty_is_none(self):
+        assert parse_expression("") is None
+        assert parse_expression("   ") is None
+
+    def test_bare_lstring(self):
+        assert parse_expression('"databases"') == STerm(LString("databases"))
+
+    def test_modifier_without_field(self):
+        node = parse_expression('(stem "databases")')
+        assert node.field is None
+        assert node.modifier_names() == ("stem",)
+
+    def test_multiple_modifiers(self):
+        node = parse_expression('(title stem case-sensitive "Databases")')
+        assert node.modifier_names() == ("stem", "case-sensitive")
+
+    def test_set_qualified_field_and_modifier(self):
+        node = parse_expression('([basic-1 author] {basic-1 phonetic} "Ullman")')
+        assert node.field == FieldRef("author", "basic-1")
+        assert node.modifiers == (ModifierRef("phonetic", "basic-1"),)
+
+    def test_left_associative_mixed_operators(self):
+        node = parse_expression('((a "x") and (b "y") or (c "z"))')
+        assert isinstance(node, SOr)
+        assert isinstance(node.children[0], SAnd)
+
+    def test_and_chain_stays_nary(self):
+        node = parse_expression('((a "x") and (b "y") and (c "z"))')
+        assert isinstance(node, SAnd)
+        assert len(node.children) == 3
+
+    def test_nested_groups(self):
+        node = parse_expression('(((a "x") or (b "y")) and-not (c "z"))')
+        assert isinstance(node, SAndNot)
+        assert isinstance(node.positive, SOr)
+
+    def test_prox_case_insensitive_flag(self):
+        node = parse_expression('((a "x") prox[2,f] (b "y"))')
+        assert not node.ordered
+
+    def test_list_of_mixed_items(self):
+        node = parse_expression('list("bare" (title "fielded") ((a "x") and (b "y")))')
+        assert len(node.children) == 3
+        assert isinstance(node.children[2], SAnd)
+
+    def test_empty_list(self):
+        node = parse_expression("list()")
+        assert node == SList(())
+
+    def test_escaped_quotes_in_strings(self):
+        node = parse_expression('(title "say \\"hi\\"")')
+        assert node.lstring.text == 'say "hi"'
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "(title",  # unterminated
+            '(title "a" "b")',  # two l-strings
+            '((a "x") and)',  # dangling operator
+            '((a "x") frob (b "y"))',  # unknown operator
+            '(title title2 "x")',  # two fields
+            '(stem title "x")',  # field after modifier
+            '((a "x") prox[1,T] ((b "y") and (c "z")))',  # non-atomic prox
+            '(title "x") trailing',  # trailing tokens
+            "()",  # empty group
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_expression('(title "x") trailing')
+        except QuerySyntaxError as error:
+            assert error.position is not None
+
+
+# -- round-trip property over generated ASTs -------------------------------
+
+_words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+_fields = st.sampled_from(["title", "author", "body-of-text", "any"])
+_modifiers = st.lists(
+    st.sampled_from(["stem", "phonetic", "thesaurus", "case-sensitive"]),
+    max_size=2,
+    unique=True,
+)
+
+
+@st.composite
+def terms(draw):
+    word = draw(_words)
+    use_field = draw(st.booleans())
+    field = FieldRef(draw(_fields)) if use_field else None
+    modifiers = tuple(ModifierRef(m) for m in draw(_modifiers))
+    weight = draw(st.sampled_from([1.0, 0.5, 0.25]))
+    language = draw(st.sampled_from([None, LanguageTag("en", ("US",)), LanguageTag("es")]))
+    return STerm(LString(word, language), field, modifiers, weight)
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        return draw(terms())
+    kind = draw(st.sampled_from(["term", "and", "or", "and-not", "prox", "list"]))
+    if kind == "term":
+        return draw(terms())
+    if kind in ("and", "or"):
+        children = tuple(
+            draw(st.lists(expressions(depth=depth - 1), min_size=2, max_size=3))
+        )
+        return SAnd(children) if kind == "and" else SOr(children)
+    if kind == "and-not":
+        return SAndNot(
+            draw(expressions(depth=depth - 1)), draw(expressions(depth=depth - 1))
+        )
+    if kind == "prox":
+        return SProx(
+            draw(terms()), draw(terms()), draw(st.integers(0, 5)), draw(st.booleans())
+        )
+    return SList(tuple(draw(st.lists(expressions(depth=depth - 1), max_size=3))))
+
+
+@given(expressions())
+def test_serialize_parse_round_trip(node):
+    """parse(serialize(x)) == x for arbitrary well-formed expressions."""
+    text = node.serialize()
+    reparsed = parse_expression(text)
+    assert reparsed == node

@@ -1,0 +1,49 @@
+"""Parser robustness: arbitrary input never crashes unexpectedly.
+
+The parser's contract: any string either parses to an expression,
+yields None (blank input), or raises :class:`QuerySyntaxError` /
+:class:`ProtocolError` (weight bounds) — never an unrelated exception.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.starts.errors import ProtocolError, QuerySyntaxError
+from repro.starts.parser import parse_expression
+from repro.text.langtags import InvalidLanguageTag
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=120))
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_expression(text)
+    except (QuerySyntaxError, ProtocolError, InvalidLanguageTag):
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.text(
+        alphabet='()[]{}"abc stemandornotproxlist0123456789.,<>=!',
+        max_size=80,
+    )
+)
+def test_grammar_shaped_text_never_crashes(text):
+    """Denser in grammar tokens, so deeper parser paths get fuzzed."""
+    try:
+        parse_expression(text)
+    except (QuerySyntaxError, ProtocolError, InvalidLanguageTag):
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=80))
+def test_parse_of_parse_is_stable(text):
+    """Whatever parses once reparses to the same expression."""
+    try:
+        node = parse_expression(text)
+    except (QuerySyntaxError, ProtocolError, InvalidLanguageTag):
+        return
+    if node is None:
+        return
+    assert parse_expression(node.serialize()) == node

@@ -1,0 +1,112 @@
+"""SQuery: defaults, validation, SOIF round trips."""
+
+import pytest
+
+from repro.starts.ast import SList, STerm
+from repro.starts.errors import ProtocolError, SoifSyntaxError
+from repro.starts.lstring import LString
+from repro.starts.parser import parse_expression
+from repro.starts.query import SCORE_SORT_FIELD, SortKey, SQuery
+from repro.starts.soif import parse_soif
+
+
+def ranking():
+    return SList((STerm(LString("databases")),))
+
+
+class TestDefaults:
+    def test_section_412_defaults(self):
+        """§4.1.2: answer fields default to Title (plus Linkage, always
+        returned); sort defaults to score descending."""
+        query = SQuery(ranking_expression=ranking())
+        assert query.answer_fields == ("title",)
+        assert query.sort_keys == (SortKey(SCORE_SORT_FIELD, descending=True),)
+        assert query.drop_stop_words is True
+        assert query.default_attribute_set == "basic-1"
+        assert query.default_language == "en-US"
+
+
+class TestValidation:
+    def test_needs_some_expression(self):
+        with pytest.raises(ProtocolError):
+            SQuery().validate()
+
+    def test_filter_only_valid(self):
+        SQuery(filter_expression=parse_expression('(title "x")')).validate()
+
+    def test_ranking_only_valid(self):
+        SQuery(ranking_expression=ranking()).validate()
+
+    def test_negative_max_docs_rejected(self):
+        with pytest.raises(ProtocolError):
+            SQuery(ranking_expression=ranking(), max_number_documents=-1).validate()
+
+
+class TestSortKey:
+    def test_serialize(self):
+        assert SortKey("score", True).serialize() == "score d"
+        assert SortKey("title", False).serialize() == "title a"
+
+    def test_parse(self):
+        assert SortKey.parse("title a") == SortKey("title", False)
+        assert SortKey.parse("score") == SortKey("score", True)
+
+    def test_parse_rejects_bad_direction(self):
+        with pytest.raises(SoifSyntaxError):
+            SortKey.parse("title x")
+
+
+class TestSoifRoundTrip:
+    def test_full_round_trip(self, example6_query):
+        text = example6_query.to_soif().dump()
+        assert SQuery.from_soif(parse_soif(text)) == example6_query
+
+    def test_example6_attribute_names_on_wire(self, example6_query):
+        """The SOIF attribute names match the paper's Example 6."""
+        text = example6_query.to_soif().dump()
+        for name in (
+            "Version{10}: STARTS 1.0",
+            "FilterExpression{",
+            "RankingExpression{",
+            "DropStopWords{1}: T",
+            "DefaultAttributeSet{7}: basic-1",
+            "DefaultLanguage{5}: en-US",
+            "AnswerFields{12}: title author",
+            "MinDocumentScore{3}: 0.5",
+            "MaxNumberDocuments{2}: 10",
+        ):
+            assert name in text
+
+    def test_example6_byte_counts_match_paper(self, example6_query):
+        """The paper shows FilterExpression{48}: our canonical
+        serialization of the same expression has the same 48 bytes."""
+        text = example6_query.to_soif().dump()
+        assert "FilterExpression{48}:" in text
+        assert "RankingExpression{61}:" in text
+
+    def test_sources_round_trip(self):
+        query = SQuery(ranking_expression=ranking()).with_sources("Source-2", "Source-3")
+        parsed = SQuery.from_soif(parse_soif(query.to_soif().dump()))
+        assert parsed.sources == ("Source-2", "Source-3")
+
+    def test_missing_optional_attributes_take_defaults(self):
+        text = '@SQuery{\nRankingExpression{17}: list("databases")\n}\n'
+        query = SQuery.from_soif(parse_soif(text))
+        assert query.drop_stop_words is True
+        assert query.max_number_documents == 20
+        assert query.answer_fields == ("title",)
+
+    def test_wrong_template_rejected(self):
+        with pytest.raises(SoifSyntaxError):
+            SQuery.from_soif(parse_soif("@Wrong{\n}\n"))
+
+    def test_bad_flag_rejected(self):
+        text = "@SQuery{\nDropStopWords{1}: X\n}\n"
+        with pytest.raises(SoifSyntaxError):
+            SQuery.from_soif(parse_soif(text))
+
+
+class TestHelpers:
+    def test_expression_terms_spans_both_expressions(self, example6_query):
+        texts = [t.lstring.text for t in example6_query.expression_terms()]
+        assert texts == ["Ullman", "databases", "distributed", "databases"]

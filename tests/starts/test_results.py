@@ -1,0 +1,117 @@
+"""SQResults / SQRDocument / TermStats wire behaviour."""
+
+import pytest
+
+from repro.starts.ast import STerm
+from repro.starts.attributes import FieldRef
+from repro.starts.errors import SoifSyntaxError
+from repro.starts.lstring import LString
+from repro.starts.parser import parse_expression
+from repro.starts.results import SQRDocument, SQResults, TermStats
+
+
+def stats(text="distributed", tf=10, weight=0.31, df=190):
+    return TermStats(STerm(LString(text), FieldRef("body-of-text")), tf, weight, df)
+
+
+def document():
+    return SQRDocument(
+        linkage="http://www-db.stanford.edu/~ullman/pub/dood.ps",
+        raw_score=0.82,
+        sources=("Source-1",),
+        fields={"title": "A Comparison", "author": "Jeffrey D. Ullman"},
+        term_stats=(stats(), stats("databases", 15, 0.51, 232)),
+        doc_size=248,
+        doc_count=10213,
+    )
+
+
+class TestTermStats:
+    def test_serialize_matches_example8_shape(self):
+        line = stats().serialize()
+        assert line == '(body-of-text "distributed") 10 0.31 190'
+
+    def test_parse_round_trip(self):
+        line = stats().serialize()
+        assert TermStats.parse(line) == stats()
+
+    def test_parse_rejects_short_lines(self):
+        with pytest.raises(SoifSyntaxError):
+            TermStats.parse('(body-of-text "x") 10 0.31')
+
+    def test_parse_rejects_non_terms(self):
+        with pytest.raises(SoifSyntaxError):
+            TermStats.parse('((a "x") and (b "y")) 1 0.5 2')
+
+
+class TestSQRDocument:
+    def test_round_trip(self):
+        doc = document()
+        from repro.starts.soif import parse_soif
+
+        assert SQRDocument.from_soif(parse_soif(doc.to_soif().dump())) == doc
+
+    def test_linkage_always_present(self):
+        from repro.starts.soif import parse_soif
+
+        with pytest.raises(SoifSyntaxError):
+            SQRDocument.from_soif(parse_soif("@SQRDocument{\n}\n"))
+
+    def test_get_returns_linkage_and_fields(self):
+        doc = document()
+        assert doc.get("linkage") == doc.linkage
+        assert doc.get("author") == "Jeffrey D. Ullman"
+        assert doc.get("missing", "") == ""
+
+
+class TestSQResults:
+    def test_stream_round_trip(self):
+        results = SQResults(
+            sources=("Source-1",),
+            actual_filter_expression=parse_expression('(author "Ullman")'),
+            actual_ranking_expression=parse_expression('(body-of-text "databases")'),
+            documents=(document(),),
+        )
+        parsed = SQResults.from_soif_stream(results.to_soif_stream())
+        assert parsed == results
+
+    def test_example7_actual_query_reporting(self):
+        """A source that ignored the ranking expression reports only the
+        filter it processed (Example 7)."""
+        results = SQResults(
+            sources=("Source-1",),
+            actual_filter_expression=parse_expression(
+                '((author "Ullman") and (title stem "databases"))'
+            ),
+            actual_ranking_expression=None,
+        )
+        stream = results.to_soif_stream()
+        assert "ActualFilterExpression" in stream
+        assert "ActualRankingExpression" not in stream
+        parsed = SQResults.from_soif_stream(stream)
+        assert parsed.actual_ranking_expression is None
+
+    def test_num_doc_soifs_consistency_checked(self):
+        stream = (
+            "@SQResults{\nVersion{10}: STARTS 1.0\nSources{1}: S\n"
+            "NumDocSOIFs{1}: 2\n}\n"
+        )
+        with pytest.raises(SoifSyntaxError):
+            SQResults.from_soif_stream(stream)
+
+    def test_stream_must_start_with_header(self):
+        doc_stream = document().to_soif().dump()
+        with pytest.raises(SoifSyntaxError):
+            SQResults.from_soif_stream(doc_stream)
+
+    def test_empty_results_valid(self):
+        results = SQResults(sources=("S",))
+        parsed = SQResults.from_soif_stream(results.to_soif_stream())
+        assert parsed.documents == ()
+        assert parsed.num_doc_soifs == 0
+
+    def test_validate_requires_sources(self):
+        from repro.starts.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            SQResults(sources=()).validate()

@@ -1,0 +1,76 @@
+"""SOIF reader robustness: line endings, unicode counts, odd spacing."""
+
+import pytest
+
+from repro.starts.errors import SoifSyntaxError
+from repro.starts.soif import SoifObject, parse_soif
+
+
+class TestLineEndings:
+    def test_crlf_between_attributes(self):
+        text = "@T{\r\nName{1}: x\r\nOther{1}: y\r\n}\r\n"
+        obj = parse_soif(text)
+        assert obj["Name"] == "x"
+        assert obj["Other"] == "y"
+
+    def test_crlf_inside_value_counted_as_bytes(self):
+        value = "line1\r\nline2"
+        obj = SoifObject("T").add("v", value)
+        assert parse_soif(obj.dump())["v"] == value
+
+    def test_no_trailing_newline(self):
+        assert parse_soif("@T{\nv{1}: x\n}")["v"] == "x"
+
+
+class TestByteCounts:
+    def test_multibyte_value_boundaries(self):
+        # é is 2 bytes; the count must be bytes, not characters.
+        text = "@T{\nv{4}: éé\nw{1}: x\n}\n"
+        obj = parse_soif(text)
+        assert obj["v"] == "éé"
+        assert obj["w"] == "x"
+
+    def test_emoji_value(self):
+        obj = SoifObject("T").add("v", "🔍 search")
+        assert parse_soif(obj.dump())["v"] == "🔍 search"
+
+    def test_count_zero(self):
+        assert parse_soif("@T{\nv{0}: \n}\n")["v"] == ""
+
+    def test_value_consuming_closing_brace_lookalike(self):
+        # A value that itself contains "}" and "@" must not confuse
+        # the reader: byte counts rule.
+        value = "}@Fake{\nname{1}: z\n}"
+        obj = SoifObject("T").add("v", value)
+        assert parse_soif(obj.dump())["v"] == value
+
+
+class TestSpacing:
+    def test_missing_space_after_colon(self):
+        assert parse_soif("@T{\nv{1}:x\n}\n")["v"] == "x"
+
+    def test_whitespace_around_template(self):
+        obj = parse_soif("  \n@T{\nv{1}: x\n}\n  \n")
+        assert obj.template == "T"
+
+    def test_attribute_name_with_spaces_stripped(self):
+        obj = parse_soif("@T{\n  v {1}: x\n}\n")
+        assert obj.get("v") == "x"
+
+
+class TestHostileInputs:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "@T{\nv{-1}: x\n}\n",      # negative count
+            "@T{\nv{1e3}: x\n}\n",     # non-integer count
+            "@T{\nv{999999}: x\n}\n",  # count beyond data
+        ],
+    )
+    def test_bad_counts(self, bad):
+        with pytest.raises(SoifSyntaxError):
+            parse_soif(bad)
+
+    def test_binary_garbage(self):
+        with pytest.raises(SoifSyntaxError):
+            parse_soif(b"\x00\x01\x02")

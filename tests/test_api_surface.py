@@ -1,0 +1,60 @@
+"""The public API surface: every exported name resolves.
+
+Guards against broken ``__all__`` lists and accidental removals — the
+kind of drift that only bites downstream users.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.text",
+    "repro.engine",
+    "repro.corpus",
+    "repro.starts",
+    "repro.source",
+    "repro.resource",
+    "repro.vendors",
+    "repro.transport",
+    "repro.metasearch",
+    "repro.experiments",
+    "repro.zdsr",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} needs __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_has_no_duplicates(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert len(names) == len(set(names))
+
+
+def test_top_level_has_docstring_quickstart():
+    import repro
+
+    assert "Quickstart" in repro.__doc__
+
+
+def test_version_is_pep440ish():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(part.isdigit() for part in parts)
+
+
+def test_conformance_and_snippets_at_top_level():
+    import repro
+
+    assert callable(repro.check_source)
+    assert callable(repro.make_snippet)

@@ -1,0 +1,77 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestParseCommand:
+    def test_canonical_and_pqf(self, capsys):
+        code = main(["parse", '(author "Ullman")'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '(author "Ullman")' in out
+        assert "@attr 1=1003" in out
+
+    def test_empty_expression_fails(self, capsys):
+        assert main(["parse", "   "]) == 2
+
+
+class TestDemoCommand:
+    def test_demo_prints_results(self, capsys):
+        assert main(["--seed", "3", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "selected sources:" in out
+        assert "http://" in out
+
+
+class TestQueryCommand:
+    def test_ranking_query(self, capsys):
+        code = main(
+            ["--seed", "3", "query", '(body-of-text "databases")', "--sources", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected sources:" in out
+
+    def test_filter_query(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "3",
+                "query",
+                '(date-last-modified > "1994-01-01")',
+                "--filter",
+                "--limit",
+                "3",
+            ]
+        )
+        assert code == 0
+
+
+class TestExperimentCommand:
+    def test_e4_runs_quickly(self, capsys):
+        assert main(["experiment", "E4"]) == 0
+        assert "corpus=" in capsys.readouterr().out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+
+
+class TestServeCommand:
+    def test_serve_once(self, capsys):
+        assert main(["serve", "--port", "0", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "resource:" in out
+        assert "http://127.0.0.1:" in out
+
+
+class TestPlanCommand:
+    def test_plan_renders(self, capsys):
+        assert main(["--seed", "3", "plan", '(body-of-text "patient")']) == 0
+        out = capsys.readouterr().out
+        assert "plan for terms" in out
+        assert "->" in out
+
+    def test_plan_empty_expression(self, capsys):
+        assert main(["plan", "  "]) == 2

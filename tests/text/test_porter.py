@@ -1,0 +1,137 @@
+"""Porter stemmer against the algorithm's published behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.porter import PorterStemmer, porter_stem
+
+# Classic input → stem pairs from Porter's paper and the reference
+# implementation's vocabulary.
+KNOWN_STEMS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+    # Domain words from the paper.
+    ("databases", "databas"),
+    ("database", "databas"),
+    ("systems", "system"),
+    ("distributed", "distribut"),
+    ("retrieval", "retriev"),
+]
+
+
+@pytest.mark.parametrize("word,expected", KNOWN_STEMS)
+def test_known_stems(word, expected):
+    assert porter_stem(word) == expected
+
+
+def test_short_words_unchanged():
+    assert porter_stem("a") == "a"
+    assert porter_stem("is") == "is"
+    assert porter_stem("be") == "be"
+
+
+def test_input_is_lowercased():
+    assert porter_stem("Databases") == "databas"
+    assert porter_stem("SYSTEMS") == "system"
+
+
+def test_database_and_databases_share_stem():
+    """The paper's Example 2: a stem query on "databases" matches
+    documents containing "database"."""
+    assert porter_stem("database") == porter_stem("databases")
+
+
+def test_stemmer_instance_is_reusable():
+    stemmer = PorterStemmer()
+    assert stemmer.stem("running") == "run"
+    assert stemmer.stem("runner") == "runner"  # m(runn)=1, not > 1
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_stem_never_longer_than_word(word):
+    assert len(porter_stem(word)) <= len(word)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_stem_is_deterministic(word):
+    assert porter_stem(word) == porter_stem(word)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=20))
+def test_stem_is_nonempty_lowercase(word):
+    stem = porter_stem(word)
+    assert stem
+    assert stem == stem.lower()

@@ -1,0 +1,68 @@
+"""Soundex against the classic published test vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.soundex import soundex
+
+# The canonical examples from the US National Archives specification.
+CLASSIC_VECTORS = [
+    ("Robert", "R163"),
+    ("Rupert", "R163"),
+    ("Ashcraft", "A261"),
+    ("Ashcroft", "A261"),
+    ("Tymczak", "T522"),
+    ("Pfister", "P236"),
+    ("Honeyman", "H555"),
+    ("Washington", "W252"),
+    ("Lee", "L000"),
+    ("Gutierrez", "G362"),
+    ("Jackson", "J250"),
+    ("Euler", "E460"),
+    ("Gauss", "G200"),
+    ("Hilbert", "H416"),
+    ("Knuth", "K530"),
+    ("Lloyd", "L300"),
+    ("Lukasiewicz", "L222"),
+]
+
+
+@pytest.mark.parametrize("name,code", CLASSIC_VECTORS)
+def test_classic_vectors(name, code):
+    assert soundex(name) == code
+
+
+def test_phonetically_similar_names_collide():
+    """The protocol's phonetic modifier: Robert matches Rupert."""
+    assert soundex("Robert") == soundex("Rupert")
+
+
+def test_case_insensitive():
+    assert soundex("ULLMAN") == soundex("ullman")
+
+
+def test_non_alpha_ignored():
+    assert soundex("O'Brien") == soundex("OBrien")
+
+
+def test_empty_and_non_alpha_inputs():
+    assert soundex("") == "0000"
+    assert soundex("123") == "0000"
+
+
+def test_hw_transparency():
+    """h/w do not break a run of same-coded consonants (Ashcraft)."""
+    assert soundex("Ashcraft") == "A261"  # s+c collapse across the h
+
+
+@given(st.text(min_size=0, max_size=30))
+def test_output_shape(text):
+    code = soundex(text)
+    assert len(code) == 4
+    assert code[0].isupper() or code[0] == "0"
+    assert all(ch.isdigit() for ch in code[1:])
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_deterministic(word):
+    assert soundex(word) == soundex(word)

@@ -1,0 +1,51 @@
+"""The light Spanish stemmer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.spanish import spanish_stem
+
+
+def test_plural_es_removed():
+    assert spanish_stem("redes") == spanish_stem("red")
+
+
+def test_plural_s_removed():
+    assert spanish_stem("datos") == spanish_stem("dato")
+
+
+def test_ces_plural():
+    # luces -> luz
+    assert spanish_stem("luces") == "luz"
+
+
+def test_derivational_suffix():
+    assert spanish_stem("rapidamente").startswith("rapid")
+
+
+def test_verb_conjugations_share_stem():
+    assert spanish_stem("distribuido") == spanish_stem("distribuida")
+
+
+def test_accents_folded():
+    assert "í" not in spanish_stem("índices")
+    assert spanish_stem("análisis") == spanish_stem("analisis")
+
+
+def test_short_words_kept():
+    assert spanish_stem("el") == "el"
+    assert spanish_stem("los") == "los"  # <= 3 chars, unchanged
+
+
+def test_consulta_consultas_collide():
+    """Example 11 vocabulary: singular and plural share a stem."""
+    assert spanish_stem("consultas") == spanish_stem("consulta")
+
+
+@given(st.text(alphabet="abcdefghijklmnñopqrstuvwxyzáéíóú", min_size=1, max_size=20))
+def test_stem_never_longer(word):
+    assert len(spanish_stem(word)) <= len(word)
+
+
+@given(st.text(alphabet="abcdefghijklmnñopqrstuvwxyzáéíóú", min_size=1, max_size=20))
+def test_stem_nonempty_for_nonempty(word):
+    assert spanish_stem(word)

@@ -1,0 +1,96 @@
+"""Published endpoints: source/resource servers and the typed client."""
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import (
+    HostProfile,
+    SimulatedInternet,
+    StartsClient,
+    publish_resource,
+    publish_source,
+)
+
+
+@pytest.fixture
+def published():
+    net = SimulatedInternet(seed=3)
+    source = StartsSource("Source-1", source1_documents())
+    query_url = publish_source(net, source)
+    return net, source, query_url
+
+
+class TestSourceEndpoints:
+    def test_query_endpoint(self, published):
+        net, source, query_url = published
+        client = StartsClient(net)
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))')
+        )
+        over_wire = client.query(query_url, query)
+        direct = source.search(query)
+        assert over_wire == direct
+
+    def test_metadata_endpoint(self, published):
+        net, source, _ = published
+        client = StartsClient(net)
+        metadata = client.fetch_metadata(f"{source.base_url}/meta")
+        assert metadata == source.metadata()
+
+    def test_summary_endpoint_matches_advertised_linkage(self, published):
+        net, source, _ = published
+        client = StartsClient(net)
+        metadata = client.fetch_metadata(f"{source.base_url}/meta")
+        summary = client.fetch_summary(metadata.content_summary_linkage)
+        assert summary.num_docs == source.document_count
+
+    def test_sample_endpoint(self, published):
+        net, source, _ = published
+        client = StartsClient(net)
+        metadata = client.fetch_metadata(f"{source.base_url}/meta")
+        sample = client.fetch_sample_results(metadata.sample_database_results)
+        assert sample == source.sample_results()
+
+
+class TestResourceEndpoints:
+    def test_resource_blob_lists_sources(self, paper_resource):
+        net = SimulatedInternet()
+        url = publish_resource(net, paper_resource, "http://stanford.example.org")
+        client = StartsClient(net)
+        resource = client.fetch_resource(url)
+        assert resource.source_ids() == ["Source-1", "Source-2"]
+
+    def test_queries_route_through_resource(self, paper_resource):
+        """A query naming Source-2 in Sources gets resource-side
+        merging even though it was POSTed to Source-1."""
+        net = SimulatedInternet()
+        publish_resource(net, paper_resource, "http://stanford.example.org")
+        client = StartsClient(net)
+        query = SQuery(
+            ranking_expression=parse_expression(
+                'list((body-of-text "distributed") (body-of-text "databases"))'
+            )
+        ).with_sources("Source-2")
+        source1_url = paper_resource.source("Source-1").base_url + "/query"
+        results = client.query(source1_url, query)
+        assert set(results.sources) == {"Source-1", "Source-2"}
+
+    def test_per_source_host_profiles(self, paper_resource):
+        net = SimulatedInternet()
+        publish_resource(
+            net,
+            paper_resource,
+            "http://stanford.example.org",
+            source_profiles={
+                "Source-1": HostProfile(latency_ms=5.0, jitter_ms=0.0),
+                "Source-2": HostProfile(latency_ms=300.0, jitter_ms=0.0),
+            },
+        )
+        client = StartsClient(net)
+        client.fetch_metadata(
+            paper_resource.source("Source-2").base_url + "/meta"
+        )
+        assert net.total_latency_ms() == pytest.approx(300.0)

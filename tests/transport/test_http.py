@@ -1,0 +1,101 @@
+"""The real-HTTP transport: sockets, servers, and the shared client."""
+
+import pytest
+
+from repro.corpus import source1_documents, source2_documents
+from repro.metasearch import Metasearcher
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import StartsClient
+from repro.transport.http import HttpTransport, StartsHttpServer
+from repro.transport.network import TransportError
+
+
+@pytest.fixture(scope="module")
+def server():
+    resource = Resource(
+        "HttpWorld",
+        [
+            StartsSource("Source-1", source1_documents()),
+            StartsSource("Source-2", source2_documents()),
+        ],
+    )
+    with StartsHttpServer(resource) as running:
+        yield running
+
+
+def ranking_query():
+    return SQuery(
+        ranking_expression=parse_expression(
+            'list((body-of-text "distributed") (body-of-text "databases"))'
+        )
+    )
+
+
+class TestEndpoints:
+    def test_resource_blob(self, server):
+        client = StartsClient(HttpTransport())
+        resource = client.fetch_resource(server.resource_url())
+        assert resource.source_ids() == ["Source-1", "Source-2"]
+        for source_id in resource.source_ids():
+            assert resource.metadata_url(source_id).startswith(server.base_url)
+
+    def test_metadata_links_rewritten_to_server(self, server):
+        client = StartsClient(HttpTransport())
+        metadata = client.fetch_metadata(f"{server.base_url}/Source-1/meta")
+        assert metadata.linkage == server.source_query_url("Source-1")
+        assert metadata.content_summary_linkage.startswith(server.base_url)
+
+    def test_query_round_trip(self, server):
+        client = StartsClient(HttpTransport())
+        results = client.query(server.source_query_url("Source-1"), ranking_query())
+        assert results.sources == ("Source-1",)
+        assert results.documents
+
+    def test_summary_and_sample(self, server):
+        client = StartsClient(HttpTransport())
+        summary = client.fetch_summary(f"{server.base_url}/Source-1/cont_sum.txt")
+        assert summary.num_docs == 3
+        sample = client.fetch_sample_results(f"{server.base_url}/Source-1/sample")
+        assert sample.all_scores()
+
+    def test_scan_over_http(self, server):
+        client = StartsClient(HttpTransport())
+        response = client.scan(
+            f"{server.base_url}/Source-1/scan", "body-of-text", "data", count=3
+        )
+        assert response.entries
+
+    def test_sources_attribute_routes_through_resource(self, server):
+        client = StartsClient(HttpTransport())
+        query = ranking_query().with_sources("Source-2")
+        results = client.query(server.source_query_url("Source-1"), query)
+        assert set(results.sources) == {"Source-1", "Source-2"}
+
+    def test_unknown_paths_404(self, server):
+        transport = HttpTransport()
+        with pytest.raises(TransportError):
+            transport.fetch(f"{server.base_url}/nope")
+        with pytest.raises(TransportError):
+            transport.post(f"{server.base_url}/NoSource/query", b"@SQuery{\n}\n")
+
+
+class TestMetasearcherOverHttp:
+    def test_full_pipeline_on_real_sockets(self, server):
+        searcher = Metasearcher(HttpTransport(), [server.resource_url()])
+        known = searcher.refresh()
+        assert len(known) == 2
+        result = searcher.search(ranking_query(), k_sources=2)
+        assert result.documents
+        assert result.query_latency_parallel_ms > 0.0
+
+
+class TestTransportAccounting:
+    def test_latency_measured(self, server):
+        transport = HttpTransport()
+        transport.fetch(f"{server.base_url}/Source-1/meta")
+        assert transport.request_count() == 1
+        assert transport.total_latency_ms() > 0.0
+        transport.reset_log()
+        assert transport.request_count() == 0

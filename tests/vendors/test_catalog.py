@@ -1,0 +1,122 @@
+"""The vendor catalog: heterogeneity along every §3 axis."""
+
+import math
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.starts import SQuery, parse_expression
+from repro.vendors import VENDORS, build_vendor_source, vendor_names
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return {
+        name: build_vendor_source(name, f"{name}-src", source1_documents())
+        for name in vendor_names()
+    }
+
+
+class TestCatalog:
+    def test_seven_vendors(self):
+        assert len(VENDORS) == 7
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(KeyError):
+            build_vendor_source("NoSuchVendor", "x", [])
+
+    def test_ranking_algorithms_all_differ(self, sources):
+        ids = {
+            source.metadata().ranking_algorithm_id for source in sources.values()
+        }
+        # Seven vendors, six algorithm ids (GrepMaster has none -> "none").
+        assert len(ids) == 6
+        assert "none" in ids
+
+    def test_score_ranges_differ(self, sources):
+        ranges = {source.metadata().score_range for source in sources.values()}
+        assert (0.0, 1.0) in ranges
+        assert (0.0, 1000.0) in ranges
+        assert any(math.isinf(high) for _, high in ranges)
+
+    def test_tokenizers_differ(self, sources):
+        ids = set()
+        for source in sources.values():
+            for tokenizer_id, _ in source.metadata().tokenizer_id_list:
+                ids.add(tokenizer_id)
+        assert {"Acme-1", "Acme-2", "Uni-1"} <= ids
+
+
+class TestBehaviouralHeterogeneity:
+    def test_grepmaster_is_boolean_only(self, sources):
+        metadata = sources["GrepMaster"].metadata()
+        assert metadata.query_parts_supported == "F"
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))')
+        )
+        results = sources["GrepMaster"].search(query)
+        assert results.actual_ranking_expression is None
+        assert results.documents == ()
+
+    def test_zeusfind_tops_at_1000(self, sources):
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))')
+        )
+        results = sources["ZeusFind"].search(query)
+        assert results.documents[0].raw_score == pytest.approx(1000.0)
+
+    def test_okapi_scores_exceed_one(self, sources):
+        """BM25 scores are unbounded: a rare, repeated term breaks 1.0,
+        which no [0,1]-range engine can do."""
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "deductive"))')
+        )
+        results = sources["OkapiWorks"].search(query)
+        assert results.documents[0].raw_score > 1.0
+
+    def test_same_query_different_raw_scores(self, sources):
+        """§3.2's premise: identical query, incomparable scores."""
+        query = SQuery(
+            ranking_expression=parse_expression('list((body-of-text "databases"))')
+        )
+        tops = {}
+        for name in ("AcmeSearch", "OkapiWorks", "ZeusFind"):
+            results = sources[name].search(query)
+            tops[name] = results.documents[0].raw_score
+        assert len(set(round(score, 6) for score in tops.values())) == 3
+
+    def test_infernet_cannot_disable_stop_words(self, sources):
+        assert not sources["InferNet"].metadata().turn_off_stop_words
+
+    def test_acme_can_disable_stop_words(self, sources):
+        assert sources["AcmeSearch"].metadata().turn_off_stop_words
+
+    def test_the_who_succeeds_only_where_stop_words_disable(self, sources):
+        """The paper's "The Who" scenario end to end."""
+        from repro.engine import fields as F
+        from repro.engine.documents import Document
+
+        rock_doc = Document(
+            "http://rock.example.org/who.html",
+            {F.TITLE: "The Who", F.BODY_OF_TEXT: "The Who rocked the stadium"},
+        )
+        acme = build_vendor_source("AcmeSearch", "Rock-A", [rock_doc])
+        zeus = build_vendor_source("ZeusFind", "Rock-Z", [rock_doc])
+        query = SQuery(
+            filter_expression=parse_expression(
+                '((body-of-text "The") and (body-of-text "Who"))'
+            ),
+            drop_stop_words=False,
+        )
+        assert len(acme.search(query).documents) == 1
+        # ZeusFind cannot disable stop words: both terms eliminated and
+        # with them the whole filter.
+        zeus_results = zeus.search(query)
+        assert zeus_results.documents == ()
+
+    def test_zeus_missing_author_field(self, sources):
+        assert not sources["ZeusFind"].metadata().supports_field("author")
+
+    def test_descriptions_nonempty(self):
+        for profile in VENDORS.values():
+            assert profile.description

@@ -1,0 +1,143 @@
+"""Native vendor syntaxes: the §3.1 query-language problem."""
+
+import pytest
+
+from repro.starts.ast import SAnd, SAndNot, SOr, STerm
+from repro.starts.errors import QuerySyntaxError
+from repro.starts.parser import parse_expression
+from repro.vendors.native import (
+    NATIVE_SYNTAXES,
+    InfixSyntax,
+    PlusMinusSyntax,
+    SemicolonSyntax,
+)
+
+
+class TestPaperScenario:
+    """The paper: "distributed and systems" at one source is
+    "+distributed +systems" at another."""
+
+    def test_same_query_two_syntaxes(self):
+        infix = InfixSyntax().parse("distributed AND systems")
+        plus = PlusMinusSyntax().parse("+distributed +systems")
+        assert infix == plus  # both are (distributed and systems)
+
+    def test_starts_to_both_native_forms(self):
+        node = parse_expression('("distributed" and "systems")')
+        assert InfixSyntax().generate(node) == "(distributed AND systems)"
+        assert PlusMinusSyntax().generate(node) == "+distributed +systems"
+        assert SemicolonSyntax().generate(node) == "distributed;systems"
+
+
+class TestInfixSyntax:
+    def test_or_and_precedence_left_assoc(self):
+        node = InfixSyntax().parse("a AND b OR c")
+        assert isinstance(node, SOr)
+        assert isinstance(node.children[0], SAnd)
+
+    def test_parentheses(self):
+        node = InfixSyntax().parse("a AND (b OR c)")
+        assert isinstance(node, SAnd)
+        assert isinstance(node.children[1], SOr)
+
+    def test_field_prefix(self):
+        node = InfixSyntax().parse("title:databases")
+        assert isinstance(node, STerm)
+        assert node.field_name == "title"
+
+    def test_not_becomes_and_not(self):
+        node = InfixSyntax().parse("databases NOT legacy")
+        assert isinstance(node, SAndNot)
+
+    def test_implicit_and(self):
+        node = InfixSyntax().parse("distributed systems")
+        assert isinstance(node, SAnd)
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            InfixSyntax().parse("(a AND b")
+        with pytest.raises(QuerySyntaxError):
+            InfixSyntax().parse("a)")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            InfixSyntax().parse("   ")
+
+    def test_generate_round_trip(self):
+        node = parse_expression('((title "a") and ((b "x") or (c "y")))')
+        regenerated = InfixSyntax().parse(InfixSyntax().generate(node))
+        # Fields survive; attribute-set info does not (native is lossy).
+        assert [t.lstring.text for t in regenerated.terms()] == ["a", "x", "y"]
+
+
+class TestPlusMinusSyntax:
+    def test_required_terms_are_and(self):
+        node = PlusMinusSyntax().parse("+distributed +databases")
+        assert isinstance(node, SAnd)
+
+    def test_bare_terms_are_or(self):
+        node = PlusMinusSyntax().parse("distributed databases")
+        assert isinstance(node, SOr)
+
+    def test_excluded_terms_are_and_not(self):
+        node = PlusMinusSyntax().parse("+databases -legacy")
+        assert isinstance(node, SAndNot)
+        assert node.negative.lstring.text == "legacy"
+
+    def test_mixed_required_and_optional(self):
+        node = PlusMinusSyntax().parse("+databases distributed")
+        assert isinstance(node, SOr)  # required OR optional broadening
+
+    def test_pure_negative_rejected(self):
+        """No positive component — the same rule STARTS enforces."""
+        with pytest.raises(QuerySyntaxError):
+            PlusMinusSyntax().parse("-legacy")
+
+    def test_generate_flattens_nested_query(self):
+        node = parse_expression('(("a" and "b") and-not "c")')
+        assert PlusMinusSyntax().generate(node) == "+a +b -c"
+
+
+class TestSemicolonSyntax:
+    def test_and_groups(self):
+        node = SemicolonSyntax().parse("distributed;databases")
+        assert isinstance(node, SAnd)
+
+    def test_or_within_group(self):
+        node = SemicolonSyntax().parse("distributed,databases")
+        assert isinstance(node, SOr)
+
+    def test_comma_binds_tighter(self):
+        node = SemicolonSyntax().parse("a,b;c")
+        assert isinstance(node, SAnd)
+        assert isinstance(node.children[0], SOr)
+
+    def test_single_word(self):
+        node = SemicolonSyntax().parse("databases")
+        assert isinstance(node, STerm)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            SemicolonSyntax().parse("")
+
+    def test_generate_drops_negation(self):
+        """Glimpse has no NOT: only the positive side survives."""
+        node = parse_expression('("a" and-not "b")')
+        assert SemicolonSyntax().generate(node) == "a"
+
+
+class TestRegistry:
+    def test_all_syntaxes_registered(self):
+        assert set(NATIVE_SYNTAXES) == {"infix", "plusminus", "semicolon"}
+
+    @pytest.mark.parametrize("syntax_id", ["infix", "plusminus", "semicolon"])
+    def test_parse_generate_stability(self, syntax_id):
+        """generate(parse(x)) re-parses to the same AST (fixed point)."""
+        syntax = NATIVE_SYNTAXES[syntax_id]
+        samples = {
+            "infix": "distributed AND databases",
+            "plusminus": "+distributed +databases",
+            "semicolon": "distributed;databases",
+        }
+        node = syntax.parse(samples[syntax_id])
+        assert syntax.parse(syntax.generate(node)) == node

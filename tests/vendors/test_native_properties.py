@@ -1,0 +1,71 @@
+"""Property tests over the native syntaxes.
+
+Each syntax's generate/parse pair reaches a fixed point after one
+round — the coherence a metasearcher relies on when learning native
+behaviour through Free-form-text probing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.starts.ast import SAnd, SAndNot, SOr, STerm
+from repro.starts.lstring import LString
+from repro.vendors.native import InfixSyntax, PlusMinusSyntax, SemicolonSyntax
+
+_words = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+
+
+def term(word):
+    return STerm(LString(word))
+
+
+@st.composite
+def flat_boolean(draw, operators=("and", "or")):
+    """A flat boolean tree over bare terms (what natives can express)."""
+    kind = draw(st.sampled_from(("term",) + operators))
+    if kind == "term":
+        return term(draw(_words))
+    children = tuple(term(w) for w in draw(st.lists(_words, min_size=2, max_size=4)))
+    if kind == "and":
+        return SAnd(children)
+    if kind == "or":
+        return SOr(children)
+    positive = SAnd(children) if len(children) > 1 else children[0]
+    return SAndNot(positive, term(draw(_words)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(flat_boolean())
+def test_infix_fixed_point(node):
+    syntax = InfixSyntax()
+    once = syntax.parse(syntax.generate(node))
+    twice = syntax.parse(syntax.generate(once))
+    assert once == twice
+
+
+@settings(max_examples=100, deadline=None)
+@given(flat_boolean(operators=("and", "or", "and-not")))
+def test_plusminus_fixed_point(node):
+    syntax = PlusMinusSyntax()
+    once = syntax.parse(syntax.generate(node))
+    twice = syntax.parse(syntax.generate(once))
+    assert once == twice
+
+
+@settings(max_examples=100, deadline=None)
+@given(flat_boolean())
+def test_semicolon_fixed_point(node):
+    syntax = SemicolonSyntax()
+    once = syntax.parse(syntax.generate(node))
+    twice = syntax.parse(syntax.generate(once))
+    assert once == twice
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_words, min_size=1, max_size=5, unique=True))
+def test_plusminus_required_terms_preserved(words):
+    """Every +word survives a generate/parse round trip."""
+    syntax = PlusMinusSyntax()
+    native = " ".join(f"+{word}" for word in words)
+    node = syntax.parse(native)
+    regenerated = syntax.generate(node)
+    assert set(regenerated.split()) == {f"+{word}" for word in words}

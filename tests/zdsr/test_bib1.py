@@ -1,0 +1,61 @@
+"""The ZDSR attribute-number mappings."""
+
+import pytest
+
+from repro.starts.attributes import BASIC1
+from repro.zdsr import bib1
+
+
+class TestUseAttributes:
+    def test_every_basic1_field_mapped(self):
+        for name in BASIC1.fields:
+            assert name in bib1.USE, f"field {name} needs a use attribute"
+
+    def test_registered_bib1_numbers(self):
+        assert bib1.use_number("title") == 4
+        assert bib1.use_number("author") == 1003
+        assert bib1.use_number("any") == 1016
+
+    def test_new_fields_in_private_range(self):
+        for name in ("document-text", "free-form-text", "linkage-type"):
+            assert bib1.use_number(name) >= 5000
+
+    def test_numbers_unique(self):
+        numbers = list(bib1.USE.values())
+        assert len(numbers) == len(set(numbers))
+
+    def test_inverse(self):
+        for name, number in bib1.USE.items():
+            assert bib1.field_for_use(number) == name
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            bib1.use_number("no-such-field")
+
+
+class TestRelationAttributes:
+    def test_comparisons_are_bib1_one_through_six(self):
+        assert [bib1.relation_number(op) for op in ("<", "<=", "=", ">=", ">", "!=")] == [
+            1, 2, 3, 4, 5, 6,
+        ]
+
+    def test_phonetic_and_stem(self):
+        assert bib1.relation_number("phonetic") == 100
+        assert bib1.relation_number("stem") == 101
+
+    def test_truncation_goes_to_type5(self):
+        assert bib1.relation_number("right-truncation") is None
+        assert bib1.truncation_number("right-truncation") == 1
+        assert bib1.truncation_number("left-truncation") == 2
+
+    def test_inverse(self):
+        for name, number in bib1.RELATION.items():
+            assert bib1.modifier_for_relation(number) == name
+
+    def test_every_basic1_modifier_mapped_somewhere(self):
+        for name in BASIC1.modifiers:
+            mapped = (
+                bib1.relation_number(name) is not None
+                or bib1.truncation_number(name) is not None
+            )
+            assert mapped, f"modifier {name} needs a ZDSR mapping"

@@ -1,0 +1,88 @@
+"""The ZDSR gateway: Explain records and PQF search."""
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.source import SourceCapabilities, StartsSource
+from repro.zdsr import ZdsrGateway
+
+
+@pytest.fixture
+def gateway(source1):
+    return ZdsrGateway(source1)
+
+
+class TestExplain:
+    def test_use_attributes_cover_basic1(self, gateway):
+        record = gateway.explain()
+        assert 4 in record.use_attributes      # title
+        assert 1003 in record.use_attributes   # author
+        assert 1016 in record.use_attributes   # any
+
+    def test_relation_attributes_include_stem_and_phonetic(self, gateway):
+        record = gateway.explain()
+        assert 101 in record.relation_attributes
+        assert 100 in record.relation_attributes
+
+    def test_ranked_retrieval_extensions(self, gateway):
+        record = gateway.explain()
+        assert record.supports_ranked_retrieval
+        assert record.score_range == (0.0, 1.0)
+        assert record.ranking_algorithm_id == "Acme-1"
+
+    def test_restricted_source_shrinks_explain(self):
+        source = StartsSource(
+            "Limited",
+            source1_documents(),
+            capabilities=SourceCapabilities.full_basic1()
+            .without_fields("author")
+            .without_modifiers("phonetic"),
+        )
+        record = ZdsrGateway(source).explain()
+        assert 1003 not in record.use_attributes
+        assert 100 not in record.relation_attributes
+
+    def test_boolean_only_source(self):
+        source = StartsSource(
+            "Grep",
+            source1_documents(),
+            capabilities=SourceCapabilities(query_parts="F"),
+        )
+        record = ZdsrGateway(source).explain()
+        assert not record.supports_ranked_retrieval
+
+
+class TestSearch:
+    def test_boolean_pqf_search(self, gateway):
+        results = gateway.search_pqf(
+            '@and @attr 1=1003 "Ullman" @attr 1=4 @attr 2=101 "databases"'
+        )
+        assert len(results.documents) == 1
+        assert results.documents[0].linkage.endswith("dood.ps")
+
+    def test_ranked_pqf_search(self, gateway):
+        results = gateway.search_pqf(
+            '@or @attr 1=1010 "distributed" @attr 1=1010 "databases"', ranked=True
+        )
+        assert results.documents
+        scores = [doc.raw_score for doc in results.documents]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_documents(self, gateway):
+        results = gateway.search_pqf('@attr 1=1016 "databases"', max_documents=1)
+        assert len(results.documents) <= 1
+
+    def test_actual_pqf_reporting(self, gateway):
+        pqf = '@and @attr 1=1003 "Ullman" @attr 1=4 @attr 2=101 "databases"'
+        results = gateway.search_pqf(pqf)
+        assert gateway.actual_pqf(results) == pqf
+
+    def test_actual_pqf_none_when_nothing_processed(self):
+        source = StartsSource(
+            "RankOnly",
+            source1_documents(),
+            capabilities=SourceCapabilities(query_parts="R"),
+        )
+        gateway = ZdsrGateway(source)
+        results = gateway.search_pqf('@attr 1=4 "databases"')  # filter query
+        assert gateway.actual_pqf(results) is None

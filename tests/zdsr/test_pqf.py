@@ -1,0 +1,137 @@
+"""PQF encoding of STARTS expressions (the type-101 subset relation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.starts.ast import SAnd, SProx, STerm
+from repro.starts.attributes import FieldRef, ModifierRef
+from repro.starts.errors import QuerySyntaxError
+from repro.starts.lstring import LString
+from repro.starts.parser import parse_expression
+from repro.zdsr.pqf import pqf_to_starts, starts_to_pqf
+
+
+class TestEncoding:
+    def test_fielded_term(self):
+        node = parse_expression('(author "Ullman")')
+        assert starts_to_pqf(node) == '@attr 1=1003 "Ullman"'
+
+    def test_stem_modifier_is_relation_101(self):
+        node = parse_expression('(title stem "databases")')
+        assert starts_to_pqf(node) == '@attr 1=4 @attr 2=101 "databases"'
+
+    def test_and_is_prefix_binary(self):
+        node = parse_expression('((author "Ullman") and (title "databases"))')
+        assert starts_to_pqf(node) == (
+            '@and @attr 1=1003 "Ullman" @attr 1=4 "databases"'
+        )
+
+    def test_nary_and_folds_left(self):
+        node = parse_expression('((a "x") and (a "y") and (a "z"))')
+        # Unknown field "a"? -- use real fields instead.
+        node = parse_expression(
+            '((title "x") and (title "y") and (title "z"))'
+        )
+        pqf = starts_to_pqf(node)
+        assert pqf.startswith("@and @and ")
+
+    def test_and_not_is_z3950_not(self):
+        node = parse_expression('((title "x") and-not (title "y"))')
+        assert starts_to_pqf(node).startswith("@not ")
+
+    def test_prox_parameters(self):
+        node = parse_expression(
+            '((body-of-text "a1") prox[3,T] (body-of-text "b1"))'
+        )
+        assert starts_to_pqf(node).startswith("@prox 0 3 1 2 k 2 ")
+
+    def test_truncation_is_type5(self):
+        node = parse_expression('(title right-truncation "data")')
+        assert "@attr 5=1" in starts_to_pqf(node)
+
+    def test_comparison_relations(self):
+        node = parse_expression('(date-last-modified > "1996-01-01")')
+        assert "@attr 2=5" in starts_to_pqf(node)
+
+    def test_ranking_list_folds_to_or(self):
+        node = parse_expression('list((title "x") (title "y"))')
+        assert starts_to_pqf(node).startswith("@or ")
+
+
+class TestDecoding:
+    def test_simple_round_trip(self):
+        node = parse_expression('((author "Ullman") and (title stem "databases"))')
+        assert pqf_to_starts(starts_to_pqf(node)) == node
+
+    def test_prox_round_trip(self):
+        node = SProx(
+            STerm(LString("alpha"), FieldRef("body-of-text")),
+            STerm(LString("beta"), FieldRef("body-of-text")),
+            2,
+            False,
+        )
+        assert pqf_to_starts(starts_to_pqf(node)) == node
+
+    def test_quoted_strings_with_spaces(self):
+        node = STerm(LString("jeffrey ullman"), FieldRef("author"))
+        assert pqf_to_starts(starts_to_pqf(node)) == node
+
+    def test_bare_word_term(self):
+        node = pqf_to_starts("databases")
+        assert node == STerm(LString("databases"))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "@and @attr 1=4 \"x\"",          # missing second operand
+            "@attr 1=notanumber \"x\"",
+            "@attr 9=4 \"x\"",                # unsupported attr type
+            "@attr 1=4",                       # attrs without a term
+            "@prox 0 3 1 2 k 2 @and \"a\" \"b\" \"c\"",  # non-term operand
+            '@attr 1=4 "x" trailing',
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            pqf_to_starts(bad)
+
+
+_fields = st.sampled_from(["title", "author", "body-of-text", "any"])
+_mods = st.lists(
+    st.sampled_from(["stem", "phonetic", "right-truncation"]), max_size=2, unique=True
+)
+_words = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+
+
+@st.composite
+def pqf_terms(draw):
+    return STerm(
+        LString(draw(_words)),
+        FieldRef(draw(_fields)),
+        tuple(ModifierRef(m) for m in draw(_mods)),
+    )
+
+
+@st.composite
+def pqf_expressions(draw, depth=2):
+    if depth == 0:
+        return draw(pqf_terms())
+    kind = draw(st.sampled_from(["term", "and", "prox"]))
+    if kind == "term":
+        return draw(pqf_terms())
+    if kind == "and":
+        return SAnd(
+            (
+                draw(pqf_expressions(depth=depth - 1)),
+                draw(pqf_expressions(depth=depth - 1)),
+            )
+        )
+    return SProx(
+        draw(pqf_terms()), draw(pqf_terms()), draw(st.integers(0, 5)), draw(st.booleans())
+    )
+
+
+@given(pqf_expressions())
+def test_pqf_round_trip_property(node):
+    assert pqf_to_starts(starts_to_pqf(node)) == node

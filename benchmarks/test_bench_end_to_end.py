@@ -7,8 +7,15 @@ a fraction of the requests, latency and monetary cost.  The benchmark
 times one full metasearch (select → translate → query → merge).
 """
 
-from repro.experiments import run_end_to_end_experiment
-from repro.metasearch import Metasearcher
+import json
+import pathlib
+import time
+from collections import Counter
+
+from repro.experiments import FederationSpec, build_federation, run_end_to_end_experiment
+from repro.metasearch import Metasearcher, ParallelExecutor, SerialExecutor
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_bench_end_to_end_pipeline(benchmark, federation, write_table):
@@ -29,3 +36,71 @@ def test_bench_end_to_end_pipeline(benchmark, federation, write_table):
     searcher.refresh()
     query = federation.workload.queries[0].to_squery(max_documents=10)
     benchmark(lambda: searcher.search(query, k_sources=3))
+
+
+def test_bench_e2e_latency_json(write_table):
+    """Serial vs. parallel fan-out wall-clock, written as JSON.
+
+    Builds a fresh 8-source world, refreshes with instantaneous
+    simulated time, then flips the internet into realtime mode so each
+    ~20 ms host latency is actually slept — making the executor choice
+    visible on the wall clock.  The figures land in
+    ``BENCH_e2e_latency.json`` so future runs have a perf trajectory.
+    """
+    spec = FederationSpec(
+        n_sources=8,
+        docs_per_source=30,
+        n_queries=5,
+        seed=2,
+        slow_source_index=None,
+        charging_source_index=None,
+    )
+    world = build_federation(spec)
+    searcher = Metasearcher(world.internet, [world.resource_url])
+    searcher.refresh()
+    query = world.workload.queries[0].to_squery(max_documents=10)
+
+    world.internet.realtime = True
+    outcome_counts: Counter[str] = Counter()
+    walls: dict[str, float] = {}
+    simulated: dict[str, float] = {}
+    for executor in (SerialExecutor(), ParallelExecutor()):
+        started = time.perf_counter()
+        result = searcher.search(query, k_sources=8, executor=executor)
+        walls[executor.name] = (time.perf_counter() - started) * 1000.0
+        simulated[executor.name] = (
+            result.query_latency_serial_ms
+            if executor.name == "serial"
+            else result.query_latency_parallel_ms
+        )
+        outcome_counts.update(result.outcome_counts())
+    world.internet.realtime = False
+
+    payload = {
+        "benchmark": "e2e_latency",
+        "n_sources": spec.n_sources,
+        "k_sources": 8,
+        "serial_wall_ms": round(walls["serial"], 3),
+        "parallel_wall_ms": round(walls["parallel"], 3),
+        "simulated_serial_ms": round(simulated["serial"], 3),
+        "simulated_parallel_ms": round(simulated["parallel"], 3),
+        "outcome_counts": dict(sorted(outcome_counts.items())),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_e2e_latency.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    write_table(
+        "E5_latency_wallclock",
+        [
+            "E5: serial vs parallel fan-out over 8 realtime sources",
+            "",
+            f"serial    wall={payload['serial_wall_ms']:.1f}ms "
+            f"simulated={payload['simulated_serial_ms']:.1f}ms",
+            f"parallel  wall={payload['parallel_wall_ms']:.1f}ms "
+            f"simulated={payload['simulated_parallel_ms']:.1f}ms",
+        ],
+    )
+
+    assert payload["parallel_wall_ms"] < payload["serial_wall_ms"]
+    assert not set(payload["outcome_counts"]) - {"ok", "skipped"}

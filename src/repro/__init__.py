@@ -10,7 +10,13 @@ package layers:
   encoding, results, metadata;
 * :mod:`repro.source` / :mod:`repro.resource` — the server side;
 * :mod:`repro.vendors` — six heterogeneous simulated engine vendors;
-* :mod:`repro.transport` — SOIF over a simulated internet;
+* :mod:`repro.transport` — SOIF over a simulated internet (latency,
+  cost and deterministic fault injection);
+* :mod:`repro.federation` — the query-round runtime: serial/parallel
+  executors, per-source policies (deadlines, retries, hedging) and
+  partial-result outcomes;
+* :mod:`repro.observability` — spans and per-source counters threaded
+  through every search;
 * :mod:`repro.metasearch` — the client: source selection, query
   translation, rank merging;
 * :mod:`repro.corpus` — reproducible synthetic collections and query
@@ -35,7 +41,15 @@ Quickstart::
 from repro.conformance import ConformanceReport, check_source
 from repro.corpus import CollectionSpec, build_workload, generate_collection
 from repro.engine import make_snippet
+from repro.federation import (
+    OutcomeStatus,
+    ParallelExecutor,
+    QueryPolicy,
+    SerialExecutor,
+    SourceOutcome,
+)
 from repro.metasearch import Metasearcher, MetasearchResult
+from repro.observability import Tracer
 from repro.resource import Resource
 from repro.source import SourceCapabilities, StartsSource
 from repro.starts import (
@@ -46,7 +60,13 @@ from repro.starts import (
     STerm,
     parse_expression,
 )
-from repro.transport import HostProfile, SimulatedInternet, publish_resource
+from repro.transport import (
+    FaultProfile,
+    HostProfile,
+    SimulatedInternet,
+    TransportTimeout,
+    publish_resource,
+)
 from repro.vendors import build_vendor_source, vendor_names
 
 __version__ = "1.0.0"
@@ -58,8 +78,14 @@ __all__ = [
     "CollectionSpec",
     "build_workload",
     "generate_collection",
+    "OutcomeStatus",
+    "ParallelExecutor",
+    "QueryPolicy",
+    "SerialExecutor",
+    "SourceOutcome",
     "Metasearcher",
     "MetasearchResult",
+    "Tracer",
     "Resource",
     "SourceCapabilities",
     "StartsSource",
@@ -69,8 +95,10 @@ __all__ = [
     "SQResults",
     "STerm",
     "parse_expression",
+    "FaultProfile",
     "HostProfile",
     "SimulatedInternet",
+    "TransportTimeout",
     "publish_resource",
     "build_vendor_source",
     "vendor_names",

@@ -10,10 +10,13 @@ latency and monetary cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field as dataclass_field
 
 from repro.experiments.federation import Federation
 from repro.experiments.metrics import mean, precision_at_k
+from repro.federation.executor import Executor
+from repro.federation.policy import QueryPolicy
 from repro.metasearch import (
     Metasearcher,
     RawScoreMerge,
@@ -21,6 +24,7 @@ from repro.metasearch import (
     TfIdfRecomputeMerge,
     VGlossMax,
 )
+from repro.observability.tracing import Tracer
 
 __all__ = ["PipelineResult", "run_end_to_end_experiment"]
 
@@ -35,23 +39,44 @@ class PipelineResult:
     latency_ms_per_query: float
     cost_per_query: float
     parallel_latency_ms_per_query: float = 0.0
+    outcome_counts: dict[str, int] = dataclass_field(default_factory=dict)
 
     def row(self) -> str:
-        return (
+        line = (
             f"{self.name:<22} P@10={self.precision_at_10:.3f} "
             f"reqs={self.requests_per_query:.1f} "
             f"latency={self.latency_ms_per_query:.0f}ms "
             f"(parallel {self.parallel_latency_ms_per_query:.0f}ms) "
             f"cost={self.cost_per_query:.2f}"
         )
+        failures = sum(
+            count
+            for status, count in self.outcome_counts.items()
+            if status in ("error", "timeout")
+        )
+        if failures:
+            line += f" failures={failures}"
+        return line
 
 
 def run_end_to_end_experiment(
     federation: Federation,
     n_queries: int = 20,
     k_sources: int = 3,
+    executor: Executor | None = None,
+    query_policy: QueryPolicy | None = None,
+    tracer: Tracer | None = None,
 ) -> list[PipelineResult]:
-    """Run E5: STARTS pipeline vs. query-all/raw-merge baseline."""
+    """Run E5: STARTS pipeline vs. query-all/raw-merge baseline.
+
+    Args:
+        executor: passed through to the :class:`Metasearcher` — sweep
+            serial vs. parallel fan-out over the same federation.
+        query_policy: per-source execution policy, for federations with
+            fault injection enabled.
+        tracer: when given, every search of every configuration records
+            into it, so per-source counters aggregate across the run.
+    """
     configurations = [
         ("starts(vGlOSS+tfidf)", VGlossMax(), TfIdfRecomputeMerge(), k_sources),
         ("baseline(all+raw)", SelectAll(), RawScoreMerge(), len(federation.sources)),
@@ -65,18 +90,24 @@ def run_end_to_end_experiment(
             [federation.resource_url],
             selector=selector,
             merger=merger,
+            executor=executor,
+            query_policy=query_policy,
         )
         searcher.refresh()
         federation.internet.reset_log()
 
         precisions = []
         parallel_latencies = []
+        outcome_counts: Counter[str] = Counter()
         for query in queries:
-            outcome = searcher.search(query.to_squery(max_documents=20), k_sources=k)
-            precisions.append(
-                precision_at_k(outcome.linkages(), set(query.relevant), 10)
+            search_result = searcher.search(
+                query.to_squery(max_documents=20), k_sources=k, tracer=tracer
             )
-            parallel_latencies.append(outcome.query_latency_parallel_ms)
+            precisions.append(
+                precision_at_k(search_result.linkages(), set(query.relevant), 10)
+            )
+            parallel_latencies.append(search_result.query_latency_parallel_ms)
+            outcome_counts.update(search_result.outcome_counts())
         n = max(len(queries), 1)
         results.append(
             PipelineResult(
@@ -86,6 +117,7 @@ def run_end_to_end_experiment(
                 federation.internet.total_latency_ms() / n,
                 federation.internet.total_cost() / n,
                 parallel_latency_ms_per_query=mean(parallel_latencies),
+                outcome_counts=dict(outcome_counts),
             )
         )
     return results

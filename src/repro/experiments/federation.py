@@ -16,7 +16,12 @@ from repro.corpus.workload import Workload, build_workload
 from repro.engine.documents import Document
 from repro.resource import Resource
 from repro.source.source import StartsSource
-from repro.transport import HostProfile, SimulatedInternet, publish_resource
+from repro.transport import (
+    FaultProfile,
+    HostProfile,
+    SimulatedInternet,
+    publish_resource,
+)
 from repro.vendors import build_vendor_source
 
 __all__ = ["FederationSpec", "Federation", "build_federation"]
@@ -57,6 +62,12 @@ class FederationSpec:
     include_boolean_only_source: bool = False
     slow_source_index: int | None = 2
     charging_source_index: int | None = 3
+    #: Index of a source whose first requests fail before recovering
+    #: (None disables; see FaultProfile.flaky).
+    flaky_source_index: int | None = None
+    flaky_failures: int = 2
+    #: Index of a source whose host is dead — every request fails.
+    dead_source_index: int | None = None
 
 
 @dataclass
@@ -82,6 +93,7 @@ def build_federation(spec: FederationSpec = FederationSpec()) -> Federation:
     sources: dict[str, StartsSource] = {}
     collections: dict[str, list[Document]] = {}
     profiles: dict[str, HostProfile] = {}
+    faults: dict[str, FaultProfile] = {}
     costs: dict[str, float] = {}
 
     for index in range(spec.n_sources):
@@ -110,10 +122,18 @@ def build_federation(spec: FederationSpec = FederationSpec()) -> Federation:
             profile = HostProfile(cost_per_query=5.0)
             costs[source_id] = 5.0
         profiles[source_id] = profile
+        if index == spec.flaky_source_index:
+            faults[source_id] = FaultProfile.flaky(spec.flaky_failures)
+        if index == spec.dead_source_index:
+            faults[source_id] = FaultProfile.dead()
 
     resource_url = "http://experiments.example.org"
     publish_resource(
-        internet, resource, resource_url, source_profiles=profiles
+        internet,
+        resource,
+        resource_url,
+        source_profiles=profiles,
+        source_faults=faults or None,
     )
 
     workload = build_workload(

@@ -1,0 +1,72 @@
+"""Executors: how a batch of per-source tasks is driven.
+
+The paper's metasearcher contacts "a few sources" per query; *how* it
+contacts them is a deployment decision this protocol keeps out of the
+pipeline.  :class:`SerialExecutor` runs tasks one after another —
+deterministic, debuggable, and what the original reproduction did.
+:class:`ParallelExecutor` fans out over a thread pool, so a query round
+costs the slowest source rather than the sum of all of them — the
+NeuralSearchX-style concurrent dispatch that makes federated serving
+affordable.  Both return results in task order, so callers never
+depend on completion order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from typing import Protocol, TypeVar, runtime_checkable
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Drives ``fn`` over ``tasks``; returns results in task order."""
+
+    name: str
+
+    def run(
+        self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
+    ) -> list[ResultT]: ...
+
+
+class SerialExecutor:
+    """One task at a time, in order — the deterministic baseline."""
+
+    name = "serial"
+
+    def run(
+        self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
+    ) -> list[ResultT]:
+        return [fn(task) for task in tasks]
+
+
+class ParallelExecutor:
+    """Thread-pool fan-out: a query round costs the slowest source.
+
+    Args:
+        max_workers: pool size; defaults to one thread per task, capped
+            at 32.  A fresh pool per batch keeps the executor stateless
+            and safe to share between searchers.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(
+        self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
+    ) -> list[ResultT]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        workers = self.max_workers or min(32, len(tasks))
+        with _ThreadPool(max_workers=min(workers, len(tasks))) as pool:
+            return list(pool.map(fn, tasks))

@@ -1,0 +1,247 @@
+"""The per-source query runner: policies applied, outcomes recorded.
+
+This is the fault-tolerant core the :class:`~repro.metasearch.client.
+Metasearcher` delegates its query round to.  A :class:`QueryDispatcher`
+takes translated per-source requests, drives them through an
+:class:`~repro.federation.executor.Executor`, and applies each source's
+:class:`~repro.federation.policy.QueryPolicy`: deadline per attempt,
+retries with exponential backoff, optional hedged duplicates.  Every
+request — successful, failed, hedged — is accounted in the returned
+:class:`~repro.federation.outcomes.SourceOutcome` and in the tracer's
+per-source counters, so a slow or dead source costs bounded time and
+leaves a record instead of aborting the search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.federation.executor import Executor, SerialExecutor
+from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
+from repro.federation.policy import QueryPolicy
+from repro.observability.tracing import Span, Tracer
+from repro.starts.errors import ProtocolError
+from repro.starts.query import SQuery
+from repro.starts.results import SQResults
+from repro.transport.client import StartsClient
+from repro.transport.network import TransportError, TransportTimeout
+
+__all__ = ["SourceRequest", "QueryDispatcher"]
+
+
+@dataclass(frozen=True, slots=True)
+class SourceRequest:
+    """One translated query bound for one source (plus routed siblings)."""
+
+    source_id: str
+    query_url: str
+    query: SQuery
+    sibling_ids: tuple[str, ...] = dataclass_field(default_factory=tuple)
+
+
+@dataclass(frozen=True, slots=True)
+class _AttemptOutcome:
+    """One logical attempt: the primary request plus any hedge."""
+
+    status: OutcomeStatus
+    records: tuple[Attempt, ...]
+    results: SQResults | None
+    effective_ms: float
+    cost: float
+    error: str | None
+
+
+class QueryDispatcher:
+    """Runs per-source requests under an executor with per-source policies.
+
+    Args:
+        client: the transport client queries go through.
+        executor: serial or parallel dispatch (default serial).
+        policy: the default :class:`QueryPolicy`.
+        policies: per-source-id overrides of the default policy.
+        tracer: receives one span per source (with per-attempt child
+            events) and the per-source counters; a fresh tracer is
+            created when none is given.
+    """
+
+    def __init__(
+        self,
+        client: StartsClient,
+        executor: Executor | None = None,
+        policy: QueryPolicy | None = None,
+        policies: dict[str, QueryPolicy] | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.client = client
+        self.executor = executor or SerialExecutor()
+        self.policy = policy or QueryPolicy()
+        self.policies = dict(policies or {})
+        self.tracer = tracer or Tracer()
+
+    def policy_for(self, source_id: str) -> QueryPolicy:
+        return self.policies.get(source_id, self.policy)
+
+    def dispatch(
+        self, requests: Sequence[SourceRequest], parent: Span | None = None
+    ) -> list[SourceOutcome]:
+        """Run every request; outcomes come back in request order."""
+        return self.executor.run(
+            list(requests), lambda request: self.run_one(request, parent)
+        )
+
+    def run_one(
+        self, request: SourceRequest, parent: Span | None = None
+    ) -> SourceOutcome:
+        """Execute one source's request under its policy, traced."""
+        policy = self.policy_for(request.source_id)
+        with self.tracer.span(
+            f"query:{request.source_id}", parent=parent, url=request.query_url
+        ) as span:
+            outcome = self._run_with_policy(request, policy)
+            span.annotate(
+                status=outcome.status.value,
+                requests=outcome.requests,
+                retries=outcome.retries,
+                wire_ms=outcome.elapsed_ms,
+                cost=outcome.cost,
+            )
+            if outcome.error:
+                span.annotate(error=outcome.error)
+        return outcome
+
+    # -- policy machinery --------------------------------------------------
+
+    def _run_with_policy(
+        self, request: SourceRequest, policy: QueryPolicy
+    ) -> SourceOutcome:
+        source_id = request.source_id
+        attempts: list[Attempt] = []
+        elapsed_ms = 0.0
+        cost = 0.0
+        number = 0
+        while True:
+            number += 1
+            backoff = policy.backoff_before(number)
+            if backoff:
+                elapsed_ms += backoff
+                self.tracer.count(source_id, backoff_ms=backoff)
+                self.tracer.event("backoff", wait_ms=backoff, before_attempt=number)
+            attempt = self._attempt(request, policy, number, backoff)
+            attempts.extend(attempt.records)
+            elapsed_ms += attempt.effective_ms
+            cost += attempt.cost
+            self._count(source_id, number, attempt)
+            if attempt.status is OutcomeStatus.OK:
+                return SourceOutcome(
+                    source_id,
+                    OutcomeStatus.OK,
+                    results=attempt.results,
+                    attempts=tuple(attempts),
+                    elapsed_ms=elapsed_ms,
+                    cost=cost,
+                    sibling_ids=request.sibling_ids,
+                )
+            if not policy.should_retry(attempt.status.value, number):
+                return SourceOutcome(
+                    source_id,
+                    attempt.status,
+                    attempts=tuple(attempts),
+                    elapsed_ms=elapsed_ms,
+                    cost=cost,
+                    error=attempt.error,
+                    sibling_ids=request.sibling_ids,
+                )
+
+    def _attempt(
+        self,
+        request: SourceRequest,
+        policy: QueryPolicy,
+        number: int,
+        backoff_ms: float,
+    ) -> _AttemptOutcome:
+        status, latency, cost, results, error = self._single(request, policy)
+        records = [Attempt(number, status, latency, cost, backoff_ms, False, error)]
+        self.tracer.event(
+            f"attempt:{number}",
+            status=status.value,
+            latency_ms=latency,
+            cost=cost,
+        )
+        hedge_at = policy.hedge_after_ms
+        if hedge_at is None or latency <= hedge_at:
+            return _AttemptOutcome(status, tuple(records), results, latency, cost, error)
+
+        # The primary was still unanswered at the hedge deadline, so a
+        # duplicate went out; it completes hedge_at later than a fresh
+        # request would.  The faster success wins, both are paid for.
+        h_status, h_latency, h_cost, h_results, h_error = self._single(request, policy)
+        records.append(Attempt(number, h_status, h_latency, h_cost, 0.0, True, h_error))
+        self.tracer.event(
+            f"attempt:{number}:hedge",
+            status=h_status.value,
+            latency_ms=h_latency,
+            cost=h_cost,
+        )
+        total_cost = cost + h_cost
+        hedge_completion = hedge_at + h_latency
+        winners: list[tuple[float, SQResults | None]] = []
+        if status is OutcomeStatus.OK:
+            winners.append((latency, results))
+        if h_status is OutcomeStatus.OK:
+            winners.append((hedge_completion, h_results))
+        if winners:
+            effective, winning_results = min(winners, key=lambda entry: entry[0])
+            return _AttemptOutcome(
+                OutcomeStatus.OK,
+                tuple(records),
+                winning_results,
+                effective,
+                total_cost,
+                None,
+            )
+        # Both failed: the client knows only when the slower one gives up.
+        return _AttemptOutcome(
+            status,
+            tuple(records),
+            None,
+            max(latency, hedge_completion),
+            total_cost,
+            error or h_error,
+        )
+
+    def _single(
+        self, request: SourceRequest, policy: QueryPolicy
+    ) -> tuple[OutcomeStatus, float, float, SQResults | None, str | None]:
+        """One wire request → (status, latency_ms, cost, results, error)."""
+        try:
+            results, record = self.client.query_with_record(
+                request.query_url, request.query, deadline_ms=policy.timeout_ms
+            )
+            return OutcomeStatus.OK, record.latency_ms, record.cost, results, None
+        except TransportTimeout as exc:
+            record = exc.record
+            latency = record.latency_ms if record else (policy.timeout_ms or 0.0)
+            cost = record.cost if record else 0.0
+            return OutcomeStatus.TIMEOUT, latency, cost, None, str(exc)
+        except (TransportError, ProtocolError) as exc:
+            record = getattr(exc, "record", None)
+            latency = record.latency_ms if record else 0.0
+            cost = record.cost if record else 0.0
+            return OutcomeStatus.ERROR, latency, cost, None, str(exc)
+
+    def _count(self, source_id: str, number: int, attempt: _AttemptOutcome) -> None:
+        self.tracer.count(
+            source_id,
+            requests=len(attempt.records),
+            retries=1 if number > 1 else 0,
+            failures=sum(
+                1 for rec in attempt.records if rec.status is OutcomeStatus.ERROR
+            ),
+            timeouts=sum(
+                1 for rec in attempt.records if rec.status is OutcomeStatus.TIMEOUT
+            ),
+            hedges=sum(1 for rec in attempt.records if rec.hedged),
+            latency_ms=sum(rec.latency_ms for rec in attempt.records),
+            cost=attempt.cost,
+        )

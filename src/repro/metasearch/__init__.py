@@ -1,5 +1,17 @@
-"""The metasearcher: discovery, selection, translation, merging, facade."""
+"""The metasearcher: discovery, selection, translation, merging, facade.
 
+The query round itself — executors, per-source policies, outcomes —
+lives in :mod:`repro.federation`; the most commonly used names are
+re-exported here for convenience.
+"""
+
+from repro.federation import (
+    OutcomeStatus,
+    ParallelExecutor,
+    QueryPolicy,
+    SerialExecutor,
+    SourceOutcome,
+)
 from repro.metasearch.brokers import (
     BrokerNode,
     HierarchicalSelector,
@@ -40,6 +52,11 @@ from repro.metasearch.translation import (
 )
 
 __all__ = [
+    "OutcomeStatus",
+    "ParallelExecutor",
+    "QueryPolicy",
+    "SerialExecutor",
+    "SourceOutcome",
     "BrokerNode",
     "HierarchicalSelector",
     "merge_summaries",

@@ -4,12 +4,25 @@ This is the end-to-end client the paper's Introduction promises: "users
 have the illusion of a single combined document source."  One call to
 :meth:`Metasearcher.search` performs all three §1 tasks over the
 transport layer, using only what sources export through STARTS.
+
+The query round itself is delegated to the federation runtime
+(:mod:`repro.federation`): an executor fans the translated per-source
+requests out (serially or over a thread pool), per-source policies
+bound how long a slow source is waited for and how often a flaky one is
+retried, and a source that fails or times out becomes a recorded
+:class:`~repro.federation.SourceOutcome` instead of an exception —
+merging proceeds over the survivors.  Every phase is traced;
+:meth:`MetasearchResult.explain_trace` renders the whole timeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 
+from repro.federation.executor import Executor, SerialExecutor
+from repro.federation.outcomes import OutcomeStatus, SourceOutcome
+from repro.federation.policy import QueryPolicy
+from repro.federation.runner import QueryDispatcher, SourceRequest
 from repro.metasearch.discovery import DiscoveryService, KnownSource
 from repro.metasearch.merging import (
     MergeContext,
@@ -19,6 +32,8 @@ from repro.metasearch.merging import (
 )
 from repro.metasearch.selection import SourceSelector, VGlossMax
 from repro.metasearch.translation import ClientTranslator, TranslationReport
+from repro.observability.render import render_trace
+from repro.observability.tracing import Trace, Tracer
 from repro.starts.errors import ProtocolError
 from repro.starts.query import SQuery
 from repro.starts.results import SQResults
@@ -32,10 +47,11 @@ __all__ = ["MetasearchResult", "Metasearcher"]
 class MetasearchResult:
     """Everything one metasearch produced, for inspection and display.
 
-    Latency attributes model the two deployment styles: a serial client
-    pays the *sum* of per-source round trips, a parallel fan-out client
-    pays the *maximum* — the realistic figure for a metasearcher that
-    issues its per-source queries concurrently.
+    Latency attributes model the two deployment styles over the
+    *simulated* wire time each routed group occupied (attempts, backoff
+    waits and hedges included): a serial client pays the *sum* across
+    groups, a parallel fan-out client pays the *maximum* — requests
+    within one group are sequential on the wire either way.
     """
 
     documents: list[MergedDocument]
@@ -46,12 +62,56 @@ class MetasearchResult:
     )
     query_latency_serial_ms: float = 0.0
     query_latency_parallel_ms: float = 0.0
+    outcomes: dict[str, SourceOutcome] = dataclass_field(default_factory=dict)
+    trace: Trace | None = None
 
     def linkages(self) -> list[str]:
         return [document.linkage for document in self.documents]
 
     def top(self, k: int) -> list[MergedDocument]:
         return self.documents[:k]
+
+    # -- outcome views -----------------------------------------------------
+
+    def ok_sources(self) -> list[str]:
+        return [sid for sid, outcome in self.outcomes.items() if outcome.ok]
+
+    def failed_sources(self) -> list[str]:
+        return [
+            sid
+            for sid, outcome in self.outcomes.items()
+            if outcome.status in (OutcomeStatus.ERROR, OutcomeStatus.TIMEOUT)
+        ]
+
+    def skipped_sources(self) -> list[str]:
+        return [
+            sid
+            for sid, outcome in self.outcomes.items()
+            if outcome.status is OutcomeStatus.SKIPPED
+        ]
+
+    def outcome_counts(self) -> dict[str, int]:
+        """``{status value: count}`` over every entry source's outcome."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes.values():
+            counts[outcome.status.value] = counts.get(outcome.status.value, 0) + 1
+        return counts
+
+    def explain_trace(self) -> str:
+        """The full query timeline: spans, attempts, retries, counters."""
+        lines = []
+        if self.outcomes:
+            lines.append("source outcomes:")
+            lines.extend(
+                f"  {self.outcomes[sid].describe()}" for sid in self.outcomes
+            )
+        if self.trace is not None:
+            if lines:
+                lines.append("")
+            lines.append(render_trace(self.trace))
+        if not lines:
+            return "(no trace recorded)"
+        return "\n".join(lines)
 
 
 class Metasearcher:
@@ -62,6 +122,13 @@ class Metasearcher:
         resource_urls: @SResource URLs to harvest on :meth:`refresh`.
         selector: source-selection strategy (default vGlOSS-Max).
         merger: rank-merging strategy (default tf·idf recompute).
+        executor: how the query round is driven — the default
+            :class:`~repro.federation.SerialExecutor` is deterministic;
+            pass :class:`~repro.federation.ParallelExecutor` for real
+            concurrent fan-out.
+        query_policy: default per-source execution policy (deadline,
+            retries, backoff, hedging).
+        query_policies: per-source-id policy overrides.
     """
 
     def __init__(
@@ -70,20 +137,29 @@ class Metasearcher:
         resource_urls: list[str] | None = None,
         selector: SourceSelector | None = None,
         merger: MergeStrategy | None = None,
+        executor: Executor | None = None,
+        query_policy: QueryPolicy | None = None,
+        query_policies: dict[str, QueryPolicy] | None = None,
     ) -> None:
         self.client = StartsClient(internet)
         self.discovery = DiscoveryService(self.client)
         self.selector = selector or VGlossMax()
         self.merger = merger or TfIdfRecomputeMerge()
         self.translator = ClientTranslator()
+        self.executor: Executor = executor or SerialExecutor()
+        self.query_policy = query_policy or QueryPolicy()
+        self.query_policies = dict(query_policies or {})
         self.resource_urls = list(resource_urls or [])
 
     # -- discovery ---------------------------------------------------------
 
-    def refresh(self) -> list[KnownSource]:
+    def refresh(self, tracer: Tracer | None = None) -> list[KnownSource]:
         """Harvest every configured resource; returns all known sources."""
-        for url in self.resource_urls:
-            self.discovery.refresh_resource(url)
+        tracer = tracer or Tracer()
+        self.client.tracer = tracer
+        with tracer.span("discover", resources=len(self.resource_urls)):
+            for url in self.resource_urls:
+                self.discovery.refresh_resource(url)
         return self.discovery.known_sources()
 
     def add_resource(self, resource_url: str) -> None:
@@ -99,6 +175,8 @@ class Metasearcher:
         selector: SourceSelector | None = None,
         merger: MergeStrategy | None = None,
         group_by_resource: bool = False,
+        executor: Executor | None = None,
+        tracer: Tracer | None = None,
     ) -> MetasearchResult:
         """Run the full pipeline for one query.
 
@@ -109,6 +187,10 @@ class Metasearcher:
                 routing) — the resource then eliminates duplicates
                 server-side.  Appropriate when a resource's sources
                 share an engine, so their raw scores are comparable.
+            executor: overrides the searcher's executor for this call.
+            tracer: receives the phase spans and per-source counters; a
+                fresh tracer backs each search when none is given, and
+                its trace is attached to the result either way.
 
         Raises:
             ProtocolError: if the query has neither expression, or no
@@ -121,36 +203,133 @@ class Metasearcher:
 
         selector = selector or self.selector
         merger = merger or self.merger
+        executor = executor or self.executor
+        tracer = tracer or Tracer()
+        self.client.tracer = tracer
         terms = self._selection_terms(query)
 
-        summaries = self.discovery.summaries()
-        if summaries:
-            selected_ids = selector.select(terms, summaries, k_sources)
-        else:
-            selected_ids = [source.source_id for source in known[:k_sources]]
-
-        per_source_results: dict[str, SQResults] = {}
-        reports: dict[str, TranslationReport] = {}
-        query_round_start = len(self._internet_log())
-        groups = self._route(selected_ids, group_by_resource)
-        for entry_id, sibling_ids in groups:
-            source = self.discovery.source(entry_id)
-            translated, report = self.translator.translate(
-                query, source.metadata, summary=summaries.get(entry_id)
+        with tracer.span("search", terms=" ".join(terms)):
+            selected_ids, summaries = self._select(
+                tracer, selector, terms, k_sources, known
             )
-            reports[entry_id] = report
-            if (
-                translated.filter_expression is None
-                and translated.ranking_expression is None
+            requests, outcomes, reports = self._translate(
+                tracer, query, selected_ids, summaries, group_by_resource
+            )
+            dispatcher = QueryDispatcher(
+                self.client,
+                executor=executor,
+                policy=self.query_policy,
+                policies=self.query_policies,
+                tracer=tracer,
+            )
+            with tracer.span(
+                "query", executor=executor.name, requests=len(requests)
+            ) as query_span:
+                for outcome in dispatcher.dispatch(requests, parent=query_span):
+                    outcomes[outcome.source_id] = outcome
+            per_source_results = {
+                source_id: outcome.results
+                for source_id, outcome in outcomes.items()
+                if outcome.ok and outcome.results is not None
+            }
+            with tracer.span(
+                "merge",
+                strategy=type(merger).__name__,
+                sources=len(per_source_results),
             ):
-                continue  # Nothing would survive: skip the round trip.
-            if sibling_ids:
-                translated = translated.with_sources(*sibling_ids)
-            per_source_results[entry_id] = self.client.query(
-                source.query_url, translated
-            )
+                documents = merger.merge(
+                    per_source_results,
+                    self._merge_context(per_source_results, summaries, terms),
+                )
+                if query.max_number_documents:
+                    documents = documents[: query.max_number_documents]
 
-        context = MergeContext(
+        # Each outcome is one routed group; its elapsed_ms already sums
+        # the requests within the group (attempts, backoff, hedges are
+        # sequential on that group's wire).  A serial client pays the
+        # sum across groups, a fan-out client the slowest group.
+        group_times = [outcome.elapsed_ms for outcome in outcomes.values()]
+        return MetasearchResult(
+            documents,
+            selected_ids,
+            per_source_results,
+            reports,
+            query_latency_serial_ms=sum(group_times),
+            query_latency_parallel_ms=max(group_times, default=0.0),
+            outcomes=outcomes,
+            trace=tracer.trace(),
+        )
+
+    # -- pipeline phases ---------------------------------------------------
+
+    def _select(
+        self,
+        tracer: Tracer,
+        selector: SourceSelector,
+        terms: list[str],
+        k_sources: int,
+        known: list[KnownSource],
+    ) -> tuple[list[str], dict]:
+        with tracer.span("select", selector=selector.name, k=k_sources) as span:
+            summaries = self.discovery.summaries()
+            if summaries:
+                selected_ids = selector.select(terms, summaries, k_sources)
+            else:
+                selected_ids = [source.source_id for source in known[:k_sources]]
+            span.annotate(
+                summaries=len(summaries), selected=" ".join(selected_ids)
+            )
+        return selected_ids, summaries
+
+    def _translate(
+        self,
+        tracer: Tracer,
+        query: SQuery,
+        selected_ids: list[str],
+        summaries: dict,
+        group_by_resource: bool,
+    ) -> tuple[list[SourceRequest], dict[str, SourceOutcome], dict]:
+        requests: list[SourceRequest] = []
+        outcomes: dict[str, SourceOutcome] = {}
+        reports: dict[str, TranslationReport] = {}
+        for entry_id, sibling_ids in self._route(selected_ids, group_by_resource):
+            with tracer.span(f"translate:{entry_id}") as span:
+                source = self.discovery.source(entry_id)
+                translated, report = self.translator.translate(
+                    query, source.metadata, summary=summaries.get(entry_id)
+                )
+                reports[entry_id] = report
+                span.annotate(
+                    lossless=report.is_lossless(), dropped=len(report.dropped)
+                )
+                if (
+                    translated.filter_expression is None
+                    and translated.ranking_expression is None
+                ):
+                    # Nothing would survive: skip the round trip, on record.
+                    outcomes[entry_id] = SourceOutcome.skip(
+                        entry_id,
+                        "translation left neither filter nor ranking expression",
+                        tuple(sibling_ids),
+                    )
+                    span.annotate(skipped=True)
+                    continue
+                if sibling_ids:
+                    translated = translated.with_sources(*sibling_ids)
+                requests.append(
+                    SourceRequest(
+                        entry_id, source.query_url, translated, tuple(sibling_ids)
+                    )
+                )
+        return requests, outcomes, reports
+
+    def _merge_context(
+        self,
+        per_source_results: dict[str, SQResults],
+        summaries: dict,
+        terms: list[str],
+    ) -> MergeContext:
+        return MergeContext(
             metadata={
                 source_id: self.discovery.source(source_id).metadata
                 for source_id in per_source_results
@@ -168,25 +347,9 @@ class Metasearcher:
             },
             query_terms=tuple(terms),
         )
-        documents = merger.merge(per_source_results, context)
-        if query.max_number_documents:
-            documents = documents[: query.max_number_documents]
-
-        round_latencies = [
-            record.latency_ms
-            for record in self._internet_log()[query_round_start:]
-        ]
-        return MetasearchResult(
-            documents,
-            selected_ids,
-            per_source_results,
-            reports,
-            query_latency_serial_ms=sum(round_latencies),
-            query_latency_parallel_ms=max(round_latencies, default=0.0),
-        )
 
     def _internet_log(self):
-        return self.client._internet.log
+        return self.client.access_log()
 
     def explain_plan(
         self,

@@ -52,19 +52,33 @@ class DiscoveryService:
     client: StartsClient
     clock: str = "1996-08-01"
     _sources: dict[str, KnownSource] = dataclass_field(default_factory=dict)
+    #: source_id → metadata URL for sources skipped on the last refresh
+    #: because their host was unreachable.
+    unreachable: dict[str, str] = dataclass_field(default_factory=dict)
 
     def refresh_resource(self, resource_url: str) -> list[KnownSource]:
         """Fetch a resource's source list and harvest each new source.
 
-        Returns the known sources belonging to this resource.
+        Returns the known sources belonging to this resource.  A source
+        whose metadata cannot be fetched (dead or flaky host) is skipped
+        for this round — a stale entry from an earlier harvest is kept
+        rather than dropped, and the source id is recorded in
+        :attr:`unreachable` so callers can see what was missed.
         """
         resource = self.client.fetch_resource(resource_url)
         harvested: list[KnownSource] = []
         for source_id, metadata_url in resource.source_list:
             known = self._sources.get(source_id)
             if known is None or self._is_stale(known):
-                known = self._harvest(source_id, metadata_url, resource_url)
-                self._sources[source_id] = known
+                try:
+                    known = self._harvest(source_id, metadata_url, resource_url)
+                except TransportError:
+                    self.unreachable[source_id] = metadata_url
+                    if known is None:
+                        continue
+                else:
+                    self.unreachable.pop(source_id, None)
+                    self._sources[source_id] = known
             harvested.append(known)
         return harvested
 

@@ -1,0 +1,13 @@
+"""Observability: spans, per-source counters, and a text renderer."""
+
+from repro.observability.render import render_counters, render_trace
+from repro.observability.tracing import SourceCounters, Span, Trace, Tracer
+
+__all__ = [
+    "render_counters",
+    "render_trace",
+    "SourceCounters",
+    "Span",
+    "Trace",
+    "Tracer",
+]

@@ -1,0 +1,68 @@
+"""Text rendering for traces: the whole query timeline, human first.
+
+``MetasearchResult.explain_trace()`` ends up here: an indented span
+tree (wall-clock durations, attributes inline) followed by the
+per-source counter table — retries, failures, timeouts, simulated
+latency, backoff waits and monetary cost, the §3.3 quantities a
+metasearch operator actually watches.
+"""
+
+from __future__ import annotations
+
+from repro.observability.tracing import SourceCounters, Span, Trace
+
+__all__ = ["render_trace", "render_counters"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def _span_lines(span: Span, depth: int, lines: list[str]) -> None:
+    attributes = " ".join(
+        f"{name}={_format_value(value)}" for name, value in span.attributes.items()
+    )
+    label = f"{'  ' * depth}{span.name}"
+    duration = f"{span.duration_ms:8.1f}ms"
+    lines.append(f"{label:<42} {duration}  {attributes}".rstrip())
+    for child in span.children:
+        _span_lines(child, depth + 1, lines)
+
+
+def render_counters(counters: dict[str, SourceCounters]) -> list[str]:
+    """The per-source counter table as lines (empty list if no traffic)."""
+    if not counters:
+        return []
+    lines = [
+        f"{'source':<16} {'reqs':>5} {'retry':>5} {'fail':>5} {'tmout':>5} "
+        f"{'hedge':>5} {'latency':>10} {'backoff':>9} {'cost':>7}"
+    ]
+    for source_id in sorted(counters):
+        tally = counters[source_id]
+        lines.append(
+            f"{source_id:<16} {tally.requests:>5} {tally.retries:>5} "
+            f"{tally.failures:>5} {tally.timeouts:>5} {tally.hedges:>5} "
+            f"{tally.latency_ms:>8.1f}ms {tally.backoff_ms:>7.1f}ms "
+            f"{tally.cost:>7.2f}"
+        )
+    return lines
+
+
+def render_trace(trace: Trace) -> str:
+    """The span tree plus the counter table, as display-ready text."""
+    lines: list[str] = []
+    for span in trace.spans:
+        _span_lines(span, 0, lines)
+    counter_lines = render_counters(trace.counters)
+    if counter_lines:
+        if lines:
+            lines.append("")
+        lines.append("per-source counters (simulated wire time and cost):")
+        lines.extend(counter_lines)
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Lightweight tracing and per-source metrics for the metasearch pipeline.
+
+The paper's §3.3 worries about sources with "large response times" and
+sources that "charge for their use" — concerns a metasearcher can only
+act on if it can *see* where a query's time and money went.  This module
+provides the minimal instrumentation the federation runtime threads
+through discover → select → translate → query → merge:
+
+* :class:`Span` — one timed phase, possibly nested, with free-form
+  attributes (wall-clock is measured; simulated network time arrives as
+  attributes set by the federation runner);
+* :class:`Tracer` — a thread-safe factory/collector of spans plus a
+  per-source :class:`SourceCounters` table (requests, retries,
+  failures, timeouts, hedges, simulated latency, backoff, cost);
+* :class:`Trace` — the immutable-ish view a finished operation hands
+  back, rendered to text by :func:`repro.observability.render_trace`.
+
+Everything is dependency-free and cheap enough to leave on by default.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dataclass_field
+
+__all__ = ["Span", "SourceCounters", "Trace", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed phase of an operation, with nested children."""
+
+    name: str
+    start_ms: float
+    end_ms: float | None = None
+    attributes: dict[str, object] = dataclass_field(default_factory=dict)
+    children: list["Span"] = dataclass_field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock duration; 0.0 while the span is still open."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach or overwrite attributes on this span."""
+        self.attributes.update(attributes)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class SourceCounters:
+    """Per-source tallies accumulated across one traced operation.
+
+    ``latency_ms`` and ``backoff_ms`` are *simulated* network time (what
+    the wire charged); span durations are wall-clock.
+    """
+
+    requests: int = 0
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    hedges: int = 0
+    latency_ms: float = 0.0
+    backoff_ms: float = 0.0
+    cost: float = 0.0
+
+
+@dataclass
+class Trace:
+    """A finished operation's spans and counters, ready to render."""
+
+    spans: list[Span] = dataclass_field(default_factory=list)
+    counters: dict[str, SourceCounters] = dataclass_field(default_factory=dict)
+
+    def walk(self) -> Iterator[Span]:
+        for span in self.spans:
+            yield from span.walk()
+
+    def find(self, name: str) -> Span | None:
+        """The first span (depth first) whose name matches exactly."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def render(self) -> str:
+        from repro.observability.render import render_trace
+
+        return render_trace(self)
+
+
+class Tracer:
+    """Thread-safe span collector with per-source counters.
+
+    Spans nest automatically within one thread (a thread-local stack);
+    code that fans out to worker threads passes ``parent=`` explicitly,
+    since thread-local context does not cross the pool boundary.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock or time.perf_counter
+        self._origin = self._clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: list[Span] = []
+        self.counters: dict[str, SourceCounters] = {}
+
+    def now_ms(self) -> float:
+        """Milliseconds since this tracer was created (wall clock)."""
+        return (self._clock() - self._origin) * 1000.0
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, parent: Span | None = None, **attributes: object):
+        """Open a span; nests under the current span unless ``parent`` is given."""
+        span = Span(name, self.now_ms(), attributes=dict(attributes))
+        stack = self._stack()
+        owner = parent if parent is not None else (stack[-1] if stack else None)
+        with self._lock:
+            (owner.children if owner is not None else self.spans).append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.end_ms = self.now_ms()
+
+    def event(
+        self, name: str, parent: Span | None = None, **attributes: object
+    ) -> Span:
+        """A zero-duration span: something that happened at a point in time."""
+        now = self.now_ms()
+        span = Span(name, now, end_ms=now, attributes=dict(attributes))
+        stack = self._stack()
+        owner = parent if parent is not None else (stack[-1] if stack else None)
+        with self._lock:
+            (owner.children if owner is not None else self.spans).append(span)
+        return span
+
+    def count(self, source_id: str, **deltas: float) -> SourceCounters:
+        """Add ``deltas`` to the named source's counters (thread safe)."""
+        with self._lock:
+            counters = self.counters.setdefault(source_id, SourceCounters())
+            for name, delta in deltas.items():
+                setattr(counters, name, getattr(counters, name) + delta)
+            return counters
+
+    def trace(self) -> Trace:
+        """The collected spans and counters as a :class:`Trace`."""
+        return Trace(self.spans, self.counters)

@@ -9,9 +9,11 @@ from repro.transport.filestore import (
 from repro.transport.http import HttpTransport, StartsHttpServer
 from repro.transport.network import (
     AccessRecord,
+    FaultProfile,
     HostProfile,
     SimulatedInternet,
     TransportError,
+    TransportTimeout,
 )
 from repro.transport.server import publish_resource, publish_source
 
@@ -23,9 +25,11 @@ __all__ = [
     "HttpTransport",
     "StartsHttpServer",
     "AccessRecord",
+    "FaultProfile",
     "HostProfile",
     "SimulatedInternet",
     "TransportError",
+    "TransportTimeout",
     "publish_resource",
     "publish_source",
 ]

@@ -3,7 +3,9 @@
 The metasearcher never touches sources directly — it speaks SOIF over
 the network, exactly as a real STARTS client would.  Each method posts
 or fetches a blob and decodes it into the corresponding protocol
-object.
+object.  An optional :class:`~repro.observability.Tracer` records one
+event per discovery fetch; query traffic is traced by the federation
+runner, which sees retries and hedges the client alone cannot.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ from repro.starts.metadata import SContentSummary, SMetaAttributes, SResource
 from repro.starts.query import SQuery
 from repro.starts.results import SQResults
 from repro.starts.soif import parse_soif
-from repro.transport.network import SimulatedInternet
+from repro.transport.network import AccessRecord, SimulatedInternet
 
 __all__ = ["StartsClient"]
 
@@ -21,30 +23,69 @@ __all__ = ["StartsClient"]
 class StartsClient:
     """A thin, typed STARTS client bound to one network."""
 
-    def __init__(self, internet: SimulatedInternet) -> None:
+    def __init__(self, internet: SimulatedInternet, tracer=None) -> None:
         self._internet = internet
+        self.tracer = tracer
+
+    @property
+    def internet(self) -> SimulatedInternet:
+        """The network this client is bound to."""
+        return self._internet
+
+    def access_log(self) -> list[AccessRecord]:
+        """The network's live access log (shared with other clients)."""
+        return self._internet.log
 
     def query(self, query_url: str, query: SQuery) -> SQResults:
         """POST an @SQuery; decode the @SQResults stream."""
+        results, _ = self.query_with_record(query_url, query)
+        return results
+
+    def query_with_record(
+        self, query_url: str, query: SQuery, deadline_ms: float | None = None
+    ) -> tuple[SQResults, AccessRecord]:
+        """POST an @SQuery; return the results *and* the access record.
+
+        ``deadline_ms`` bounds how long the client waits: a slower (or
+        hanging) source raises
+        :class:`~repro.transport.TransportTimeout` whose ``record``
+        charges exactly the deadline.  The federation runner uses this
+        to implement per-source query deadlines.
+        """
         body = query.to_soif().dump().encode("utf-8")
-        response = self._internet.post(query_url, body)
-        return SQResults.from_soif_stream(response)
+        response, record = self._internet.perform(
+            query_url, "POST", body, deadline_ms=deadline_ms
+        )
+        return SQResults.from_soif_stream(response), record
 
     def fetch_resource(self, resource_url: str) -> SResource:
         """GET an @SResource blob."""
-        return SResource.from_soif(parse_soif(self._internet.fetch(resource_url)))
+        return SResource.from_soif(parse_soif(self._fetch(resource_url, "resource")))
 
     def fetch_metadata(self, metadata_url: str) -> SMetaAttributes:
         """GET an @SMetaAttributes blob."""
-        return SMetaAttributes.from_soif(parse_soif(self._internet.fetch(metadata_url)))
+        return SMetaAttributes.from_soif(parse_soif(self._fetch(metadata_url, "meta")))
 
     def fetch_summary(self, summary_url: str) -> SContentSummary:
         """GET an @SContentSummary blob."""
-        return SContentSummary.from_soif(parse_soif(self._internet.fetch(summary_url)))
+        return SContentSummary.from_soif(
+            parse_soif(self._fetch(summary_url, "summary"))
+        )
 
     def fetch_sample_results(self, sample_url: str) -> SampleResults:
         """GET an @SSampleResults blob."""
-        return SampleResults.from_soif(parse_soif(self._internet.fetch(sample_url)))
+        return SampleResults.from_soif(parse_soif(self._fetch(sample_url, "sample")))
+
+    def _fetch(self, url: str, kind: str) -> bytes:
+        payload, record = self._internet.perform(url, "GET")
+        if self.tracer is not None:
+            self.tracer.event(
+                f"fetch:{kind}",
+                url=url,
+                latency_ms=record.latency_ms,
+                cost=record.cost,
+            )
+        return payload
 
     def scan(
         self, scan_url: str, field: str, start_term: str, count: int = 10

@@ -25,7 +25,7 @@ from repro.source.scan import ScanRequest
 from repro.source.source import StartsSource
 from repro.starts.query import SQuery
 from repro.starts.soif import parse_soif
-from repro.transport.network import AccessRecord, TransportError
+from repro.transport.network import AccessRecord, TransportError, TransportTimeout
 
 __all__ = ["StartsHttpServer", "HttpTransport"]
 
@@ -183,22 +183,41 @@ class HttpTransport:
         self.log: list[AccessRecord] = []
 
     def fetch(self, url: str) -> bytes:
-        return self._request(url, None, "GET")
+        payload, _ = self.perform(url, "GET")
+        return payload
 
     def post(self, url: str, body: bytes) -> bytes:
-        return self._request(url, body, "POST")
+        payload, _ = self.perform(url, "POST", body)
+        return payload
 
-    def _request(self, url: str, body: bytes | None, method: str) -> bytes:
+    def perform(
+        self,
+        url: str,
+        method: str = "GET",
+        body: bytes | None = None,
+        deadline_ms: float | None = None,
+    ) -> tuple[bytes, AccessRecord]:
+        """One measured request; ``deadline_ms`` maps to the socket timeout."""
         request = urllib.request.Request(url, data=body, method=method)
+        timeout = self._timeout
+        if deadline_ms is not None:
+            timeout = min(timeout, deadline_ms / 1000.0)
         started = time.perf_counter()
         try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 payload = response.read()
         except Exception as error:
-            raise TransportError(f"{method} {url} failed: {error}") from error
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            timed_out = isinstance(error, TimeoutError) or "timed out" in str(error)
+            status = "timeout" if timed_out else "error"
+            record = AccessRecord(url, method, elapsed_ms, 0.0, status)
+            self.log.append(record)
+            exc_type = TransportTimeout if timed_out else TransportError
+            raise exc_type(f"{method} {url} failed: {error}", record) from error
         elapsed_ms = (time.perf_counter() - started) * 1000.0
-        self.log.append(AccessRecord(url, method, elapsed_ms, 0.0))
-        return payload
+        record = AccessRecord(url, method, elapsed_ms, 0.0)
+        self.log.append(record)
+        return payload, record
 
     def total_latency_ms(self) -> float:
         return sum(record.latency_ms for record in self.log)

@@ -1,29 +1,65 @@
-"""A simulated internet: URL registry with latency and cost accounting.
+"""A simulated internet: URL registry with latency, cost and fault accounting.
 
 STARTS deliberately leaves transport open; the reproduction moves SOIF
 blobs through an in-process network that nevertheless behaves like the
 one the paper worries about: some sources are slow, some charge per
 query (§3.3 — "Some of these sources might charge for their use.  Some
-of the sources might have large response times").  Every fetch/post is
-logged with its simulated latency and monetary cost, giving the
-cost-aware source-selection experiments a measurable substrate.
+of the sources might have large response times") — and some fail.
+Every fetch/post is logged with its simulated latency, monetary cost
+and status, giving the cost-aware source-selection experiments and the
+fault-tolerance tests a measurable substrate.
 
-Latency is deterministic: a seeded per-host jitter stream, so
-experiment runs are reproducible.
+Everything is deterministic: a seeded per-host jitter stream for
+latency and a separate seeded stream for fault injection, so experiment
+runs are reproducible request for request.
+
+Two execution modes:
+
+* the default accounts latency without waiting — experiments over
+  thousands of requests stay fast;
+* ``realtime=True`` actually sleeps each request's simulated latency
+  (scaled by ``time_scale``), so a concurrent executor's wall-clock
+  advantage over a serial one is *measurable*, not estimated.
+
+The registry is thread safe: accounting happens under a lock, sleeping
+and handler execution outside it, so concurrent requests overlap the
+way real network waits do.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+import time
 import zlib
 from dataclasses import dataclass
 from urllib.parse import urlparse
 
-__all__ = ["HostProfile", "AccessRecord", "SimulatedInternet", "TransportError"]
+__all__ = [
+    "HostProfile",
+    "FaultProfile",
+    "AccessRecord",
+    "SimulatedInternet",
+    "TransportError",
+    "TransportTimeout",
+]
 
 
 class TransportError(Exception):
-    """Raised for unknown URLs or handler failures."""
+    """Raised for unknown URLs, injected failures, or handler failures.
+
+    When the failure happened on an accounted request, ``record`` holds
+    the :class:`AccessRecord` so callers can still charge the latency
+    and cost of the failed attempt.
+    """
+
+    def __init__(self, message: str = "", record: "AccessRecord | None" = None):
+        super().__init__(message)
+        self.record = record
+
+
+class TransportTimeout(TransportError):
+    """A request exceeded its deadline or hit an injected timeout."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +78,67 @@ class HostProfile:
 
 
 @dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Deterministic, seedable fault injection for one host.
+
+    Attributes:
+        failure_rate: per-request probability of a connection failure
+            (:class:`TransportError`); ``1.0`` models a dead host.
+        timeout_rate: per-request probability of a hang
+            (:class:`TransportTimeout`).
+        fail_first: the first N requests fail, then the host recovers —
+            the flaky-then-recover shape that retries are for.
+        timeout_after: requests *after* the first N hang; ``0`` makes
+            every request hang (a host that accepts but never answers).
+        hang_ms: how long a hanging request takes before the transport
+            itself gives up, when the caller sets no deadline.
+
+    Probabilistic faults draw from a per-host seeded stream, so the
+    same world produces the same failures run after run.
+    """
+
+    failure_rate: float = 0.0
+    timeout_rate: float = 0.0
+    fail_first: int = 0
+    timeout_after: int | None = None
+    hang_ms: float = 30_000.0
+
+    @classmethod
+    def dead(cls) -> "FaultProfile":
+        """Every request fails with a connection error."""
+        return cls(failure_rate=1.0)
+
+    @classmethod
+    def flaky(cls, recover_after: int) -> "FaultProfile":
+        """Fail the first ``recover_after`` requests, then behave."""
+        return cls(fail_first=recover_after)
+
+    @classmethod
+    def hangs(cls, after: int = 0, hang_ms: float = 30_000.0) -> "FaultProfile":
+        """Hang every request after the first ``after`` good ones."""
+        return cls(timeout_after=after, hang_ms=hang_ms)
+
+    def decide(self, request_number: int, rng: random.Random) -> tuple[str, str]:
+        """(status, detail) for request number ``request_number`` (1-based)."""
+        if self.fail_first and request_number <= self.fail_first:
+            return "error", (
+                f"injected flaky failure ({request_number}/{self.fail_first} "
+                "before recovery)"
+            )
+        if self.timeout_after is not None and request_number > self.timeout_after:
+            return "timeout", (
+                f"injected hang (request {request_number} > {self.timeout_after})"
+            )
+        if self.failure_rate or self.timeout_rate:
+            roll = rng.random()
+            if roll < self.failure_rate:
+                return "error", "injected connection failure"
+            if roll < self.failure_rate + self.timeout_rate:
+                return "timeout", "injected hang"
+        return "ok", ""
+
+
+@dataclass(frozen=True, slots=True)
 class AccessRecord:
     """One logged network interaction."""
 
@@ -49,43 +146,94 @@ class AccessRecord:
     method: str
     latency_ms: float
     cost: float
+    status: str = "ok"
 
 
 @dataclass
 class _HostState:
     profile: HostProfile
     rng: random.Random
+    fault_rng: random.Random
+    faults: FaultProfile | None = None
     requests: int = 0
 
 
 class SimulatedInternet:
-    """URL → handler registry with latency/cost simulation.
+    """URL → handler registry with latency/cost/fault simulation.
 
     Handlers are callables: GET handlers take no arguments and return
     ``bytes``; POST handlers take the request body (``bytes``) and
     return ``bytes``.
+
+    Args:
+        seed: root of the per-host jitter and fault streams.
+        realtime: when True, each request sleeps its simulated latency
+            (scaled by ``time_scale``) before returning, so wall-clock
+            measurements reflect the simulated network.  May be toggled
+            on an existing instance (e.g. off for discovery, on for the
+            measured query round).
+        time_scale: multiplier applied to simulated latency when
+            sleeping in realtime mode.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, realtime: bool = False, time_scale: float = 1.0
+    ) -> None:
         self._seed = seed
         self._get_handlers: dict[str, object] = {}
         self._post_handlers: dict[str, object] = {}
         self._hosts: dict[str, _HostState] = {}
+        self._lock = threading.Lock()
+        self.realtime = realtime
+        self.time_scale = time_scale
         self.log: list[AccessRecord] = []
 
     # -- registration ----------------------------------------------------
 
-    def register_host(self, host: str, profile: HostProfile | None = None) -> None:
+    def register_host(
+        self,
+        host: str,
+        profile: HostProfile | None = None,
+        faults: FaultProfile | None = None,
+    ) -> None:
         """Declare a host's performance profile (idempotent)."""
-        if host not in self._hosts:
+        with self._lock:
+            self._ensure_host(host, profile, faults)
+
+    def _ensure_host(
+        self,
+        host: str,
+        profile: HostProfile | None = None,
+        faults: FaultProfile | None = None,
+    ) -> _HostState:
+        state = self._hosts.get(host)
+        if state is None:
             # crc32 rather than hash(): Python string hashing is
             # randomized per process, which would break cross-run
             # reproducibility of the simulated latencies.
             digest = zlib.crc32(host.encode("utf-8"))
-            self._hosts[host] = _HostState(
+            state = _HostState(
                 profile or HostProfile(),
                 random.Random((self._seed * 2654435761 + digest) & 0xFFFFFFFF),
+                random.Random((self._seed * 40503 + digest * 69069) & 0xFFFFFFFF),
+                faults=faults,
             )
+            self._hosts[host] = state
+        elif faults is not None and state.faults is None:
+            state.faults = faults
+        return state
+
+    def set_fault_profile(self, host: str, faults: FaultProfile | None) -> None:
+        """Attach (or clear) fault injection for a host, even mid-run.
+
+        The host's request counter restarts, so count-based schedules
+        (``fail_first``, ``timeout_after``) apply from this moment —
+        earlier traffic (e.g. discovery) does not consume the schedule.
+        """
+        with self._lock:
+            state = self._ensure_host(host)
+            state.faults = faults
+            state.requests = 0
 
     def register_get(self, url: str, handler) -> None:
         self.register_host(_host_of(url))
@@ -99,31 +247,63 @@ class SimulatedInternet:
 
     def fetch(self, url: str) -> bytes:
         """GET a URL; raises :class:`TransportError` if unregistered."""
-        handler = self._get_handlers.get(url)
-        if handler is None:
-            raise TransportError(f"no GET handler for {url!r}")
-        self._account(url, "GET")
-        return handler()
+        payload, _ = self.perform(url, "GET")
+        return payload
 
     def post(self, url: str, body: bytes) -> bytes:
         """POST a body to a URL; raises :class:`TransportError`."""
-        handler = self._post_handlers.get(url)
-        if handler is None:
-            raise TransportError(f"no POST handler for {url!r}")
-        self._account(url, "POST")
-        return handler(body)
+        payload, _ = self.perform(url, "POST", body)
+        return payload
 
-    def _account(self, url: str, method: str) -> None:
-        host = _host_of(url)
-        state = self._hosts.get(host)
-        if state is None:
-            self.register_host(host)
-            state = self._hosts[host]
-        jitter = state.rng.uniform(-state.profile.jitter_ms, state.profile.jitter_ms)
-        latency = max(0.0, state.profile.latency_ms + jitter)
-        cost = state.profile.cost_per_query
-        state.requests += 1
-        self.log.append(AccessRecord(url, method, latency, cost))
+    def perform(
+        self,
+        url: str,
+        method: str = "GET",
+        body: bytes | None = None,
+        deadline_ms: float | None = None,
+    ) -> tuple[bytes, AccessRecord]:
+        """One accounted request; returns ``(payload, record)``.
+
+        ``deadline_ms`` is the caller's patience: a request whose
+        simulated latency (natural or injected hang) exceeds it raises
+        :class:`TransportTimeout` with the latency clamped to the
+        deadline — the caller paid exactly the time it was willing to
+        wait.  Failed requests still log a record (latency and cost are
+        spent whether or not an answer arrives) and carry it on the
+        raised exception.
+        """
+        with self._lock:
+            handlers = self._post_handlers if method == "POST" else self._get_handlers
+            handler = handlers.get(url)
+            if handler is None:
+                raise TransportError(f"no {method} handler for {url!r}")
+            state = self._ensure_host(_host_of(url))
+            state.requests += 1
+            profile = state.profile
+            jitter = state.rng.uniform(-profile.jitter_ms, profile.jitter_ms)
+            latency = max(0.0, profile.latency_ms + jitter)
+            status, detail = "ok", ""
+            if state.faults is not None:
+                status, detail = state.faults.decide(state.requests, state.fault_rng)
+                if status == "timeout":
+                    latency = max(latency, state.faults.hang_ms)
+            if deadline_ms is not None and latency > deadline_ms:
+                status = "timeout"
+                detail = detail or f"deadline of {deadline_ms:g}ms exceeded"
+                latency = deadline_ms
+            record = AccessRecord(url, method, latency, profile.cost_per_query, status)
+            self.log.append(record)
+        self._sleep(latency)
+        if status == "timeout":
+            raise TransportTimeout(f"{method} {url} timed out: {detail}", record)
+        if status == "error":
+            raise TransportError(f"{method} {url} failed: {detail}", record)
+        payload = handler(body) if method == "POST" else handler()
+        return payload, record
+
+    def _sleep(self, latency_ms: float) -> None:
+        if self.realtime and latency_ms > 0.0:
+            time.sleep(latency_ms * self.time_scale / 1000.0)
 
     # -- accounting --------------------------------------------------------
 
@@ -137,6 +317,10 @@ class SimulatedInternet:
         if host is None:
             return len(self.log)
         return sum(1 for record in self.log if _host_of(record.url) == host)
+
+    def failure_count(self) -> int:
+        """Logged requests that did not complete (error or timeout)."""
+        return sum(1 for record in self.log if record.status != "ok")
 
     def reset_log(self) -> None:
         self.log.clear()

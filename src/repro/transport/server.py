@@ -19,7 +19,7 @@ from repro.resource.resource import Resource
 from repro.source.source import StartsSource
 from repro.starts.query import SQuery
 from repro.starts.soif import parse_soif
-from repro.transport.network import HostProfile, SimulatedInternet
+from repro.transport.network import FaultProfile, HostProfile, SimulatedInternet
 
 __all__ = ["publish_source", "publish_resource"]
 
@@ -29,15 +29,18 @@ def publish_source(
     source: StartsSource,
     profile: HostProfile | None = None,
     resource: Resource | None = None,
+    faults: FaultProfile | None = None,
 ) -> str:
     """Register a source's endpoints; returns its query URL.
 
     If ``resource`` is given, queries posted to this source are routed
-    through the resource so the ``Sources`` attribute works.
+    through the resource so the ``Sources`` attribute works.  An
+    optional ``faults`` profile makes the source's host misbehave
+    deterministically (see :class:`~repro.transport.FaultProfile`).
     """
     base = source.base_url
     host = base.split("//", 1)[-1].split("/", 1)[0]
-    internet.register_host(host, profile)
+    internet.register_host(host, profile, faults)
 
     def handle_query(body: bytes) -> bytes:
         query = SQuery.from_soif(parse_soif(body))
@@ -77,6 +80,7 @@ def publish_resource(
     base_url: str,
     profile: HostProfile | None = None,
     source_profiles: dict[str, HostProfile] | None = None,
+    source_faults: dict[str, FaultProfile] | None = None,
 ) -> str:
     """Register a resource and all of its sources; returns the SResource URL.
 
@@ -86,6 +90,7 @@ def publish_resource(
         base_url: where the @SResource blob lives (``{base}/resource``).
         profile: host profile for the resource's own host.
         source_profiles: optional per-source-id host profiles.
+        source_faults: optional per-source-id fault-injection profiles.
     """
     host = base_url.split("//", 1)[-1].split("/", 1)[0]
     internet.register_host(host, profile)
@@ -96,5 +101,8 @@ def publish_resource(
     for source_id in resource.source_ids():
         source = resource.source(source_id)
         source_profile = (source_profiles or {}).get(source_id)
-        publish_source(internet, source, source_profile, resource=resource)
+        fault_profile = (source_faults or {}).get(source_id)
+        publish_source(
+            internet, source, source_profile, resource=resource, faults=fault_profile
+        )
     return f"{base_url}/resource"

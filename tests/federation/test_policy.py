@@ -1,0 +1,172 @@
+"""Query policies: backoff schedules, retries, deadlines, hedging."""
+
+import pytest
+
+from repro.corpus import source1_documents
+from repro.federation import (
+    OutcomeStatus,
+    QueryDispatcher,
+    QueryPolicy,
+    SourceRequest,
+)
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import (
+    FaultProfile,
+    HostProfile,
+    SimulatedInternet,
+    publish_source,
+)
+from repro.transport.client import StartsClient
+
+
+def ranking_query() -> SQuery:
+    return SQuery(
+        ranking_expression=parse_expression('list((body-of-text "databases"))')
+    )
+
+
+class TestBackoffSchedule:
+    def test_exponential_with_cap(self):
+        policy = QueryPolicy(
+            max_retries=3, backoff_base_ms=10.0, backoff_multiplier=2.0,
+            backoff_max_ms=25.0,
+        )
+        assert policy.backoff_before(1) == 0.0
+        assert policy.backoff_before(2) == 10.0
+        assert policy.backoff_before(3) == 20.0
+        assert policy.backoff_before(4) == 25.0  # 40 capped
+
+    def test_max_attempts(self):
+        assert QueryPolicy().max_attempts == 1
+        assert QueryPolicy(max_retries=2).max_attempts == 3
+
+    def test_should_retry_respects_kind_switches(self):
+        policy = QueryPolicy(max_retries=2, retry_on_timeout=False)
+        assert policy.should_retry("error", 1)
+        assert not policy.should_retry("timeout", 1)
+        assert not policy.should_retry("error", 3)  # attempts exhausted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            QueryPolicy(backoff_base_ms=-1.0)
+        with pytest.raises(ValueError):
+            QueryPolicy(backoff_multiplier=0.5)
+
+
+def published_source(faults=None, profile=None):
+    """One source on its own host; returns (client, request)."""
+    internet = SimulatedInternet(seed=4)
+    source = StartsSource(
+        "S1", source1_documents(), base_url="http://s1.org/s"
+    )
+    url = publish_source(
+        internet,
+        source,
+        profile or HostProfile(latency_ms=20.0, jitter_ms=0.0),
+        faults=faults,
+    )
+    client = StartsClient(internet)
+    return client, SourceRequest("S1", url, ranking_query())
+
+
+class TestDispatcherPolicies:
+    def test_flaky_source_recovers_under_retries(self):
+        client, request = published_source(faults=FaultProfile.flaky(2))
+        dispatcher = QueryDispatcher(
+            client, policy=QueryPolicy(max_retries=2, backoff_base_ms=10.0)
+        )
+        outcome = dispatcher.run_one(request)
+        assert outcome.status is OutcomeStatus.OK
+        assert outcome.requests == 3
+        assert outcome.retries == 2
+        assert outcome.results is not None and outcome.results.documents
+        # 20 (fail) + 10 backoff + 20 (fail) + 20 backoff + 20 (ok).
+        assert outcome.elapsed_ms == pytest.approx(90.0)
+        counters = dispatcher.tracer.counters["S1"]
+        assert counters.requests == 3
+        assert counters.retries == 2
+        assert counters.failures == 2
+        assert counters.backoff_ms == pytest.approx(30.0)
+
+    def test_retries_exhausted_reports_error(self):
+        client, request = published_source(faults=FaultProfile.dead())
+        dispatcher = QueryDispatcher(
+            client, policy=QueryPolicy(max_retries=1, backoff_base_ms=10.0)
+        )
+        outcome = dispatcher.run_one(request)
+        assert outcome.status is OutcomeStatus.ERROR
+        assert outcome.requests == 2
+        assert outcome.error and "injected" in outcome.error
+
+    def test_deadline_turns_hang_into_timeout(self):
+        client, request = published_source(
+            faults=FaultProfile.hangs(hang_ms=10_000.0)
+        )
+        dispatcher = QueryDispatcher(
+            client,
+            policy=QueryPolicy(
+                timeout_ms=500.0, max_retries=1, backoff_base_ms=10.0
+            ),
+        )
+        outcome = dispatcher.run_one(request)
+        assert outcome.status is OutcomeStatus.TIMEOUT
+        # 500 (timeout) + 10 backoff + 500 (timeout): patience is bounded.
+        assert outcome.elapsed_ms == pytest.approx(1010.0)
+        assert dispatcher.tracer.counters["S1"].timeouts == 2
+
+    def test_retry_on_timeout_can_be_disabled(self):
+        client, request = published_source(faults=FaultProfile.hangs())
+        dispatcher = QueryDispatcher(
+            client,
+            policy=QueryPolicy(
+                timeout_ms=500.0, max_retries=3, retry_on_timeout=False
+            ),
+        )
+        outcome = dispatcher.run_one(request)
+        assert outcome.status is OutcomeStatus.TIMEOUT
+        assert outcome.requests == 1
+
+    def test_hedge_fires_on_slow_primary_and_both_are_paid(self):
+        client, request = published_source(
+            profile=HostProfile(latency_ms=100.0, jitter_ms=0.0, cost_per_query=2.0)
+        )
+        dispatcher = QueryDispatcher(
+            client, policy=QueryPolicy(hedge_after_ms=50.0)
+        )
+        outcome = dispatcher.run_one(request)
+        assert outcome.status is OutcomeStatus.OK
+        assert outcome.requests == 2
+        assert outcome.retries == 0  # a hedge is not a retry
+        assert [attempt.hedged for attempt in outcome.attempts] == [False, True]
+        # Primary answers at 100 ms, hedge would answer at 50 + 100 = 150;
+        # the primary wins, so effective time is the primary's.
+        assert outcome.elapsed_ms == pytest.approx(100.0)
+        assert outcome.cost == pytest.approx(4.0)  # losing hedge still paid
+        assert dispatcher.tracer.counters["S1"].hedges == 1
+
+    def test_no_hedge_when_primary_is_fast_enough(self):
+        client, request = published_source(
+            profile=HostProfile(latency_ms=20.0, jitter_ms=0.0)
+        )
+        dispatcher = QueryDispatcher(
+            client, policy=QueryPolicy(hedge_after_ms=50.0)
+        )
+        outcome = dispatcher.run_one(request)
+        assert outcome.requests == 1
+        assert dispatcher.tracer.counters["S1"].hedges == 0
+
+    def test_per_source_policy_override(self):
+        client, request = published_source(faults=FaultProfile.flaky(1))
+        dispatcher = QueryDispatcher(
+            client,
+            policy=QueryPolicy(),  # default: no retries
+            policies={"S1": QueryPolicy(max_retries=1, backoff_base_ms=5.0)},
+        )
+        assert dispatcher.policy_for("S1").max_retries == 1
+        assert dispatcher.policy_for("Other").max_retries == 0
+        outcome = dispatcher.run_one(request)
+        assert outcome.status is OutcomeStatus.OK
+        assert outcome.retries == 1

@@ -3,11 +3,17 @@
 import pytest
 
 from repro.corpus import source1_documents, source2_documents
+from repro.federation import QueryPolicy
 from repro.metasearch import Metasearcher, SelectAll
 from repro.resource import Resource
 from repro.source import StartsSource
 from repro.starts import SQuery, parse_expression
-from repro.transport import HostProfile, SimulatedInternet, publish_resource
+from repro.transport import (
+    FaultProfile,
+    HostProfile,
+    SimulatedInternet,
+    publish_resource,
+)
 
 
 @pytest.fixture
@@ -72,3 +78,69 @@ class TestLatencyAccounting:
         result = searcher.search(query(), k_sources=1)
         assert result.query_latency_serial_ms == 0.0
         assert result.query_latency_parallel_ms == 0.0
+
+
+class TestGroupedLatency:
+    """With group_by_resource, the parallel figure is the max over
+    groups of the *sum within each group* — a group whose entry source
+    retried pays all of its attempts and backoff waits sequentially."""
+
+    @pytest.fixture
+    def grouped_world(self):
+        internet = SimulatedInternet(seed=12)
+        resource_a = Resource(
+            "GroupA",
+            [
+                StartsSource(
+                    "R1A", source1_documents(), base_url="http://r1a.org/s"
+                ),
+                StartsSource(
+                    "R1B", source2_documents(), base_url="http://r1b.org/s"
+                ),
+            ],
+        )
+        resource_b = Resource(
+            "GroupB",
+            [StartsSource("R2A", source1_documents(), base_url="http://r2a.org/s")],
+        )
+        publish_resource(
+            internet,
+            resource_a,
+            "http://groupa.org",
+            source_profiles={
+                "R1A": HostProfile(latency_ms=80.0, jitter_ms=0.0),
+                "R1B": HostProfile(latency_ms=80.0, jitter_ms=0.0),
+            },
+        )
+        publish_resource(
+            internet,
+            resource_b,
+            "http://groupb.org",
+            source_profiles={"R2A": HostProfile(latency_ms=100.0, jitter_ms=0.0)},
+        )
+        searcher = Metasearcher(
+            internet,
+            ["http://groupa.org/resource", "http://groupb.org/resource"],
+            query_policy=QueryPolicy(max_retries=1, backoff_base_ms=5.0),
+        )
+        searcher.refresh()
+        return internet, searcher
+
+    def test_parallel_is_max_over_groups_of_sums(self, grouped_world):
+        internet, searcher = grouped_world
+        # Group A's entry source fails once, succeeds on retry:
+        # its group occupies 80 (fail) + 5 (backoff) + 80 (ok) = 165 ms.
+        internet.set_fault_profile("r1a.org", FaultProfile.flaky(1))
+
+        result = searcher.search(
+            query(), k_sources=3, selector=SelectAll(), group_by_resource=True
+        )
+
+        # One outcome per routed group: R1A carries R1B as sibling.
+        assert set(result.outcomes) == {"R1A", "R2A"}
+        assert result.outcomes["R1A"].sibling_ids == ("R1B",)
+        assert result.outcomes["R1A"].elapsed_ms == pytest.approx(165.0)
+        assert result.outcomes["R2A"].elapsed_ms == pytest.approx(100.0)
+        # A flat max over individual requests would wrongly report 100.
+        assert result.query_latency_parallel_ms == pytest.approx(165.0)
+        assert result.query_latency_serial_ms == pytest.approx(265.0)

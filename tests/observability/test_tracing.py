@@ -1,0 +1,121 @@
+"""Spans, counters and rendering for the observability layer."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    SourceCounters,
+    Tracer,
+    render_counters,
+    render_trace,
+)
+
+
+class TestSpans:
+    def test_spans_nest_within_one_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="root"):
+            with tracer.span("inner"):
+                tracer.event("tick", n=1)
+        trace = tracer.trace()
+        assert [span.name for span in trace.walk()] == ["outer", "inner", "tick"]
+        outer = trace.find("outer")
+        assert outer.attributes == {"kind": "root"}
+        assert outer.children[0].name == "inner"
+        assert trace.find("tick").duration_ms == 0.0
+        assert trace.find("missing") is None
+
+    def test_sibling_spans_stay_siblings(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.trace().spans] == ["first", "second"]
+
+    def test_duration_measured_and_open_span_reads_zero(self):
+        clock_value = [0.0]
+        tracer = Tracer(clock=lambda: clock_value[0])
+        with tracer.span("timed") as span:
+            assert span.duration_ms == 0.0  # still open
+            clock_value[0] = 0.25
+        assert span.duration_ms == pytest.approx(250.0)
+
+    def test_annotate_merges_attributes(self):
+        tracer = Tracer()
+        with tracer.span("phase", a=1) as span:
+            span.annotate(b=2, a=3)
+        assert span.attributes == {"a": 3, "b": 2}
+
+    def test_explicit_parent_crosses_threads(self):
+        """Worker threads attach to the dispatcher's span via parent=."""
+        tracer = Tracer()
+        with tracer.span("query") as query_span:
+            def worker(index: int) -> None:
+                with tracer.span(f"query:src{index}", parent=query_span):
+                    pass
+
+            threads = [
+                threading.Thread(target=worker, args=(index,)) for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        names = {child.name for child in query_span.children}
+        assert names == {f"query:src{index}" for index in range(4)}
+        # Without parent=, a worker thread's span would become a root.
+        assert [span.name for span in tracer.trace().spans] == ["query"]
+
+
+class TestCounters:
+    def test_count_accumulates_per_source(self):
+        tracer = Tracer()
+        tracer.count("S1", requests=1, latency_ms=20.0)
+        tracer.count("S1", requests=2, retries=1, latency_ms=40.0, cost=5.0)
+        tracer.count("S2", requests=1)
+        s1 = tracer.counters["S1"]
+        assert (s1.requests, s1.retries) == (3, 1)
+        assert s1.latency_ms == pytest.approx(60.0)
+        assert s1.cost == pytest.approx(5.0)
+        assert tracer.counters["S2"].requests == 1
+
+    def test_counting_is_thread_safe(self):
+        tracer = Tracer()
+
+        def hammer() -> None:
+            for _ in range(200):
+                tracer.count("S", requests=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.counters["S"].requests == 1600
+
+
+class TestRendering:
+    def test_render_trace_shows_tree_and_counters(self):
+        tracer = Tracer()
+        with tracer.span("search", terms="databases"):
+            with tracer.span("query:S1", url="http://s1.org"):
+                pass
+        tracer.count("S1", requests=2, retries=1, latency_ms=40.0, cost=1.5)
+        rendered = render_trace(tracer.trace())
+        assert "search" in rendered
+        assert "  query:S1" in rendered  # indented child
+        assert "terms=databases" in rendered
+        assert "per-source counters" in rendered
+        assert "S1" in rendered
+
+    def test_render_empty_trace(self):
+        assert render_trace(Tracer().trace()) == "(empty trace)"
+        assert render_counters({}) == []
+
+    def test_render_counters_table_has_header_and_rows(self):
+        lines = render_counters({"S1": SourceCounters(requests=3, cost=2.0)})
+        assert len(lines) == 2
+        assert "reqs" in lines[0] and "cost" in lines[0]
+        assert lines[1].startswith("S1")

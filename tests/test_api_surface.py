@@ -18,6 +18,8 @@ PACKAGES = [
     "repro.resource",
     "repro.vendors",
     "repro.transport",
+    "repro.federation",
+    "repro.observability",
     "repro.metasearch",
     "repro.experiments",
     "repro.zdsr",

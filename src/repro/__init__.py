@@ -17,6 +17,9 @@ package layers:
   partial-result outcomes;
 * :mod:`repro.observability` — spans and per-source counters threaded
   through every search;
+* :mod:`repro.cache` — the multi-tier caching subsystem: query-result
+  cache (canonical keys, stale-while-revalidate), summary TTLs from
+  MBasic-1 dates, negative caching of unreachable sources;
 * :mod:`repro.metasearch` — the client: source selection, query
   translation, rank merging;
 * :mod:`repro.corpus` — reproducible synthetic collections and query
@@ -38,6 +41,7 @@ Quickstart::
         print(doc.score, doc.linkage)
 """
 
+from repro.cache import CachePolicy
 from repro.conformance import ConformanceReport, check_source
 from repro.corpus import CollectionSpec, build_workload, generate_collection
 from repro.engine import make_snippet
@@ -72,6 +76,7 @@ from repro.vendors import build_vendor_source, vendor_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "CachePolicy",
     "ConformanceReport",
     "check_source",
     "make_snippet",

@@ -1,0 +1,55 @@
+"""Multi-tier caching for the STARTS metasearcher.
+
+A metasearcher pays for the same answers over and over: the same
+popular queries hit the same popular sources, harvested metadata and
+content summaries drift stale at source-specific rates, and dead
+sources burn a full timeout budget per probe.  This package caches at
+all three tiers:
+
+* :class:`LruTtlCache` — the bounded core: LRU eviction, per-entry
+  TTLs, size/cost accounting and full hit/miss/eviction statistics;
+* :class:`QueryResultCache` + :func:`query_cache_key` — whole merged
+  results keyed on the *canonical* query (order-insensitive where
+  order carries no meaning), with stale-while-revalidate semantics;
+* :class:`SummaryTtlPolicy` — staleness for harvested MBasic-1
+  metadata, deriving per-source TTLs from ``DateExpires`` /
+  ``DateChanged``;
+* :class:`NegativeSourceCache` — remembers unreachable sources so the
+  federation layer skips them instead of re-probing every search.
+
+:class:`CachePolicy` configures the whole subsystem in one object;
+``CachePolicy.disabled()`` restores the paper-faithful uncached
+pipeline byte-for-byte.
+"""
+
+from repro.cache.core import (
+    FRESH,
+    MISS,
+    STALE,
+    CacheEntry,
+    CacheStats,
+    LruTtlCache,
+)
+from repro.cache.keys import canonical_expression, canonical_text, query_cache_key
+from repro.cache.negative import NegativeEntry, NegativeSourceCache
+from repro.cache.policy import CachePolicy
+from repro.cache.results import QueryResultCache
+from repro.cache.summaries import SummaryTtlPolicy, parse_protocol_date
+
+__all__ = [
+    "FRESH",
+    "STALE",
+    "MISS",
+    "CacheEntry",
+    "CacheStats",
+    "LruTtlCache",
+    "canonical_expression",
+    "canonical_text",
+    "query_cache_key",
+    "NegativeEntry",
+    "NegativeSourceCache",
+    "CachePolicy",
+    "QueryResultCache",
+    "SummaryTtlPolicy",
+    "parse_protocol_date",
+]

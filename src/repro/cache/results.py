@@ -1,0 +1,116 @@
+"""The query-result cache: canonical keys, stale-while-revalidate.
+
+The hot tier.  Keys come from :func:`repro.cache.keys.query_cache_key`
+(canonical filter/ranking ASTs + the selected source set + the answer
+spec), values are whole merged search results, and reads distinguish
+three states:
+
+* **fresh** — serve it, the wire is never touched;
+* **stale** — the TTL has passed but the entry is inside the
+  ``stale_grace_ms`` window: serve the old answer *immediately* and
+  let the caller schedule a background refresh (single-flight — only
+  one revalidation per key runs at a time);
+* **miss** — run the query for real and store the outcome.
+
+Entries are tagged with every source id that contributed, so
+forgetting a source (or learning it changed) can surgically invalidate
+exactly the results it took part in.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cache.core import CacheStats, LruTtlCache
+
+__all__ = ["QueryResultCache"]
+
+
+class QueryResultCache:
+    """A bounded result cache with stale-while-revalidate bookkeeping.
+
+    Args:
+        capacity: maximum cached results.
+        ttl_ms: freshness lifetime of an entry (``None`` = forever).
+        stale_grace_ms: how far past expiry an entry may still be
+            served while a revalidation runs.
+        max_size: optional bound on the sum of entry sizes (callers
+            pass result document counts, so this bounds memory by
+            payload rather than entry count).
+        clock: millisecond clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_ms: float | None = 300_000.0,
+        stale_grace_ms: float = 600_000.0,
+        max_size: int | None = None,
+        clock=None,
+    ) -> None:
+        self.ttl_ms = ttl_ms
+        self.stale_grace_ms = stale_grace_ms
+        self._cache = LruTtlCache(
+            capacity=capacity,
+            max_size=max_size,
+            default_ttl_ms=ttl_ms,
+            clock=clock,
+        )
+        self._revalidating: set[str] = set()
+        self._lock = threading.Lock()
+
+    # -- the read/write surface -------------------------------------------
+
+    def lookup(self, key: str) -> tuple[object | None, str]:
+        """``(value, state)`` with state ``fresh`` / ``stale`` / ``miss``."""
+        return self._cache.get(key, stale_grace_ms=self.stale_grace_ms)
+
+    def store(
+        self,
+        key: str,
+        value: object,
+        source_ids: tuple[str, ...] | list[str] = (),
+        size: int = 1,
+        cost: float = 0.0,
+    ) -> int:
+        """Cache ``value``; returns the number of evictions it forced."""
+        return self._cache.put(
+            key,
+            value,
+            size=max(size, 1),
+            cost=cost,
+            tags=frozenset(source_ids),
+        )
+
+    def invalidate_source(self, source_id: str) -> int:
+        """Drop every cached result the source contributed to."""
+        return self._cache.invalidate_tagged(source_id)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    # -- single-flight revalidation ---------------------------------------
+
+    def begin_revalidation(self, key: str) -> bool:
+        """Claim the revalidation of ``key``; False if already claimed."""
+        with self._lock:
+            if key in self._revalidating:
+                return False
+            self._revalidating.add(key)
+            return True
+
+    def finish_revalidation(self, key: str) -> None:
+        with self._lock:
+            self._revalidating.discard(key)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cache

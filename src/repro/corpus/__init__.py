@@ -14,7 +14,12 @@ from repro.corpus.canned import (
     ullman_dood_document,
 )
 from repro.corpus.generator import CollectionSpec, generate_collection, zipf_weights
-from repro.corpus.workload import GeneratedQuery, Workload, build_workload
+from repro.corpus.workload import (
+    GeneratedQuery,
+    Workload,
+    build_workload,
+    zipf_replay,
+)
 
 __all__ = [
     "bilingual_documents",
@@ -28,4 +33,5 @@ __all__ = [
     "GeneratedQuery",
     "Workload",
     "build_workload",
+    "zipf_replay",
 ]

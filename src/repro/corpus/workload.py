@@ -32,7 +32,7 @@ from repro.starts.query import SQuery
 from repro.text.stopwords import ENGLISH_STOP_WORDS
 from repro.text.tokenize import UnicodeTokenizer
 
-__all__ = ["GeneratedQuery", "Workload", "build_workload"]
+__all__ = ["GeneratedQuery", "Workload", "build_workload", "zipf_replay"]
 
 
 @dataclass(frozen=True)
@@ -163,3 +163,29 @@ def build_workload(
         queries.append(GeneratedQuery(terms, frozenset(relevant), by_source))
 
     return Workload(collections, queries)
+
+
+def zipf_replay(
+    queries: list[GeneratedQuery],
+    n_requests: int,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> list[GeneratedQuery]:
+    """A Zipf-skewed request stream over a query set.
+
+    Real search traffic repeats itself: a few head queries dominate
+    while the tail is seen once — exactly the distribution a result
+    cache lives or dies on.  Query ``i`` (0-based, in the given order)
+    is drawn with probability proportional to ``1 / (i + 1) ** skew``;
+    with ``skew=0`` the replay is uniform.  Deterministic for a given
+    ``(queries, n_requests, skew, seed)``.
+    """
+    if not queries:
+        raise ValueError("cannot replay an empty query set")
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(queries))]
+    return rng.choices(queries, weights=weights, k=n_requests)

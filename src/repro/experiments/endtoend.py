@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field as dataclass_field
 
+from repro.cache.policy import CachePolicy
 from repro.experiments.federation import Federation
 from repro.experiments.metrics import mean, precision_at_k
 from repro.federation.executor import Executor
@@ -40,6 +41,9 @@ class PipelineResult:
     cost_per_query: float
     parallel_latency_ms_per_query: float = 0.0
     outcome_counts: dict[str, int] = dataclass_field(default_factory=dict)
+    #: result-cache tallies over the whole run (hits/stale_hits/misses/
+    #: negative_skips); empty when the run was uncached.
+    cache_counts: dict[str, int] = dataclass_field(default_factory=dict)
 
     def row(self) -> str:
         line = (
@@ -56,6 +60,15 @@ class PipelineResult:
         )
         if failures:
             line += f" failures={failures}"
+        if self.cache_counts:
+            line += (
+                f" cache={self.cache_counts.get('hits', 0)}h/"
+                f"{self.cache_counts.get('stale_hits', 0)}s/"
+                f"{self.cache_counts.get('misses', 0)}m"
+            )
+            skips = self.cache_counts.get("negative_skips", 0)
+            if skips:
+                line += f" negskips={skips}"
         return line
 
 
@@ -66,6 +79,7 @@ def run_end_to_end_experiment(
     executor: Executor | None = None,
     query_policy: QueryPolicy | None = None,
     tracer: Tracer | None = None,
+    cache_policy: CachePolicy | None = None,
 ) -> list[PipelineResult]:
     """Run E5: STARTS pipeline vs. query-all/raw-merge baseline.
 
@@ -76,7 +90,15 @@ def run_end_to_end_experiment(
             fault injection enabled.
         tracer: when given, every search of every configuration records
             into it, so per-source counters aggregate across the run.
+        cache_policy: caching configuration for the searchers.  The
+            experiment defaults to **disabled** — the workload's
+            distinct queries make caching pure overhead, and the
+            paper-faithful numbers must not depend on it.  Pass an
+            enabled policy to measure a cached deployment; the
+            per-configuration result then reports hit/miss tallies in
+            :attr:`PipelineResult.cache_counts`.
     """
+    cache_policy = cache_policy or CachePolicy.disabled()
     configurations = [
         ("starts(vGlOSS+tfidf)", VGlossMax(), TfIdfRecomputeMerge(), k_sources),
         ("baseline(all+raw)", SelectAll(), RawScoreMerge(), len(federation.sources)),
@@ -92,6 +114,7 @@ def run_end_to_end_experiment(
             merger=merger,
             executor=executor,
             query_policy=query_policy,
+            cache_policy=cache_policy,
         )
         searcher.refresh()
         federation.internet.reset_log()
@@ -109,6 +132,15 @@ def run_end_to_end_experiment(
             parallel_latencies.append(search_result.query_latency_parallel_ms)
             outcome_counts.update(search_result.outcome_counts())
         n = max(len(queries), 1)
+        cache_counts: dict[str, int] = {}
+        if searcher.result_cache is not None:
+            stats = searcher.result_cache.stats
+            cache_counts = {
+                "hits": stats.hits,
+                "stale_hits": stats.stale_hits,
+                "misses": stats.misses,
+                "negative_skips": searcher.negative_cache.skips,
+            }
         results.append(
             PipelineResult(
                 name,
@@ -118,6 +150,7 @@ def run_end_to_end_experiment(
                 federation.internet.total_cost() / n,
                 parallel_latency_ms_per_query=mean(parallel_latencies),
                 outcome_counts=dict(outcome_counts),
+                cache_counts=cache_counts,
             )
         )
     return results

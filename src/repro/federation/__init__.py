@@ -7,7 +7,12 @@ hedging), and partial-result outcomes that keep a search alive when
 individual sources fail.
 """
 
-from repro.federation.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.federation.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    submit_background,
+)
 from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
 from repro.federation.policy import QueryPolicy
 from repro.federation.runner import QueryDispatcher, SourceRequest
@@ -16,6 +21,7 @@ __all__ = [
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",
+    "submit_background",
     "Attempt",
     "OutcomeStatus",
     "SourceOutcome",

@@ -13,11 +13,12 @@ depend on completion order.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from typing import Protocol, TypeVar, runtime_checkable
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor"]
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "submit_background"]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -43,6 +44,10 @@ class SerialExecutor:
         self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
     ) -> list[ResultT]:
         return [fn(task) for task in tasks]
+
+    def submit(self, fn: Callable[[], object]) -> None:
+        """Run ``fn`` inline — single-threaded code stays deterministic."""
+        fn()
 
 
 class ParallelExecutor:
@@ -70,3 +75,27 @@ class ParallelExecutor:
         workers = self.max_workers or min(32, len(tasks))
         with _ThreadPool(max_workers=min(workers, len(tasks))) as pool:
             return list(pool.map(fn, tasks))
+
+    def submit(self, fn: Callable[[], object]) -> None:
+        """Run ``fn`` on a daemon thread; the caller never waits for it.
+
+        Used for fire-and-forget work like cache revalidation, where the
+        stale answer has already been served and the refresh must not
+        block the response.  A per-call thread (not the batch pool —
+        that one is created and torn down per ``run``) keeps this
+        executor stateless.
+        """
+        threading.Thread(target=fn, daemon=True).start()
+
+
+def submit_background(executor: object, fn: Callable[[], object]) -> None:
+    """Schedule ``fn`` through ``executor.submit`` when it has one.
+
+    Third-party executors only promise :class:`Executor`'s ``run``;
+    for those, background work degrades gracefully to running inline.
+    """
+    submit = getattr(executor, "submit", None)
+    if callable(submit):
+        submit(fn)
+    else:
+        fn()

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 
-from repro.federation.executor import Executor, SerialExecutor
+from repro.cache.core import FRESH, STALE
+from repro.cache.keys import query_cache_key
+from repro.cache.negative import NegativeSourceCache
+from repro.cache.policy import CachePolicy
+from repro.cache.results import QueryResultCache
+from repro.federation.executor import Executor, SerialExecutor, submit_background
 from repro.federation.outcomes import OutcomeStatus, SourceOutcome
 from repro.federation.policy import QueryPolicy
 from repro.federation.runner import QueryDispatcher, SourceRequest
@@ -44,6 +49,19 @@ __all__ = ["MetasearchResult", "Metasearcher"]
 
 
 @dataclass
+class _CachedSearch:
+    """What the result cache stores: the sanitized result + its wire cost.
+
+    ``cost`` is the simulated monetary cost the original round paid
+    (every attempt, failed or hedged, included) — it becomes
+    ``cost_saved`` each time a hit avoids re-paying it.
+    """
+
+    result: "MetasearchResult"
+    cost: float
+
+
+@dataclass
 class MetasearchResult:
     """Everything one metasearch produced, for inspection and display.
 
@@ -64,6 +82,10 @@ class MetasearchResult:
     query_latency_parallel_ms: float = 0.0
     outcomes: dict[str, SourceOutcome] = dataclass_field(default_factory=dict)
     trace: Trace | None = None
+    #: ``None`` when the answer came off the wire (or caching is off);
+    #: ``"hit"`` / ``"stale"`` when it was served from the result cache
+    #: (``"stale"`` means a background revalidation was scheduled).
+    cache_status: str | None = None
 
     def linkages(self) -> list[str]:
         return [document.linkage for document in self.documents]
@@ -100,6 +122,8 @@ class MetasearchResult:
     def explain_trace(self) -> str:
         """The full query timeline: spans, attempts, retries, counters."""
         lines = []
+        if self.cache_status is not None:
+            lines.append(f"result cache: {self.cache_status}")
         if self.outcomes:
             lines.append("source outcomes:")
             lines.extend(
@@ -129,6 +153,11 @@ class Metasearcher:
         query_policy: default per-source execution policy (deadline,
             retries, backoff, hedging).
         query_policies: per-source-id policy overrides.
+        cache_policy: configuration of the caching subsystem (result
+            cache, negative source cache, summary TTLs).  Defaults to
+            :class:`~repro.cache.CachePolicy` with everything on; pass
+            ``CachePolicy.disabled()`` for the paper-faithful pipeline
+            with no caching anywhere.
     """
 
     def __init__(
@@ -140,9 +169,16 @@ class Metasearcher:
         executor: Executor | None = None,
         query_policy: QueryPolicy | None = None,
         query_policies: dict[str, QueryPolicy] | None = None,
+        cache_policy: CachePolicy | None = None,
     ) -> None:
         self.client = StartsClient(internet)
-        self.discovery = DiscoveryService(self.client)
+        self.cache_policy = cache_policy or CachePolicy()
+        self.discovery = DiscoveryService(
+            self.client,
+            ttl_policy=self.cache_policy.summary_ttl
+            if self.cache_policy.enabled
+            else None,
+        )
         self.selector = selector or VGlossMax()
         self.merger = merger or TfIdfRecomputeMerge()
         self.translator = ClientTranslator()
@@ -150,6 +186,27 @@ class Metasearcher:
         self.query_policy = query_policy or QueryPolicy()
         self.query_policies = dict(query_policies or {})
         self.resource_urls = list(resource_urls or [])
+        self.result_cache: QueryResultCache | None = None
+        self.negative_cache: NegativeSourceCache | None = None
+        if self.cache_policy.enabled:
+            self.result_cache = QueryResultCache(
+                capacity=self.cache_policy.result_capacity,
+                ttl_ms=self.cache_policy.result_ttl_ms,
+                stale_grace_ms=self.cache_policy.stale_grace_ms,
+                max_size=self.cache_policy.result_max_documents,
+            )
+            self.negative_cache = NegativeSourceCache(
+                ttl_ms=self.cache_policy.negative_ttl_ms,
+                failure_threshold=self.cache_policy.negative_failure_threshold,
+            )
+            self.discovery.add_purge_hook(self._purge_source)
+
+    def _purge_source(self, source_id: str) -> None:
+        """Source knowledge changed or was forgotten: drop derived caches."""
+        if self.result_cache is not None:
+            self.result_cache.invalidate_source(source_id)
+        if self.negative_cache is not None:
+            self.negative_cache.forget(source_id)
 
     # -- discovery ---------------------------------------------------------
 
@@ -212,37 +269,95 @@ class Metasearcher:
             selected_ids, summaries = self._select(
                 tracer, selector, terms, k_sources, known
             )
-            requests, outcomes, reports = self._translate(
-                tracer, query, selected_ids, summaries, group_by_resource
-            )
-            dispatcher = QueryDispatcher(
+            key: str | None = None
+            if self.result_cache is not None:
+                key = self._cache_key(query, selected_ids, group_by_resource, merger)
+                cached, state = self.result_cache.lookup(key)
+                if state == FRESH:
+                    tracer.count_cache(hits=1, cost_saved=cached.cost)
+                    tracer.event("cache", status="hit", saved_cost=cached.cost)
+                    return self._serve_cached(cached.result, tracer, "hit")
+                if state == STALE:
+                    tracer.count_cache(stale_hits=1)
+                    tracer.event("cache", status="stale")
+                    self._schedule_revalidation(
+                        key,
+                        query,
+                        list(selected_ids),
+                        dict(summaries),
+                        merger,
+                        executor,
+                        group_by_resource,
+                        terms,
+                    )
+                    return self._serve_cached(cached.result, tracer, "stale")
+                tracer.count_cache(misses=1)
+            result = self._query_round(
                 self.client,
-                executor=executor,
-                policy=self.query_policy,
-                policies=self.query_policies,
-                tracer=tracer,
+                tracer,
+                query,
+                selected_ids,
+                summaries,
+                merger,
+                executor,
+                group_by_resource,
+                terms,
             )
-            with tracer.span(
-                "query", executor=executor.name, requests=len(requests)
-            ) as query_span:
-                for outcome in dispatcher.dispatch(requests, parent=query_span):
-                    outcomes[outcome.source_id] = outcome
-            per_source_results = {
-                source_id: outcome.results
-                for source_id, outcome in outcomes.items()
-                if outcome.ok and outcome.results is not None
-            }
-            with tracer.span(
-                "merge",
-                strategy=type(merger).__name__,
-                sources=len(per_source_results),
-            ):
-                documents = merger.merge(
-                    per_source_results,
-                    self._merge_context(per_source_results, summaries, terms),
-                )
-                if query.max_number_documents:
-                    documents = documents[: query.max_number_documents]
+        if key is not None:
+            self._store_result(key, result, selected_ids, tracer)
+        result.trace = tracer.trace()
+        return result
+
+    def _query_round(
+        self,
+        client: StartsClient,
+        tracer: Tracer,
+        query: SQuery,
+        selected_ids: list[str],
+        summaries: dict,
+        merger: MergeStrategy,
+        executor: Executor,
+        group_by_resource: bool,
+        terms: list[str],
+    ) -> MetasearchResult:
+        """Translate → dispatch → merge for an already-selected source set.
+
+        Returns a result with ``trace=None``; the caller attaches the
+        trace (searches) or stores the result as-is (revalidations).
+        """
+        requests, outcomes, reports = self._translate(
+            tracer, query, selected_ids, summaries, group_by_resource
+        )
+        requests = self._filter_negative_cached(tracer, requests, outcomes)
+        dispatcher = QueryDispatcher(
+            client,
+            executor=executor,
+            policy=self.query_policy,
+            policies=self.query_policies,
+            tracer=tracer,
+        )
+        with tracer.span(
+            "query", executor=executor.name, requests=len(requests)
+        ) as query_span:
+            for outcome in dispatcher.dispatch(requests, parent=query_span):
+                outcomes[outcome.source_id] = outcome
+        self._record_outcomes(outcomes)
+        per_source_results = {
+            source_id: outcome.results
+            for source_id, outcome in outcomes.items()
+            if outcome.ok and outcome.results is not None
+        }
+        with tracer.span(
+            "merge",
+            strategy=type(merger).__name__,
+            sources=len(per_source_results),
+        ):
+            documents = merger.merge(
+                per_source_results,
+                self._merge_context(per_source_results, summaries, terms),
+            )
+            if query.max_number_documents:
+                documents = documents[: query.max_number_documents]
 
         # Each outcome is one routed group; its elapsed_ms already sums
         # the requests within the group (attempts, backoff, hedges are
@@ -251,14 +366,166 @@ class Metasearcher:
         group_times = [outcome.elapsed_ms for outcome in outcomes.values()]
         return MetasearchResult(
             documents,
-            selected_ids,
+            list(selected_ids),
             per_source_results,
             reports,
             query_latency_serial_ms=sum(group_times),
             query_latency_parallel_ms=max(group_times, default=0.0),
             outcomes=outcomes,
-            trace=tracer.trace(),
         )
+
+    # -- caching -----------------------------------------------------------
+
+    def _cache_key(
+        self,
+        query: SQuery,
+        selected_ids: list[str],
+        group_by_resource: bool,
+        merger: MergeStrategy,
+    ) -> str:
+        """The result-cache key: canonical query + everything else that
+        changes the merged answer for a fixed source set."""
+        return "|".join(
+            (
+                query_cache_key(query, selected_ids),
+                f"grp={'T' if group_by_resource else 'F'}",
+                f"merge={type(merger).__name__}",
+            )
+        )
+
+    @staticmethod
+    def _copy_result(
+        source: MetasearchResult,
+        trace: Trace | None = None,
+        cache_status: str | None = None,
+    ) -> MetasearchResult:
+        """A fresh :class:`MetasearchResult` with shallow-copied containers,
+        so cached master and served copies never share mutable state."""
+        return MetasearchResult(
+            documents=list(source.documents),
+            selected_sources=list(source.selected_sources),
+            per_source_results=dict(source.per_source_results),
+            translation_reports=dict(source.translation_reports),
+            query_latency_serial_ms=source.query_latency_serial_ms,
+            query_latency_parallel_ms=source.query_latency_parallel_ms,
+            outcomes=dict(source.outcomes),
+            trace=trace,
+            cache_status=cache_status,
+        )
+
+    def _serve_cached(
+        self, cached: MetasearchResult, tracer: Tracer, status: str
+    ) -> MetasearchResult:
+        """Serve a copy of a cached result, trace attached, status marked.
+
+        The latency fields keep the *original* wire cost on purpose —
+        they model what the answer cost to compute; the trace and
+        ``cache_status`` show it was not paid again.
+        """
+        return self._copy_result(cached, trace=tracer.trace(), cache_status=status)
+
+    def _store_result(
+        self,
+        key: str,
+        result: MetasearchResult,
+        selected_ids: list[str],
+        tracer: Tracer,
+    ) -> None:
+        wire_cost = sum(outcome.cost for outcome in result.outcomes.values())
+        evictions = self.result_cache.store(
+            key,
+            _CachedSearch(self._copy_result(result), wire_cost),
+            source_ids=tuple(selected_ids),
+            size=len(result.documents),
+            cost=wire_cost,
+        )
+        tracer.count_cache(stores=1, evictions=evictions)
+
+    def _filter_negative_cached(
+        self,
+        tracer: Tracer,
+        requests: list[SourceRequest],
+        outcomes: dict[str, SourceOutcome],
+    ) -> list[SourceRequest]:
+        """Drop routed groups whose entry source is negative-cached.
+
+        Each skip is recorded as a ``SKIPPED`` outcome carrying the
+        negative-cache reason, counted on the tracer, and visible in
+        ``explain_trace()`` — the probe simply never reaches the wire.
+        """
+        if self.negative_cache is None:
+            return requests
+        kept: list[SourceRequest] = []
+        for request in requests:
+            reason = self.negative_cache.skip_reason(request.source_id)
+            if reason is None:
+                kept.append(request)
+                continue
+            outcomes[request.source_id] = SourceOutcome.skip(
+                request.source_id, reason, request.sibling_ids
+            )
+            tracer.count_cache(negative_skips=1)
+            tracer.event("cache", source=request.source_id, status="negative-skip")
+        return kept
+
+    def _record_outcomes(self, outcomes: dict[str, SourceOutcome]) -> None:
+        """Feed query-round outcomes back into the negative cache."""
+        if self.negative_cache is None:
+            return
+        for source_id, outcome in outcomes.items():
+            if outcome.ok:
+                self.negative_cache.record_success(source_id)
+            elif outcome.status in (OutcomeStatus.ERROR, OutcomeStatus.TIMEOUT):
+                self.negative_cache.record_failure(
+                    source_id, outcome.status.value, outcome.error
+                )
+
+    def _schedule_revalidation(
+        self,
+        key: str,
+        query: SQuery,
+        selected_ids: list[str],
+        summaries: dict,
+        merger: MergeStrategy,
+        executor: Executor,
+        group_by_resource: bool,
+        terms: list[str],
+    ) -> None:
+        """Refresh a stale entry off the caller's critical path.
+
+        Single-flight per key; the refresh re-runs the query round for
+        the *same* source set (the key binds them) on a private client
+        and tracer, so it never races the caller's.  Scheduling goes
+        through the executor's ``submit`` hook: the serial executor
+        revalidates inline (deterministic), the parallel one on a
+        daemon thread.
+        """
+        if not self.result_cache.begin_revalidation(key):
+            return
+
+        def refresh() -> None:
+            try:
+                tracer = Tracer()
+                client = StartsClient(self.client.internet, tracer=tracer)
+                result = self._query_round(
+                    client,
+                    tracer,
+                    query,
+                    selected_ids,
+                    summaries,
+                    merger,
+                    executor,
+                    group_by_resource,
+                    terms,
+                )
+                self._store_result(key, result, selected_ids, tracer)
+            finally:
+                self.result_cache.finish_revalidation(key)
+
+        if self.cache_policy.revalidate_in_background:
+            submit_background(executor, refresh)
+        else:
+            refresh()
 
     # -- pipeline phases ---------------------------------------------------
 

@@ -9,8 +9,10 @@ transport layer, caching everything it fetches and honouring the
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field as dataclass_field
 
+from repro.cache.summaries import SummaryTtlPolicy
 from repro.source.sample import SampleResults
 from repro.starts.metadata import SContentSummary, SMetaAttributes
 from repro.transport.client import StartsClient
@@ -47,14 +49,27 @@ class DiscoveryService:
         clock: a monotonically advancing date string (``YYYY-MM-DD``);
             entries whose ``DateExpires`` precedes the clock are
             considered stale and re-fetched on the next refresh.
+        ttl_policy: optional staleness policy; when set, sources
+            without an explicit ``DateExpires`` still go stale on a
+            per-source heuristic TTL derived from ``DateChanged`` (see
+            :class:`~repro.cache.SummaryTtlPolicy`).  ``None`` keeps
+            the historic expires-only rule.
     """
 
     client: StartsClient
     clock: str = "1996-08-01"
+    ttl_policy: SummaryTtlPolicy | None = None
     _sources: dict[str, KnownSource] = dataclass_field(default_factory=dict)
     #: source_id → metadata URL for sources skipped on the last refresh
     #: because their host was unreachable.
     unreachable: dict[str, str] = dataclass_field(default_factory=dict)
+    #: source_id → clock date of the last successful harvest; feeds the
+    #: heuristic TTL ("age at harvest") when :attr:`ttl_policy` is set.
+    fetched_on: dict[str, str] = dataclass_field(default_factory=dict)
+    #: callbacks fired with a source id whenever its cached knowledge is
+    #: dropped or replaced, so downstream caches (query results,
+    #: negative entries) can purge anything derived from it.
+    _purge_hooks: list[Callable[[str], None]] = dataclass_field(default_factory=list)
 
     def refresh_resource(self, resource_url: str) -> list[KnownSource]:
         """Fetch a resource's source list and harvest each new source.
@@ -70,6 +85,7 @@ class DiscoveryService:
         for source_id, metadata_url in resource.source_list:
             known = self._sources.get(source_id)
             if known is None or self._is_stale(known):
+                refreshing = known is not None
                 try:
                     known = self._harvest(source_id, metadata_url, resource_url)
                 except TransportError:
@@ -79,10 +95,19 @@ class DiscoveryService:
                 else:
                     self.unreachable.pop(source_id, None)
                     self._sources[source_id] = known
+                    self.fetched_on[source_id] = self.clock
+                    if refreshing:
+                        # The source's metadata/summary just changed out
+                        # from under anything derived from the old copy.
+                        self._fire_purge(source_id)
             harvested.append(known)
         return harvested
 
     def _is_stale(self, known: KnownSource) -> bool:
+        if self.ttl_policy is not None:
+            return self.ttl_policy.is_stale(
+                known.metadata, self.fetched_on.get(known.source_id), self.clock
+            )
         expires = known.metadata.date_expires
         return bool(expires) and expires < self.clock
 
@@ -122,5 +147,31 @@ class DiscoveryService:
             if known.summary is not None
         }
 
+    # -- invalidation --------------------------------------------------------
+
+    def add_purge_hook(self, hook: Callable[[str], None]) -> None:
+        """Call ``hook(source_id)`` whenever a source's cached knowledge
+        is forgotten or replaced by a fresh harvest."""
+        self._purge_hooks.append(hook)
+
+    def _fire_purge(self, source_id: str) -> None:
+        for hook in self._purge_hooks:
+            hook(source_id)
+
     def forget(self, source_id: str) -> None:
-        self._sources.pop(source_id, None)
+        """Drop *everything* cached for a source, not just its entry.
+
+        Purges the known-source record (metadata, content summary and
+        sample results ride along with it), the harvest date that
+        feeds the TTL heuristic, and the unreachable marker, then fires
+        the purge hooks so derived caches drop their entries too.
+        """
+        known = self._sources.pop(source_id, None)
+        if known is not None:
+            # Sever the heavyweight references even if a caller still
+            # holds the KnownSource record.
+            known.summary = None
+            known.sample_results = None
+        self.fetched_on.pop(source_id, None)
+        self.unreachable.pop(source_id, None)
+        self._fire_purge(source_id)

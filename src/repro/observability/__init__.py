@@ -1,11 +1,23 @@
 """Observability: spans, per-source counters, and a text renderer."""
 
-from repro.observability.render import render_counters, render_trace
-from repro.observability.tracing import SourceCounters, Span, Trace, Tracer
+from repro.observability.render import (
+    render_cache_counters,
+    render_counters,
+    render_trace,
+)
+from repro.observability.tracing import (
+    CacheCounters,
+    SourceCounters,
+    Span,
+    Trace,
+    Tracer,
+)
 
 __all__ = [
+    "render_cache_counters",
     "render_counters",
     "render_trace",
+    "CacheCounters",
     "SourceCounters",
     "Span",
     "Trace",

@@ -9,9 +9,9 @@ metasearch operator actually watches.
 
 from __future__ import annotations
 
-from repro.observability.tracing import SourceCounters, Span, Trace
+from repro.observability.tracing import CacheCounters, SourceCounters, Span, Trace
 
-__all__ = ["render_trace", "render_counters"]
+__all__ = ["render_trace", "render_counters", "render_cache_counters"]
 
 
 def _format_value(value: object) -> str:
@@ -52,6 +52,20 @@ def render_counters(counters: dict[str, SourceCounters]) -> list[str]:
     return lines
 
 
+def render_cache_counters(cache: CacheCounters | None) -> list[str]:
+    """The cache-tier summary as lines (empty when caching never ran)."""
+    if cache is None:
+        return []
+    rate = cache.hits / cache.lookups if cache.lookups else 0.0
+    return [
+        f"hits={cache.hits} stale_hits={cache.stale_hits} "
+        f"misses={cache.misses} hit_rate={rate:.2f}",
+        f"stores={cache.stores} evictions={cache.evictions} "
+        f"negative_skips={cache.negative_skips} "
+        f"cost_saved={cache.cost_saved:.2f}",
+    ]
+
+
 def render_trace(trace: Trace) -> str:
     """The span tree plus the counter table, as display-ready text."""
     lines: list[str] = []
@@ -63,6 +77,12 @@ def render_trace(trace: Trace) -> str:
             lines.append("")
         lines.append("per-source counters (simulated wire time and cost):")
         lines.extend(counter_lines)
+    cache_lines = render_cache_counters(trace.cache)
+    if cache_lines:
+        if lines:
+            lines.append("")
+        lines.append("cache counters:")
+        lines.extend(cache_lines)
     if not lines:
         return "(empty trace)"
     return "\n".join(lines)

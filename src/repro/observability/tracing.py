@@ -26,7 +26,7 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field as dataclass_field
 
-__all__ = ["Span", "SourceCounters", "Trace", "Tracer"]
+__all__ = ["CacheCounters", "Span", "SourceCounters", "Trace", "Tracer"]
 
 
 @dataclass
@@ -76,11 +76,35 @@ class SourceCounters:
 
 
 @dataclass
+class CacheCounters:
+    """Cache-tier tallies for one traced operation.
+
+    ``None`` on a :class:`Trace` means the caching subsystem never ran
+    (disabled, or the code path predates it) — distinct from an
+    all-zero tally, and it keeps uncached traces rendering exactly as
+    they always have.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0  #: stale entries served while a refresh runs
+    stores: int = 0
+    evictions: int = 0
+    negative_skips: int = 0  #: probes avoided via the negative cache
+    cost_saved: float = 0.0  #: simulated wire cost a hit avoided
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.stale_hits + self.misses
+
+
+@dataclass
 class Trace:
     """A finished operation's spans and counters, ready to render."""
 
     spans: list[Span] = dataclass_field(default_factory=list)
     counters: dict[str, SourceCounters] = dataclass_field(default_factory=dict)
+    cache: CacheCounters | None = None
 
     def walk(self) -> Iterator[Span]:
         for span in self.spans:
@@ -114,6 +138,7 @@ class Tracer:
         self._local = threading.local()
         self.spans: list[Span] = []
         self.counters: dict[str, SourceCounters] = {}
+        self.cache: CacheCounters | None = None
 
     def now_ms(self) -> float:
         """Milliseconds since this tracer was created (wall clock)."""
@@ -161,6 +186,24 @@ class Tracer:
                 setattr(counters, name, getattr(counters, name) + delta)
             return counters
 
+    def count_cache(self, **deltas: float) -> CacheCounters:
+        """Add ``deltas`` to the cache-tier tallies (thread safe).
+
+        The first call materialises the :class:`CacheCounters`; until
+        then the trace carries ``cache=None`` and renders unchanged.
+        """
+        with self._lock:
+            if self.cache is None:
+                self.cache = CacheCounters()
+            for name, delta in deltas.items():
+                current = getattr(self.cache, name)
+                setattr(
+                    self.cache,
+                    name,
+                    current + (delta if name == "cost_saved" else int(delta)),
+                )
+            return self.cache
+
     def trace(self) -> Trace:
         """The collected spans and counters as a :class:`Trace`."""
-        return Trace(self.spans, self.counters)
+        return Trace(self.spans, self.counters, self.cache)

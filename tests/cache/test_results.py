@@ -1,0 +1,88 @@
+"""The query-result cache: three-state reads, tags, single-flight."""
+
+from repro.cache import FRESH, MISS, STALE, QueryResultCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+
+    def __call__(self) -> float:
+        return self.now_ms
+
+
+def make_cache(**kwargs) -> tuple[QueryResultCache, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(ttl_ms=100.0, stale_grace_ms=100.0, clock=clock)
+    defaults.update(kwargs)
+    return QueryResultCache(**defaults), clock
+
+
+class TestReads:
+    def test_fresh_stale_miss_progression(self):
+        cache, clock = make_cache()
+        cache.store("k", {"docs": 3}, source_ids=("s1",))
+        assert cache.lookup("k") == ({"docs": 3}, FRESH)
+        clock.now_ms = 150.0
+        assert cache.lookup("k") == ({"docs": 3}, STALE)
+        clock.now_ms = 250.0
+        assert cache.lookup("k") == (None, MISS)
+
+    def test_zero_grace_means_expired_is_miss(self):
+        cache, clock = make_cache(stale_grace_ms=0.0)
+        cache.store("k", 1)
+        clock.now_ms = 150.0
+        assert cache.lookup("k") == (None, MISS)
+
+    def test_store_again_refreshes(self):
+        cache, clock = make_cache()
+        cache.store("k", "old")
+        clock.now_ms = 150.0
+        cache.store("k", "new")
+        assert cache.lookup("k") == ("new", FRESH)
+
+
+class TestSourceInvalidation:
+    def test_only_tagged_results_fall(self):
+        cache, _ = make_cache()
+        cache.store("a", 1, source_ids=("s1", "s2"))
+        cache.store("b", 2, source_ids=("s3",))
+        assert cache.invalidate_source("s1") == 1
+        assert cache.lookup("a") == (None, MISS)
+        assert cache.lookup("b") == (2, FRESH)
+
+    def test_clear(self):
+        cache, _ = make_cache()
+        cache.store("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSingleFlight:
+    def test_only_one_revalidation_per_key(self):
+        cache, _ = make_cache()
+        assert cache.begin_revalidation("k") is True
+        assert cache.begin_revalidation("k") is False
+        cache.finish_revalidation("k")
+        assert cache.begin_revalidation("k") is True
+
+    def test_keys_are_independent(self):
+        cache, _ = make_cache()
+        assert cache.begin_revalidation("a") is True
+        assert cache.begin_revalidation("b") is True
+
+    def test_finish_unclaimed_is_harmless(self):
+        cache, _ = make_cache()
+        cache.finish_revalidation("never-claimed")
+
+
+class TestStats:
+    def test_stats_flow_through(self):
+        cache, _ = make_cache()
+        cache.store("k", 1, cost=2.0)
+        cache.lookup("k")
+        cache.lookup("absent")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.cost_saved == 2.0
+        assert "k" in cache

@@ -1,0 +1,80 @@
+"""Summary TTLs from MBasic-1 dates: explicit expiry, heuristic freshness."""
+
+import pytest
+
+from repro.cache import SummaryTtlPolicy, parse_protocol_date
+from repro.starts import SMetaAttributes
+
+
+def meta(**kwargs) -> SMetaAttributes:
+    return SMetaAttributes(source_id="s1", **kwargs)
+
+
+class TestParseProtocolDate:
+    def test_valid(self):
+        assert str(parse_protocol_date("1996-08-01")) == "1996-08-01"
+        assert str(parse_protocol_date("  1996-08-01  ")) == "1996-08-01"
+
+    def test_absent_or_malformed_is_none(self):
+        assert parse_protocol_date(None) is None
+        assert parse_protocol_date("") is None
+        assert parse_protocol_date("not-a-date") is None
+        assert parse_protocol_date("1996-13-40") is None
+
+
+class TestTtlDays:
+    def test_heuristic_fraction_of_age(self):
+        policy = SummaryTtlPolicy(heuristic_fraction=0.1)
+        # 212 days old at harvest -> TTL 21 days.
+        assert policy.ttl_days(meta(date_changed="1996-01-01"), "1996-07-31") == 21
+
+    def test_clamped_to_min_and_max(self):
+        policy = SummaryTtlPolicy(min_ttl_days=2, max_ttl_days=30)
+        assert policy.ttl_days(meta(date_changed="1996-07-30"), "1996-07-31") == 2
+        assert policy.ttl_days(meta(date_changed="1980-01-01"), "1996-07-31") == 30
+
+    def test_future_date_changed_gets_minimum_ttl(self):
+        """A clock-skewed DateChanged in the future means "changed just
+        now", never "cache forever"."""
+        policy = SummaryTtlPolicy(min_ttl_days=1)
+        assert policy.ttl_days(meta(date_changed="1997-01-01"), "1996-07-31") == 1
+
+    def test_no_usable_hint_is_none(self):
+        policy = SummaryTtlPolicy()
+        assert policy.ttl_days(meta(), "1996-07-31") is None
+        assert policy.ttl_days(meta(date_changed="garbage"), "1996-07-31") is None
+        assert policy.ttl_days(meta(date_changed="1996-01-01"), "garbage") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SummaryTtlPolicy(heuristic_fraction=-0.1)
+        with pytest.raises(ValueError):
+            SummaryTtlPolicy(min_ttl_days=5, max_ttl_days=4)
+
+
+class TestIsStale:
+    def test_date_expires_wins_over_heuristics(self):
+        policy = SummaryTtlPolicy()
+        metadata = meta(date_expires="1996-09-01", date_changed="1990-01-01")
+        assert not policy.is_stale(metadata, "1996-08-01", "1996-08-31")
+        assert policy.is_stale(metadata, "1996-08-01", "1996-09-02")
+
+    def test_heuristic_expiry_from_date_changed(self):
+        policy = SummaryTtlPolicy(heuristic_fraction=0.1)
+        metadata = meta(date_changed="1996-01-01")  # ~21-day TTL at 1996-08-01
+        assert not policy.is_stale(metadata, "1996-08-01", "1996-08-20")
+        assert policy.is_stale(metadata, "1996-08-01", "1996-08-30")
+
+    def test_zero_min_ttl_goes_stale_the_next_day(self):
+        policy = SummaryTtlPolicy(heuristic_fraction=0.0, min_ttl_days=0)
+        metadata = meta(date_changed="1996-07-31")
+        assert not policy.is_stale(metadata, "1996-08-01", "1996-08-01")
+        assert policy.is_stale(metadata, "1996-08-01", "1996-08-02")
+
+    def test_missing_date_changed_never_stale_without_expires(self):
+        policy = SummaryTtlPolicy()
+        assert not policy.is_stale(meta(), "1996-08-01", "2020-01-01")
+
+    def test_no_harvest_date_never_stale(self):
+        policy = SummaryTtlPolicy()
+        assert not policy.is_stale(meta(date_changed="1990-01-01"), None, "2020-01-01")

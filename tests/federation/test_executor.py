@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from repro.cache import CachePolicy
 from repro.corpus import source1_documents
 from repro.federation import Executor, ParallelExecutor, SerialExecutor
 from repro.metasearch import Metasearcher, SelectAll
@@ -51,7 +52,11 @@ def eight_source_world():
             for source in sources
         },
     )
-    searcher = Metasearcher(internet, ["http://fleet.org/resource"])
+    # The wall-clock assertions repeat one query on purpose; the result
+    # cache would serve the repeats without touching the wire.
+    searcher = Metasearcher(
+        internet, ["http://fleet.org/resource"], cache_policy=CachePolicy.disabled()
+    )
     searcher.refresh()
     return internet, searcher
 

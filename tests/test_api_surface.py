@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.transport",
     "repro.federation",
     "repro.observability",
+    "repro.cache",
     "repro.metasearch",
     "repro.experiments",
     "repro.zdsr",

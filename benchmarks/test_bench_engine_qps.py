@@ -1,0 +1,138 @@
+"""Engine QPS benchmark: term-at-a-time vs. the document-at-a-time oracle.
+
+A single-source ranking workload over a generated collection, timed on
+both evaluation paths (``engine.evaluation``) and both with and without
+engine-side top-k truncation.  Queries-per-second and per-query p50
+wall-clock land in ``BENCH_engine_qps.json``.
+
+Acceptance: the term-at-a-time path must clear 5x the oracle's QPS on
+the full (untruncated) workload.  The two paths must also agree hit for
+hit — speed means nothing if the answers drift.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.corpus import CollectionSpec, generate_collection
+from repro.engine import fields as F
+from repro.engine.evaluation import DOCUMENT_AT_A_TIME, TERM_AT_A_TIME
+from repro.engine.query import ListQuery, TermQuery
+from repro.engine.search import SearchEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_DOCS = 800
+N_QUERIES = 24
+TOP_K = 20
+
+
+def _percentile(samples: list[float], quantile: float) -> float:
+    ordered = sorted(samples)
+    index = round(quantile * (len(ordered) - 1))
+    return ordered[index]
+
+
+def _build_engine() -> SearchEngine:
+    spec = CollectionSpec(
+        name="bench-qps",
+        topics={"databases": 0.6, "retrieval": 0.4},
+        size=N_DOCS,
+        seed=17,
+    )
+    engine = SearchEngine()
+    for document in generate_collection(spec):
+        engine.add(document)
+    return engine
+
+
+def _build_queries(engine: SearchEngine) -> list[ListQuery]:
+    """Ranking lists of 2-4 body terms drawn from the real vocabulary.
+
+    Sampling from the index (rather than the topic pools) guarantees
+    every query touches non-empty posting lists, which is the case the
+    rewrite has to win on.
+    """
+    rng = random.Random(23)
+    vocabulary = engine.index.vocabulary(F.BODY_OF_TEXT)
+    queries = []
+    for _ in range(N_QUERIES):
+        terms = tuple(
+            TermQuery(F.BODY_OF_TEXT, text, weight=rng.choice((1.0, 0.8, 0.5)))
+            for text in rng.sample(vocabulary, rng.randint(2, 4))
+        )
+        queries.append(ListQuery(terms))
+    return queries
+
+
+def _run(engine: SearchEngine, queries, mode: str, top_k):
+    """(qps, p50_ms, hits per query) for one configuration."""
+    engine.evaluation = mode
+    walls = []
+    results = []
+    started_batch = time.perf_counter()
+    for query in queries:
+        started = time.perf_counter()
+        results.append(engine.search(ranking_query=query, top_k=top_k))
+        walls.append((time.perf_counter() - started) * 1000.0)
+    elapsed = time.perf_counter() - started_batch
+    engine.evaluation = TERM_AT_A_TIME
+    return len(queries) / elapsed, _percentile(walls, 0.50), results
+
+
+def test_bench_engine_qps(write_table):
+    engine = _build_engine()
+    queries = _build_queries(engine)
+
+    taat_qps, taat_p50, taat_hits = _run(engine, queries, TERM_AT_A_TIME, None)
+    daat_qps, daat_p50, daat_hits = _run(engine, queries, DOCUMENT_AT_A_TIME, None)
+    taat_k_qps, taat_k_p50, _ = _run(engine, queries, TERM_AT_A_TIME, TOP_K)
+    daat_k_qps, daat_k_p50, _ = _run(engine, queries, DOCUMENT_AT_A_TIME, TOP_K)
+
+    # Equivalence first: the oracle and the rewrite return identical
+    # hits (ids, exact scores, exact TermStats) on the whole workload.
+    assert taat_hits == daat_hits
+
+    payload = {
+        "benchmark": "engine_qps",
+        "n_docs": N_DOCS,
+        "n_queries": N_QUERIES,
+        "top_k": TOP_K,
+        "term_at_a_time": {
+            "qps": round(taat_qps, 1),
+            "p50_ms": round(taat_p50, 3),
+            "qps_top_k": round(taat_k_qps, 1),
+            "p50_ms_top_k": round(taat_k_p50, 3),
+        },
+        "document_at_a_time": {
+            "qps": round(daat_qps, 1),
+            "p50_ms": round(daat_p50, 3),
+            "qps_top_k": round(daat_k_qps, 1),
+            "p50_ms_top_k": round(daat_k_p50, 3),
+        },
+    }
+    payload["qps_speedup"] = round(taat_qps / max(daat_qps, 1e-9), 1)
+    payload["qps_speedup_top_k"] = round(taat_k_qps / max(daat_k_qps, 1e-9), 1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engine_qps.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    fast, slow = payload["term_at_a_time"], payload["document_at_a_time"]
+    write_table(
+        "ENGINE_qps",
+        [
+            f"{N_QUERIES} ranking queries over one {N_DOCS}-doc source",
+            "",
+            f"document-at-a-time  qps={slow['qps']:.0f} p50={slow['p50_ms']:.2f}ms"
+            f"  (top-{TOP_K}: qps={slow['qps_top_k']:.0f})",
+            f"term-at-a-time      qps={fast['qps']:.0f} p50={fast['p50_ms']:.2f}ms"
+            f"  (top-{TOP_K}: qps={fast['qps_top_k']:.0f})",
+            f"speedup             {payload['qps_speedup']:.1f}x full, "
+            f"{payload['qps_speedup_top_k']:.1f}x truncated",
+        ],
+    )
+
+    # The acceptance bar: one posting-list walk per term beats the
+    # per-candidate recursion by 5x on this corpus.
+    assert taat_qps >= 5 * daat_qps

@@ -24,6 +24,12 @@ from repro.engine.fields import (
     TITLE,
     TEXT_FIELDS,
 )
+from repro.engine.evaluation import (
+    DOCUMENT_AT_A_TIME,
+    EVALUATION_MODES,
+    TERM_AT_A_TIME,
+    QueryTermContext,
+)
 from repro.engine.index import InvertedIndex, Posting
 from repro.engine.persistence import (
     PersistenceError,
@@ -42,6 +48,7 @@ from repro.engine.ranking import (
     CosineTfIdf,
     Bm25,
     InqueryScorer,
+    PivotedCosine,
     ScaledCosine,
     RANKING_ALGORITHMS,
 )
@@ -63,6 +70,10 @@ __all__ = [
     "LINKAGE_TYPE",
     "TITLE",
     "TEXT_FIELDS",
+    "DOCUMENT_AT_A_TIME",
+    "EVALUATION_MODES",
+    "TERM_AT_A_TIME",
+    "QueryTermContext",
     "InvertedIndex",
     "Posting",
     "PersistenceError",
@@ -77,6 +88,7 @@ __all__ = [
     "CosineTfIdf",
     "Bm25",
     "InqueryScorer",
+    "PivotedCosine",
     "ScaledCosine",
     "RANKING_ALGORITHMS",
     "EngineHit",

@@ -80,6 +80,10 @@ class DocumentStore:
         self._documents: list[Document] = []
         self._by_linkage: dict[str, int] = {}
         self._token_counts: list[int] = []
+        # Running sum of _token_counts, so average_token_count() — on
+        # the per-term-weight hot path — is O(1).  Token counts are
+        # integers, so the running sum is exact.
+        self._token_total = 0
 
     def add(self, document: Document, token_count: int = 0) -> int:
         """Store ``document`` and return its id.
@@ -91,12 +95,14 @@ class DocumentStore:
         doc_id = len(self._documents)
         self._documents.append(document)
         self._token_counts.append(token_count)
+        self._token_total += token_count
         # First linkage wins; duplicates within one source are unusual
         # but the resource layer relies on linkage lookups being stable.
         self._by_linkage.setdefault(document.linkage, doc_id)
         return doc_id
 
     def set_token_count(self, doc_id: int, token_count: int) -> None:
+        self._token_total += token_count - self._token_counts[doc_id]
         self._token_counts[doc_id] = token_count
 
     def __len__(self) -> int:
@@ -126,4 +132,4 @@ class DocumentStore:
         """Mean document length, used by length-normalizing scorers."""
         if not self._token_counts:
             return 0.0
-        return sum(self._token_counts) / len(self._token_counts)
+        return self._token_total / len(self._token_counts)

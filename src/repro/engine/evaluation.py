@@ -1,0 +1,335 @@
+"""Term-at-a-time query evaluation with per-query statistics reuse.
+
+The original evaluator was document-at-a-time: ``evaluate_ranking``
+called ``_score_node`` once per candidate document, and every term
+score re-expanded the query term and re-walked *all* of its postings —
+O(candidates × total postings) — then the ``TermStats`` pass walked
+everything again per hit.  :class:`QueryTermContext` inverts the loop:
+
+* each distinct ranking term is expanded **once** per query;
+* each posting list is walked **once**, materializing ``doc_id → tf``
+  plus the term's document frequency;
+* the collection statistics (document count, average document length)
+  are read once and the per-(term, document) engine weights are
+  precomputed from them;
+* ``list(...)`` nodes are scored with accumulator dictionaries and
+  fuzzy-Boolean nodes with per-node ``doc → score`` maps;
+* the same context answers the STARTS ``TermStats`` for every hit with
+  zero re-traversal.
+
+The produced scores, hit order and ``TermStats`` are exactly those of
+the document-at-a-time path, which stays available on
+``SearchEngine(evaluation="document_at_a_time")`` as a reference
+oracle (see ``tests/engine/test_evaluation_equivalence.py``).
+
+One contract is worth stating: a document carrying none of the query's
+terms is scored *implicitly* — its node values are the node's
+"zero value", the score the node takes when every term weight is 0.0.
+All five vendor ranking algorithms map all-zero contributions to 0.0,
+so such documents never enter the result unless a Boolean filter put
+them there (in which case they are emitted with their zero value, just
+as the oracle emits them).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field as dataclass_field
+from typing import TYPE_CHECKING
+
+from repro.engine.query import (
+    AND,
+    AND_NOT,
+    OR,
+    BooleanQuery,
+    EngineQuery,
+    ListQuery,
+    ProxQuery,
+    TermQuery,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with search.py
+    from repro.engine.search import SearchEngine
+
+__all__ = [
+    "TERM_AT_A_TIME",
+    "DOCUMENT_AT_A_TIME",
+    "EVALUATION_MODES",
+    "TermHitStats",
+    "EngineHit",
+    "TermPostings",
+    "QueryTermContext",
+    "top_k_hits",
+]
+
+#: The default evaluation strategy: one pass over each posting list.
+TERM_AT_A_TIME = "term_at_a_time"
+#: The original strategy, kept as a bit-exact reference oracle.
+DOCUMENT_AT_A_TIME = "document_at_a_time"
+EVALUATION_MODES = (TERM_AT_A_TIME, DOCUMENT_AT_A_TIME)
+
+
+@dataclass(frozen=True, slots=True)
+class TermHitStats:
+    """Per-query-term statistics for one document (STARTS ``TermStats``).
+
+    Attributes:
+        field: field the term was evaluated against.
+        text: the query term's original text.
+        term_frequency: occurrences of the (expanded) term in the doc.
+        term_weight: the engine's internal weight for the term.
+        document_frequency: documents in the source containing the term.
+    """
+
+    field: str
+    text: str
+    term_frequency: int
+    term_weight: float
+    document_frequency: int
+
+
+@dataclass(slots=True)
+class EngineHit:
+    """One document in an engine result, with merge-grade statistics."""
+
+    doc_id: int
+    score: float
+    term_stats: list[TermHitStats] = dataclass_field(default_factory=list)
+
+
+@dataclass(slots=True)
+class TermPostings:
+    """One ranking term's materialized statistics for one query.
+
+    Attributes:
+        doc_tf: document id → term frequency, aggregated over every
+            index term the query term expands to (restricted to the
+            filter candidates when the query has a filter).
+        document_frequency: distinct documents containing any expansion,
+            over the *whole* source (never candidate-restricted — the
+            STARTS df statistic describes the source, not the result).
+        doc_weight: document id → the engine's term weight, precomputed
+            from (tf, df, collection size, document length).
+    """
+
+    doc_tf: dict[int, int]
+    document_frequency: int
+    doc_weight: dict[int, float]
+
+
+def _term_key(term: TermQuery) -> tuple[str, str, str, frozenset[str]]:
+    """Statistics identity of a term: everything except its query weight."""
+    return (term.field, term.text, term.language, term.modifiers)
+
+
+class QueryTermContext:
+    """Per-query evaluation context for one ranking expression.
+
+    Built once per ``search``/``evaluate_ranking`` call; owns every
+    statistic the query needs so no posting list is walked more than
+    once and no term is expanded more than once.
+
+    Args:
+        engine: the engine to evaluate against (must have a ranking
+            algorithm).
+        query: the ranking expression.
+        candidates: the Boolean filter's document set, or None when the
+            query has no filter.
+    """
+
+    def __init__(
+        self,
+        engine: "SearchEngine",
+        query: EngineQuery,
+        candidates: set[int] | None = None,
+    ) -> None:
+        if engine.ranking is None:
+            raise RuntimeError("this engine does not support ranking expressions")
+        self._engine = engine
+        self._query = query
+        self._candidates = candidates
+        self._ranking = engine.ranking
+        self._n_docs = engine.document_count
+        self._avg_doc_len = engine.store.average_token_count()
+        self._by_term: dict[tuple, TermPostings] = {}
+        for term in query.terms():
+            key = _term_key(term)
+            if key not in self._by_term:
+                self._by_term[key] = self._materialize(term)
+        self._root_scores: dict[int, float] | None = None
+        self._root_zero = 0.0
+
+    # -- statistics materialization ------------------------------------
+
+    def _materialize(self, term: TermQuery) -> TermPostings:
+        """One pass over the term's posting lists: tf per doc plus df."""
+        engine = self._engine
+        candidates = self._candidates
+        doc_tf: dict[int, int] = {}
+        df_docs: set[int] = set()
+        for field_name, index_terms in engine.matcher.expand(term).items():
+            for index_term in index_terms:
+                for posting in engine.index.postings(field_name, index_term):
+                    doc_id = posting.doc_id
+                    df_docs.add(doc_id)
+                    if candidates is None or doc_id in candidates:
+                        doc_tf[doc_id] = doc_tf.get(doc_id, 0) + posting.term_frequency
+        df = len(df_docs)
+        token_count = engine.store.token_count
+        term_weight = self._ranking.term_weight
+        n_docs, avg = self._n_docs, self._avg_doc_len
+        doc_weight = {
+            doc_id: term_weight(tf, df, n_docs, token_count(doc_id), avg)
+            for doc_id, tf in doc_tf.items()
+        }
+        return TermPostings(doc_tf, df, doc_weight)
+
+    # -- node scoring ----------------------------------------------------
+
+    def _node_scores(self, node: EngineQuery) -> dict[int, float]:
+        """doc → score for one query node.
+
+        Documents absent from the map take the node's zero value (see
+        :meth:`_zero_value`); all map/absence combinations reproduce the
+        oracle's per-document recursion exactly.
+        """
+        if isinstance(node, TermQuery):
+            stats = self._by_term[_term_key(node)]
+            weight = node.weight
+            return {
+                doc_id: weight * w for doc_id, w in stats.doc_weight.items()
+            }
+        if isinstance(node, ListQuery):
+            children = [
+                (
+                    child.weight if isinstance(child, TermQuery) else 1.0,
+                    self._node_scores(child),
+                    self._zero_value(child),
+                )
+                for child in node.children
+            ]
+            combine = self._ranking.combine
+            scores: dict[int, float] = {}
+            for doc_id in self._support(pair[1] for pair in children):
+                scores[doc_id] = combine(
+                    [(q_weight, m.get(doc_id, zero)) for q_weight, m, zero in children]
+                )
+            return scores
+        if isinstance(node, BooleanQuery):
+            children = [
+                (self._node_scores(child), self._zero_value(child))
+                for child in node.children
+            ]
+            support = self._support(pair[0] for pair in children)
+            if node.operator == AND:
+                return {
+                    doc_id: min(m.get(doc_id, zero) for m, zero in children)
+                    for doc_id in support
+                }
+            if node.operator == OR:
+                return {
+                    doc_id: max(m.get(doc_id, zero) for m, zero in children)
+                    for doc_id in support
+                }
+            if node.operator == AND_NOT:
+                (pos, pos_zero), (neg, neg_zero) = children
+                return {
+                    doc_id: max(
+                        0.0, pos.get(doc_id, pos_zero) - neg.get(doc_id, neg_zero)
+                    )
+                    for doc_id in support
+                }
+        if isinstance(node, ProxQuery):
+            prox_docs = self._engine._prox_docs(node)
+            if self._candidates is not None:
+                prox_docs &= self._candidates
+            left = self._node_scores(node.left)
+            right = self._node_scores(node.right)
+            return {
+                doc_id: min(left.get(doc_id, 0.0), right.get(doc_id, 0.0))
+                for doc_id in prox_docs
+            }
+        raise TypeError(f"cannot score node: {type(node).__name__}")
+
+    def _zero_value(self, node: EngineQuery) -> float:
+        """The node's score for a document containing none of its terms."""
+        if isinstance(node, (TermQuery, ProxQuery)):
+            return 0.0
+        if isinstance(node, ListQuery):
+            return self._ranking.combine(
+                [
+                    (
+                        child.weight if isinstance(child, TermQuery) else 1.0,
+                        self._zero_value(child),
+                    )
+                    for child in node.children
+                ]
+            )
+        if isinstance(node, BooleanQuery):
+            zeros = [self._zero_value(child) for child in node.children]
+            if node.operator == AND:
+                return min(zeros)
+            if node.operator == OR:
+                return max(zeros)
+            return max(0.0, zeros[0] - zeros[1])
+        raise TypeError(f"cannot score node: {type(node).__name__}")
+
+    @staticmethod
+    def _support(maps) -> set[int]:
+        support: set[int] = set()
+        for score_map in maps:
+            support.update(score_map)
+        return support
+
+    # -- results ----------------------------------------------------------
+
+    def scores(self) -> dict[int, float]:
+        """doc → finalized score, exactly as ``evaluate_ranking`` returns.
+
+        With candidates, every candidate gets an entry (zero-score
+        documents included); without, only positive-scoring documents
+        appear, drawn from the union of the terms' posting supports.
+        """
+        if self._root_scores is None:
+            self._root_scores = self._node_scores(self._query)
+            self._root_zero = self._zero_value(self._query)
+        root, zero = self._root_scores, self._root_zero
+        if self._candidates is not None:
+            raw = {doc_id: root.get(doc_id, zero) for doc_id in self._candidates}
+        else:
+            raw = {}
+            for doc_id in self._support(
+                stats.doc_tf for stats in self._by_term.values()
+            ):
+                value = root.get(doc_id, zero)
+                if value > 0.0:
+                    raw[doc_id] = value
+        return self._ranking.finalize(raw)
+
+    def hit_term_stats(self, doc_id: int) -> list[TermHitStats]:
+        """STARTS ``TermStats`` for one hit, straight from the context."""
+        stats: list[TermHitStats] = []
+        for term in self._query.terms():
+            postings = self._by_term[_term_key(term)]
+            tf = postings.doc_tf.get(doc_id, 0)
+            weight = postings.doc_weight.get(doc_id, 0.0) if tf else 0.0
+            stats.append(
+                TermHitStats(
+                    term.field, term.text, tf, weight, postings.document_frequency
+                )
+            )
+        return stats
+
+
+def top_k_hits(
+    scores: dict[int, float], top_k: int | None
+) -> list[tuple[int, float]]:
+    """(doc_id, score) pairs ordered by descending score then doc id.
+
+    With ``top_k`` below the result size, a heap selects the top k in
+    O(n log k) without sorting — or materializing — the full result.
+    """
+    key = lambda item: (-item[1], item[0])  # noqa: E731
+    if top_k is not None and top_k < len(scores):
+        return heapq.nsmallest(top_k, scores.items(), key=key)
+    return sorted(scores.items(), key=key)

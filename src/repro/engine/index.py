@@ -68,10 +68,17 @@ class InvertedIndex:
         # field -> sorted vocabulary (rebuilt lazily for truncation).
         self._sorted_vocab: dict[str, list[str]] = {}
         self._sorted_vocab_dirty: set[str] = set()
+        # field -> sorted reversed-term vocabulary (lazily built so
+        # left-truncation is a bisect, mirroring terms_with_prefix).
+        self._reversed_vocab: dict[str, list[str]] = {}
+        self._reversed_vocab_dirty: set[str] = set()
         # field -> soundex code -> set of terms (built lazily).
         self._soundex: dict[str, dict[str, set[str]]] = {}
         self._soundex_dirty: set[str] = set()
         self._doc_count = 0
+        # Bumped on every mutation; lets callers (the term matcher)
+        # cache derived lookups and invalidate them precisely.
+        self._generation = 0
 
     # -- construction ---------------------------------------------------
 
@@ -101,8 +108,10 @@ class InvertedIndex:
                 Posting(doc_id, tuple(sorted(positions)))
             )
         self._sorted_vocab_dirty.add(field)
+        self._reversed_vocab_dirty.add(field)
         self._soundex_dirty.add(field)
         self._doc_count = max(self._doc_count, doc_id + 1)
+        self._generation += 1
 
     def _record_summary(self, doc_id: int, field: str, language: str, surface: str) -> None:
         entry = self._summary[(field, language)].setdefault(surface, SummaryEntry())
@@ -117,6 +126,11 @@ class InvertedIndex:
     @property
     def document_count(self) -> int:
         return self._doc_count
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter (cache-invalidation token)."""
+        return self._generation
 
     def fields(self) -> list[str]:
         return sorted(self._postings)
@@ -152,8 +166,27 @@ class InvertedIndex:
         return matches
 
     def terms_with_suffix(self, field: str, suffix: str) -> list[str]:
-        """Vocabulary terms ending with ``suffix`` (left-truncation)."""
-        return [term for term in self.vocabulary(field) if term.endswith(suffix)]
+        """Vocabulary terms ending with ``suffix`` (left-truncation).
+
+        A suffix of a term is a prefix of its reversal, so the lookup
+        is a bisect over a lazily maintained sorted list of reversed
+        terms — sublinear in the vocabulary, like ``terms_with_prefix``.
+        """
+        if field in self._reversed_vocab_dirty or field not in self._reversed_vocab:
+            self._reversed_vocab[field] = sorted(
+                term[::-1] for term in self._postings.get(field, {})
+            )
+            self._reversed_vocab_dirty.discard(field)
+        reversed_vocab = self._reversed_vocab[field]
+        target = suffix[::-1]
+        start = bisect.bisect_left(reversed_vocab, target)
+        matches: list[str] = []
+        for reversed_term in reversed_vocab[start:]:
+            if not reversed_term.startswith(target):
+                break
+            matches.append(reversed_term[::-1])
+        matches.sort()
+        return matches
 
     def terms_with_soundex(self, field: str, word: str) -> list[str]:
         """Vocabulary terms phonetically equal to ``word``."""

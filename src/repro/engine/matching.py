@@ -41,6 +41,11 @@ class TermMatcher:
         self._thesaurus = thesaurus or DEFAULT_THESAURUS
         # (field, language) -> (vocab size at build time, stem -> terms).
         self._stem_maps: dict[tuple[str, str], tuple[int, dict[str, set[str]]]] = {}
+        # Expansion memo, invalidated whenever the index mutates: the
+        # same query term is expanded many times (per node visit, per
+        # request) but its expansion only changes with the vocabulary.
+        self._expansion_generation = index.generation
+        self._expansions: dict[tuple, dict[str, set[str]]] = {}
 
     def fields_for(self, term: TermQuery) -> tuple[str, ...]:
         """The concrete index fields a term's field designator covers."""
@@ -52,14 +57,28 @@ class TermMatcher:
         """Map each covered field to the index terms ``term`` matches.
 
         Fields with no matching index terms are omitted, so an empty
-        result means the term matches nothing in this source.
+        result means the term matches nothing in this source.  Results
+        are memoized until the index mutates; the memo is bounded so a
+        long-lived engine under diverse traffic cannot grow it without
+        limit.
         """
-        matches: dict[str, set[str]] = defaultdict(set)
-        for field in self.fields_for(term):
-            terms = self._expand_in_field(term, field)
-            if terms:
-                matches[field] = terms
-        return dict(matches)
+        generation = self._index.generation
+        if generation != self._expansion_generation:
+            self._expansion_generation = generation
+            self._expansions.clear()
+        key = (term.field, term.text, term.language, term.modifiers)
+        cached = self._expansions.get(key)
+        if cached is None:
+            matches: dict[str, set[str]] = defaultdict(set)
+            for field in self.fields_for(term):
+                terms = self._expand_in_field(term, field)
+                if terms:
+                    matches[field] = terms
+            if len(self._expansions) >= 4096:
+                self._expansions.clear()
+            cached = self._expansions[key] = dict(matches)
+        # The result is shared with the memo: callers must not mutate it.
+        return cached
 
     def _expand_in_field(self, term: TermQuery, field: str) -> set[str]:
         expansions = _EXPANSION_MODIFIERS & term.modifiers

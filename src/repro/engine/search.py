@@ -13,10 +13,18 @@ document size and token count.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field as dataclass_field
 
 from repro.engine import fields as F
 from repro.engine.documents import Document, DocumentStore
+from repro.engine.evaluation import (
+    DOCUMENT_AT_A_TIME,
+    EVALUATION_MODES,
+    TERM_AT_A_TIME,
+    EngineHit,
+    QueryTermContext,
+    TermHitStats,
+    top_k_hits,
+)
 from repro.engine.index import InvertedIndex
 from repro.engine.matching import TermMatcher
 from repro.engine.query import (
@@ -36,34 +44,6 @@ from repro.text.thesaurus import Thesaurus
 __all__ = ["TermHitStats", "EngineHit", "SearchEngine"]
 
 
-@dataclass(frozen=True, slots=True)
-class TermHitStats:
-    """Per-query-term statistics for one document (STARTS ``TermStats``).
-
-    Attributes:
-        field: field the term was evaluated against.
-        text: the query term's original text.
-        term_frequency: occurrences of the (expanded) term in the doc.
-        term_weight: the engine's internal weight for the term.
-        document_frequency: documents in the source containing the term.
-    """
-
-    field: str
-    text: str
-    term_frequency: int
-    term_weight: float
-    document_frequency: int
-
-
-@dataclass(slots=True)
-class EngineHit:
-    """One document in an engine result, with merge-grade statistics."""
-
-    doc_id: int
-    score: float
-    term_stats: list[TermHitStats] = dataclass_field(default_factory=list)
-
-
 class SearchEngine:
     """A complete single-collection engine.
 
@@ -73,6 +53,11 @@ class SearchEngine:
         ranking: the scoring algorithm, or None for a Boolean-only
             engine like Glimpse (``QueryPartsSupported: F``).
         thesaurus: synonym source for the ``thesaurus`` modifier.
+        evaluation: ranking evaluation strategy — ``"term_at_a_time"``
+            (the default: one pass per posting list, statistics reused
+            across scoring and TermStats) or ``"document_at_a_time"``
+            (the original per-candidate recursion, kept as a bit-exact
+            reference oracle).
     """
 
     def __init__(
@@ -80,9 +65,16 @@ class SearchEngine:
         analyzer: Analyzer | None = None,
         ranking: RankingAlgorithm | None = CosineTfIdf(),
         thesaurus: Thesaurus | None = None,
+        evaluation: str = TERM_AT_A_TIME,
     ) -> None:
+        if evaluation not in EVALUATION_MODES:
+            raise ValueError(
+                f"unknown evaluation mode: {evaluation!r} (expected one of "
+                f"{', '.join(EVALUATION_MODES)})"
+            )
         self.analyzer = analyzer or Analyzer()
         self.ranking = ranking
+        self.evaluation = evaluation
         self.store = DocumentStore()
         self.index = InvertedIndex()
         self.matcher = TermMatcher(self.index, self.analyzer, thesaurus)
@@ -271,16 +263,41 @@ class SearchEngine:
     def _prox_satisfied(
         left: list[int], right: list[int], distance: int, ordered: bool
     ) -> bool:
-        for p_left in left:
-            for p_right in right:
-                if p_left == p_right:
-                    continue
-                gap = p_right - p_left - 1 if p_right > p_left else p_left - p_right - 1
-                if gap > distance:
-                    continue
-                if ordered and p_right < p_left:
-                    continue
-                return True
+        # Two-pointer merge over the sorted position lists: whenever any
+        # pair satisfies the constraint, so does a pair of cross-list
+        # neighbours, and the merge visits every such neighbour pair.
+        i = j = 0
+        n_left, n_right = len(left), len(right)
+        while i < n_left and j < n_right:
+            p_left, p_right = left[i], right[j]
+            if p_left < p_right:
+                if p_right - p_left - 1 <= distance:
+                    return True
+                i += 1
+            elif p_right < p_left:
+                if not ordered and p_left - p_right - 1 <= distance:
+                    return True
+                j += 1
+            else:
+                # Equal positions never pair with each other; the
+                # candidates are this value against the next strictly
+                # greater position on each side, then both equal runs
+                # are consumed.
+                nxt = j
+                while nxt < n_right and right[nxt] == p_left:
+                    nxt += 1
+                if nxt < n_right and right[nxt] - p_left - 1 <= distance:
+                    return True
+                if not ordered:
+                    nxt = i
+                    while nxt < n_left and left[nxt] == p_right:
+                        nxt += 1
+                    if nxt < n_left and left[nxt] - p_right - 1 <= distance:
+                        return True
+                while i < n_left and left[i] == p_left:
+                    i += 1
+                while j < n_right and right[j] == p_right:
+                    j += 1
         return False
 
     # -- ranking evaluation --------------------------------------------------
@@ -303,6 +320,15 @@ class SearchEngine:
         """
         if self.ranking is None:
             raise RuntimeError("this engine does not support ranking expressions")
+        if self.evaluation == DOCUMENT_AT_A_TIME:
+            return self._evaluate_ranking_document_at_a_time(query, candidates)
+        return QueryTermContext(self, query, candidates).scores()
+
+    def _evaluate_ranking_document_at_a_time(
+        self, query: EngineQuery, candidates: set[int] | None = None
+    ) -> dict[int, float]:
+        """The original per-candidate recursion (the reference oracle)."""
+        assert self.ranking is not None
         scores: dict[int, float] = {}
         universe = candidates if candidates is not None else self._candidate_docs(query)
         for doc_id in universe:
@@ -382,6 +408,9 @@ class SearchEngine:
         self,
         filter_query: EngineQuery | None = None,
         ranking_query: EngineQuery | None = None,
+        *,
+        top_k: int | None = None,
+        min_score: float = 0.0,
     ) -> list[EngineHit]:
         """Run a STARTS-style query: Boolean filter + vector-space rank.
 
@@ -390,6 +419,18 @@ class SearchEngine:
         document set (scores 0.0).  Hits are sorted by descending score,
         then ascending doc id for determinism, and each carries the
         TermStats for the ranking expression's terms.
+
+        Args:
+            filter_query: the Boolean filter expression, or None.
+            ranking_query: the ranking expression, or None.
+            top_k: keep only the first ``top_k`` hits of the final
+                order (heap-selected, so the tail is never materialized
+                and never gets TermStats).  Callers must only pass this
+                when they want score-descending truncation — i.e. when
+                the answer specification sorts by score.
+            min_score: drop ranked hits scoring below this (the answer
+                specification's ``MinDocumentScore``); applied before
+                ``top_k``, which commutes with it.
         """
         if filter_query is None and ranking_query is None:
             return []
@@ -405,19 +446,36 @@ class SearchEngine:
                 # A Boolean-only engine given only a ranking expression
                 # has nothing it can evaluate.
                 return []
-            return [EngineHit(doc_id, 0.0) for doc_id in sorted(candidates)]
+            hits = [EngineHit(doc_id, 0.0) for doc_id in sorted(candidates)]
+            if ranking_query is not None and min_score > 0.0:
+                hits = [hit for hit in hits if hit.score >= min_score]
+            return hits if top_k is None else hits[:top_k]
 
-        if candidates is None:
-            scores = self.evaluate_ranking(ranking_query)
+        context: QueryTermContext | None = None
+        if self.evaluation == DOCUMENT_AT_A_TIME:
+            scores = self._evaluate_ranking_document_at_a_time(
+                ranking_query, candidates
+            )
         else:
-            scores = self.evaluate_ranking(ranking_query, candidates)
+            context = QueryTermContext(self, ranking_query, candidates)
+            scores = context.scores()
 
-        hits = [
+        if min_score > 0.0:
+            scores = {
+                doc_id: score
+                for doc_id, score in scores.items()
+                if score >= min_score
+            }
+        selected = top_k_hits(scores, top_k)
+        if context is not None:
+            return [
+                EngineHit(doc_id, score, context.hit_term_stats(doc_id))
+                for doc_id, score in selected
+            ]
+        return [
             EngineHit(doc_id, score, self._hit_term_stats(ranking_query, doc_id))
-            for doc_id, score in scores.items()
+            for doc_id, score in selected
         ]
-        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
-        return hits
 
     def _hit_term_stats(self, ranking_query: EngineQuery, doc_id: int) -> list[TermHitStats]:
         stats: list[TermHitStats] = []

@@ -153,16 +153,7 @@ class Cori(SourceSelector):
             return []
         n_sources = len(summaries)
         word_mass = {
-            source_id: max(
-                1.0,
-                float(
-                    sum(
-                        max(entry.postings, 0)
-                        for section in summary.sections
-                        for entry in section.entries
-                    )
-                ),
-            )
+            source_id: max(1.0, float(summary.total_word_mass()))
             for source_id, summary in summaries.items()
         }
         mean_mass = sum(word_mass.values()) / n_sources

@@ -149,20 +149,26 @@ class StartsSource:
                 documents=(),
             )
 
-        hits = self.engine.search(
-            filter_query=filter_outcome.engine_query,
-            ranking_query=ranking_outcome.engine_query,
-        )
-
-        if ranking_outcome.engine_query is not None and query.min_document_score > 0:
-            hits = [hit for hit in hits if hit.score >= query.min_document_score]
-
-        documents = [self._to_document(hit, query) for hit in hits]
-        documents = self._sort_documents(documents, query)
-
         limit = query.max_number_documents
         if self.capabilities.result_cap is not None:
             limit = min(limit, self.capabilities.result_cap)
+
+        # When the answer specification orders by score (the default),
+        # the engine can truncate to the answer limit itself — the tail
+        # is never materialized and never gets TermStats.  Any other
+        # sort order needs the full result before sorting.
+        min_score = 0.0
+        if ranking_outcome.engine_query is not None:
+            min_score = query.min_document_score
+        hits = self.engine.search(
+            filter_query=filter_outcome.engine_query,
+            ranking_query=ranking_outcome.engine_query,
+            top_k=limit if self._score_ordered(query) else None,
+            min_score=min_score,
+        )
+
+        documents = [self._to_document(hit, query) for hit in hits]
+        documents = self._sort_documents(documents, query)
         documents = documents[:limit]
 
         return SQResults(
@@ -201,6 +207,20 @@ class StartsSource:
             term_stats=term_stats,
             doc_size=document.size_kbytes(),
             doc_count=self.engine.store.token_count(hit.doc_id),
+        )
+
+    @staticmethod
+    def _score_ordered(query: SQuery) -> bool:
+        """True when the requested sort preserves the engine's order.
+
+        The engine returns hits by descending score with ascending doc
+        id tie-breaks; score-descending sort keys (including the empty
+        sort) keep that order, so engine-side top-k truncation returns
+        exactly the documents the full pipeline would.
+        """
+        return all(
+            key.field == SCORE_SORT_FIELD and key.descending
+            for key in query.sort_keys
         )
 
     def _sort_documents(

@@ -390,19 +390,44 @@ class SContentSummary:
     def vocabulary_size(self) -> int:
         return sum(len(section.entries) for section in self.sections)
 
+    def _word_index(
+        self,
+    ) -> tuple[
+        dict[str, list[SummaryEntryLine]],
+        dict[tuple[str, str], list[SummaryEntryLine]],
+    ]:
+        """Lazily built ``word → entries`` / ``(word, field) → entries``.
+
+        Source selection (GlOSS, CORI) probes ``document_frequency`` /
+        ``total_postings`` for every source per query term; scanning
+        every section per probe made selection quadratic in summary
+        size.  The index preserves section traversal order, is built on
+        first use, and is invalidated whenever ``sections`` is swapped
+        out (the summary is otherwise immutable).
+        """
+        cache = self.__dict__.get("_word_index_cache")
+        if cache is not None and cache[0] is self.sections:
+            return cache[1], cache[2]
+        by_word: dict[str, list[SummaryEntryLine]] = {}
+        by_word_field: dict[tuple[str, str], list[SummaryEntryLine]] = {}
+        for section in self.sections:
+            for entry in section.entries:
+                key = entry.word if self.case_sensitive else entry.word.lower()
+                by_word.setdefault(key, []).append(entry)
+                by_word_field.setdefault((key, section.field), []).append(entry)
+        object.__setattr__(
+            self, "_word_index_cache", (self.sections, by_word, by_word_field)
+        )
+        return by_word, by_word_field
+
     def lookup(self, word: str, field: str | None = None) -> list[SummaryEntryLine]:
         """All entries for ``word``, optionally restricted to a field."""
         if not self.case_sensitive:
             word = word.lower()
-        found = []
-        for section in self.sections:
-            if field is not None and section.field != field:
-                continue
-            for entry in section.entries:
-                candidate = entry.word if self.case_sensitive else entry.word.lower()
-                if candidate == word:
-                    found.append(entry)
-        return found
+        by_word, by_word_field = self._word_index()
+        if field is None:
+            return list(by_word.get(word, ()))
+        return list(by_word_field.get((word, field), ()))
 
     def document_frequency(self, word: str, field: str | None = None) -> int:
         """Total df of ``word`` across sections (0 if absent)."""
@@ -412,6 +437,23 @@ class SContentSummary:
 
     def total_postings(self, word: str, field: str | None = None) -> int:
         return sum(max(entry.postings, 0) for entry in self.lookup(word, field))
+
+    def total_word_mass(self) -> int:
+        """Total postings across every section (CORI's ``cw`` input).
+
+        Cached alongside the word index so repeated selection rounds do
+        not re-sum the whole summary.
+        """
+        cached = self.__dict__.get("_word_mass_cache")
+        if cached is not None and cached[0] is self.sections:
+            return cached[1]
+        mass = sum(
+            max(entry.postings, 0)
+            for section in self.sections
+            for entry in section.entries
+        )
+        object.__setattr__(self, "_word_mass_cache", (self.sections, mass))
+        return mass
 
     def to_soif(self) -> SoifObject:
         obj = SoifObject("SContentSummary")

@@ -85,6 +85,37 @@ class TestDocumentStore:
     def test_average_of_empty_store(self):
         assert DocumentStore().average_token_count() == 0.0
 
+    def test_running_average_stays_exact(self):
+        """The O(1) running-sum average must equal a fresh recompute
+        across adds and (repeated) set_token_count updates."""
+        import random
+
+        rng = random.Random(42)
+        store = DocumentStore()
+        for i in range(50):
+            doc_id = store.add(make_doc(f"http://x/{i}"), token_count=rng.randint(0, 40))
+            if rng.random() < 0.6:
+                store.set_token_count(doc_id, rng.randint(0, 40))
+            if rng.random() < 0.2 and len(store) > 1:
+                store.set_token_count(rng.randrange(len(store)), rng.randint(0, 40))
+            expected = sum(store.token_count(d) for d in store.ids()) / len(store)
+            assert store.average_token_count() == expected
+
+    def test_running_average_survives_engine_rebuild(self):
+        from repro.engine import fields as F
+        from repro.engine.search import SearchEngine
+
+        engine = SearchEngine()
+        for i in range(6):
+            engine.add(
+                Document(f"http://x/{i}", {F.BODY_OF_TEXT: "alpha beta " * (i + 1)})
+            )
+        engine.remove("http://x/3")
+        store = engine.store
+        assert store.average_token_count() == (
+            sum(store.token_count(d) for d in store.ids()) / len(store)
+        )
+
     def test_iteration_in_id_order(self):
         store = DocumentStore()
         for i in range(4):

@@ -57,6 +57,32 @@ class TestVocabularyLookups:
         index = build_index()
         assert index.terms_with_suffix("body", "ta") == ["beta"]
 
+    def test_suffix_lookup_refreshes_after_adds(self):
+        index = build_index()
+        assert index.terms_with_suffix("body", "ta") == ["beta"]
+        index.add_field_tokens(2, "body", [("theta", "theta", 0)])
+        assert index.terms_with_suffix("body", "ta") == ["beta", "theta"]
+
+    def test_suffix_lookup_matches_linear_scan(self):
+        import random
+
+        rng = random.Random(7)
+        index = InvertedIndex()
+        words = [
+            "".join(rng.choices("abc", k=rng.randint(1, 6))) for _ in range(120)
+        ]
+        for doc_id, word in enumerate(words):
+            index.add_field_tokens(doc_id, "body", [(word, word, 0)])
+        for suffix in ("", "a", "b", "ab", "ba", "abc", "ccc", "zzz"):
+            expected = [t for t in index.vocabulary("body") if t.endswith(suffix)]
+            assert index.terms_with_suffix("body", suffix) == expected
+
+    def test_generation_advances_on_mutation(self):
+        index = InvertedIndex()
+        before = index.generation
+        index.add_field_tokens(0, "body", [("alpha", "alpha", 0)])
+        assert index.generation > before
+
     def test_soundex_lookup(self):
         index = InvertedIndex()
         index.add_field_tokens(

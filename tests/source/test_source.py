@@ -70,6 +70,39 @@ class TestAnswerSpecification:
         )
         assert len(source.search(query).documents) == 1
 
+    def test_truncated_results_are_prefix_of_untruncated(self, source1, ranking_query):
+        """Engine-side top-k truncation (the default, score-descending
+        sort) must return exactly the head of the full result."""
+        full = source1.search(ranking_query).documents
+        for limit in (1, 2, len(full)):
+            truncated = source1.search(
+                replace(ranking_query, max_number_documents=limit)
+            ).documents
+            assert truncated == full[:limit]
+
+    def test_non_score_sort_not_truncated_early(self, source1, ranking_query):
+        """A custom sort order must see the whole result before the
+        answer limit applies — top-k by score would pick wrong docs."""
+        ascending = replace(
+            ranking_query,
+            sort_keys=(SortKey("score", descending=False),),
+            max_number_documents=1,
+        )
+        full = source1.search(replace(ranking_query, max_number_documents=50))
+        worst = min(d.raw_score for d in full.documents)
+        results = source1.search(ascending)
+        assert len(results.documents) == 1
+        assert results.documents[0].raw_score == worst
+
+    def test_min_score_composes_with_truncation(self, source1, ranking_query):
+        full = source1.search(ranking_query).documents
+        cutoff = full[1].raw_score
+        query = replace(
+            ranking_query, min_document_score=cutoff, max_number_documents=1
+        )
+        results = source1.search(query).documents
+        assert [d.linkage for d in results] == [full[0].linkage]
+
 
 class TestProtocolBehaviour:
     def test_invalid_query_rejected(self, source1):

@@ -1,0 +1,117 @@
+"""Metrics instrumentation overhead on the hot engine path.
+
+The telemetry pitch is "always on": every ``SearchEngine.search`` call
+times itself into the ``engine_query_eval_ms`` histogram and ticks the
+postings/truncation counters.  This benchmark prices that claim — the
+same ranking workload runs with a live :class:`MetricsRegistry` and
+with the disabled registry (which hands out no-op instruments), taking
+the best of several alternating rounds per mode so scheduler noise
+cancels instead of accumulating on one side.
+
+Acceptance: enabled-registry throughput within 5% of disabled.
+Numbers land in ``BENCH_metrics_overhead.json``.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.corpus import CollectionSpec, generate_collection
+from repro.engine import fields as F
+from repro.engine.query import ListQuery, TermQuery
+from repro.engine.search import SearchEngine
+from repro.observability import MetricsRegistry, get_registry, set_registry
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_DOCS = 800
+N_QUERIES = 24
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+
+
+def _build_engine() -> SearchEngine:
+    spec = CollectionSpec(
+        name="bench-metrics-overhead",
+        topics={"databases": 0.6, "retrieval": 0.4},
+        size=N_DOCS,
+        seed=17,
+    )
+    engine = SearchEngine()
+    for document in generate_collection(spec):
+        engine.add(document)
+    return engine
+
+
+def _build_queries(engine: SearchEngine) -> list[ListQuery]:
+    rng = random.Random(23)
+    vocabulary = engine.index.vocabulary(F.BODY_OF_TEXT)
+    queries = []
+    for _ in range(N_QUERIES):
+        terms = tuple(
+            TermQuery(F.BODY_OF_TEXT, text, weight=rng.choice((1.0, 0.8, 0.5)))
+            for text in rng.sample(vocabulary, rng.randint(2, 4))
+        )
+        queries.append(ListQuery(terms))
+    return queries
+
+
+def _qps(engine: SearchEngine, queries: list[ListQuery]) -> float:
+    started = time.perf_counter()
+    for query in queries:
+        engine.search(ranking_query=query, top_k=20)
+    return len(queries) / (time.perf_counter() - started)
+
+
+def test_bench_metrics_overhead(write_table):
+    engine = _build_engine()
+    queries = _build_queries(engine)
+
+    previous = get_registry()
+    enabled_runs: list[float] = []
+    disabled_runs: list[float] = []
+    try:
+        _qps(engine, queries)  # warm caches before either mode is timed
+        for _ in range(ROUNDS):
+            set_registry(MetricsRegistry.disabled())
+            disabled_runs.append(_qps(engine, queries))
+            set_registry(MetricsRegistry())
+            enabled_runs.append(_qps(engine, queries))
+    finally:
+        set_registry(previous)
+
+    enabled_qps = max(enabled_runs)
+    disabled_qps = max(disabled_runs)
+    overhead = 1.0 - enabled_qps / disabled_qps
+
+    payload = {
+        "benchmark": "metrics_overhead",
+        "n_docs": N_DOCS,
+        "n_queries": N_QUERIES,
+        "rounds": ROUNDS,
+        "disabled_qps": round(disabled_qps, 1),
+        "enabled_qps": round(enabled_qps, 1),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": MAX_OVERHEAD,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_metrics_overhead.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    write_table(
+        "METRICS_overhead",
+        [
+            f"{N_QUERIES} ranking queries, best of {ROUNDS} alternating rounds",
+            "",
+            f"registry disabled  qps={disabled_qps:.0f}",
+            f"registry enabled   qps={enabled_qps:.0f}",
+            f"overhead           {overhead * 100.0:+.2f}% "
+            f"(budget {MAX_OVERHEAD * 100.0:.0f}%)",
+        ],
+    )
+
+    assert overhead < MAX_OVERHEAD, (
+        f"metrics instrumentation costs {overhead * 100.0:.2f}% "
+        f"of engine throughput (budget {MAX_OVERHEAD * 100.0:.0f}%)"
+    )

@@ -1,0 +1,116 @@
+"""Telemetry dashboard: a live federation seen through /metrics.
+
+A Zipf-skewed query replay runs against a three-vendor federation where
+one source turns flaky mid-flight.  The process-wide metrics registry
+records every layer — wire requests, cache tiers, engine evaluation,
+pipeline phases — and the health scorer folds the flaky source's track
+record into a score that hedges it, deprioritizes it, and extends its
+negative-cache hold.  At the end the script scrapes its own published
+``/metrics`` endpoint and prints the per-source health table: the
+dashboard a metasearch operator would actually watch.
+
+Run:  python examples/telemetry_dashboard.py
+"""
+
+from repro import (
+    CollectionSpec,
+    FaultProfile,
+    Metasearcher,
+    Resource,
+    SimulatedInternet,
+    generate_collection,
+    publish_resource,
+)
+from repro.cache import CachePolicy
+from repro.corpus import build_workload, zipf_replay
+from repro.observability import (
+    MetricsRegistry,
+    SourceHealth,
+    get_registry,
+    set_registry,
+)
+from repro.transport import StartsClient, publish_metrics
+from repro.vendors import build_vendor_source
+
+FLAKY = "Dash-Db"
+
+INTERESTING = (
+    "source_requests_total",
+    "source_hedges_total",
+    "source_health_score",
+    "negative_cache_ttl_ms",
+    "cache_reads_total",
+    "metasearch_searches_total",
+)
+
+
+def build_federation():
+    internet = SimulatedInternet(seed=9)
+    resource = Resource("Dashboard")
+    collections = {}
+    plans = [
+        (FLAKY, "AcmeSearch", {"databases": 1.0}),
+        ("Dash-Net", "OkapiWorks", {"networking": 1.0}),
+        ("Dash-Med", "InferNet", {"medicine": 1.0}),
+    ]
+    for index, (source_id, vendor, topics) in enumerate(plans):
+        documents = generate_collection(
+            CollectionSpec(name=source_id, topics=topics, size=40, seed=300 + index)
+        )
+        collections[source_id] = documents
+        resource.add_source(build_vendor_source(vendor, source_id, documents))
+    publish_resource(internet, resource, "http://dash.example.org")
+    return internet, "http://dash.example.org/resource", collections
+
+
+def main() -> None:
+    previous = set_registry(MetricsRegistry())
+    try:
+        internet, resource_url, collections = build_federation()
+        metrics_url = publish_metrics(internet, "http://metrics.example.org")
+
+        health = SourceHealth()
+        searcher = Metasearcher(
+            internet,
+            [resource_url],
+            health=health,
+            cache_policy=CachePolicy(negative_failure_threshold=3),
+        )
+        searcher.refresh()
+
+        # The trouble starts after discovery: one source begins dropping
+        # every request.
+        flaky_host = searcher.discovery.source(FLAKY).query_url.split("//")[-1]
+        flaky_host = flaky_host.split("/")[0]
+        internet.set_fault_profile(flaky_host, FaultProfile(failure_rate=1.0))
+
+        workload = build_workload(collections, n_queries=12, seed=4)
+        replay = zipf_replay(workload.queries, n_requests=40, skew=1.1, seed=5)
+        print(f"replaying {len(replay)} requests over "
+              f"{len(workload.queries)} distinct queries "
+              f"(zipf skew=1.1, {FLAKY} dropping every request)\n")
+        for query in replay:
+            searcher.search(query.to_squery(max_documents=5), k_sources=3)
+
+        print("per-source health (SourceHealth.snapshot):")
+        print(f"  {'source':<10} {'score':>6} {'samples':>8} "
+              f"{'err%':>6} {'tmo%':>6} {'ewma ms':>8}")
+        for source_id, snap in health.snapshot().items():
+            flag = "  <- unhealthy" if health.is_unhealthy(source_id) else ""
+            print(f"  {source_id:<10} {snap.score:6.2f} {snap.samples:8d} "
+                  f"{snap.error_rate * 100:6.1f} {snap.timeout_rate * 100:6.1f} "
+                  f"{snap.latency_ewma_ms:8.1f}{flag}")
+
+        text = StartsClient(internet).fetch_metrics(metrics_url)
+        print(f"\nscraped {metrics_url}: "
+              f"{len(text.splitlines())} lines; the interesting ones:")
+        for line in text.splitlines():
+            if line.startswith(INTERESTING) and not line.startswith("#"):
+                print(f"  {line}")
+    finally:
+        set_registry(previous)
+    assert get_registry() is previous
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,9 @@ package layers:
   executors, per-source policies (deadlines, retries, hedging) and
   partial-result outcomes;
 * :mod:`repro.observability` — spans and per-source counters threaded
-  through every search;
+  through every search, a process-wide metrics registry with
+  Prometheus/Chrome-trace/NDJSON exporters, and source health scoring
+  that feeds back into federation policy;
 * :mod:`repro.cache` — the multi-tier caching subsystem: query-result
   cache (canonical keys, stale-while-revalidate), summary TTLs from
   MBasic-1 dates, negative caching of unreachable sources;
@@ -53,7 +55,15 @@ from repro.federation import (
     SourceOutcome,
 )
 from repro.metasearch import Metasearcher, MetasearchResult
-from repro.observability import Tracer
+from repro.observability import (
+    HealthPolicy,
+    MetricsRegistry,
+    SourceHealth,
+    Tracer,
+    get_registry,
+    render_prometheus,
+    set_registry,
+)
 from repro.resource import Resource
 from repro.source import SourceCapabilities, StartsSource
 from repro.starts import (
@@ -90,7 +100,13 @@ __all__ = [
     "SourceOutcome",
     "Metasearcher",
     "MetasearchResult",
+    "HealthPolicy",
+    "MetricsRegistry",
+    "SourceHealth",
     "Tracer",
+    "get_registry",
+    "render_prometheus",
+    "set_registry",
     "Resource",
     "SourceCapabilities",
     "StartsSource",

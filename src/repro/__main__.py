@@ -9,6 +9,10 @@ Commands:
   table (smaller federation than benchmarks/, for quick looks).
 * ``parse EXPR`` — parse an expression and print its canonical form and
   PQF encoding.
+* ``metrics`` — run a few searches and print the process metrics in
+  Prometheus text format.
+* ``trace [EXPR]`` — run one traced search; print the timeline, or
+  export it with ``--chrome trace.json`` / ``--ndjson events.ndjson``.
 """
 
 from __future__ import annotations
@@ -147,6 +151,66 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return worst
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        MetricsRegistry,
+        get_registry,
+        render_prometheus,
+        set_registry,
+    )
+
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        searcher = _build_searcher(args.seed)
+        for text in ("databases", "medicine", "distributed systems"):
+            expression = parse_expression(f'(body-of-text "{text}")')
+            searcher.search(
+                SQuery(ranking_expression=expression, max_number_documents=5),
+                k_sources=2,
+            )
+        print(render_prometheus(get_registry()), end="")
+    finally:
+        set_registry(previous)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import Tracer, render_chrome_trace, render_ndjson
+
+    expression = parse_expression(
+        args.expression
+        or 'list((body-of-text "distributed") (body-of-text "databases"))'
+    )
+    if expression is None:
+        print("empty expression", file=sys.stderr)
+        return 2
+    internet, resource_url = quick_federation(seed=args.seed)
+    searcher = Metasearcher(internet, [resource_url])
+    # One tracer across discovery and the search, so the exported
+    # timeline shows the whole round: discover → select → translate →
+    # query (with per-source children) → merge.
+    tracer = Tracer()
+    searcher.refresh(tracer)
+    result = searcher.search(
+        SQuery(ranking_expression=expression, max_number_documents=5),
+        k_sources=args.sources,
+        tracer=tracer,
+    )
+    trace = result.trace
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            handle.write(render_chrome_trace(trace, indent=2))
+        print(f"chrome trace written to {args.chrome}")
+    if args.ndjson:
+        with open(args.ndjson, "w", encoding="utf-8") as handle:
+            handle.write(render_ndjson(trace))
+        print(f"ndjson events written to {args.ndjson}")
+    if not args.chrome and not args.ndjson:
+        print(result.explain_trace())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro import CollectionSpec, generate_collection
     from repro.resource import Resource
@@ -220,6 +284,18 @@ def main(argv: list[str] | None = None) -> int:
         "conformance", help="conformance-check every built-in vendor"
     )
     conformance.set_defaults(handler=cmd_conformance)
+
+    metrics = commands.add_parser(
+        "metrics", help="run a few searches and print Prometheus metrics"
+    )
+    metrics.set_defaults(handler=cmd_metrics)
+
+    trace = commands.add_parser("trace", help="run one traced search")
+    trace.add_argument("expression", nargs="?", default=None)
+    trace.add_argument("--sources", type=int, default=2)
+    trace.add_argument("--chrome", metavar="PATH", help="write Chrome trace JSON")
+    trace.add_argument("--ndjson", metavar="PATH", help="write NDJSON event log")
+    trace.set_defaults(handler=cmd_trace)
 
     serve = commands.add_parser(
         "serve", help="serve a demo federation over real HTTP"

@@ -30,6 +30,8 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 
+from repro.observability.metrics import get_registry
+
 __all__ = ["CacheStats", "CacheEntry", "LruTtlCache"]
 
 #: Read states returned by :meth:`LruTtlCache.get`.
@@ -126,6 +128,9 @@ class LruTtlCache:
             means entries never expire.
         clock: a zero-argument callable returning milliseconds;
             defaults to a monotonic wall clock.
+        tier: when set, this cache also reports reads/stores/evictions
+            to the process-wide metrics registry under that tier label
+            (``cache_reads_total{tier,result}`` and friends).
     """
 
     def __init__(
@@ -134,6 +139,7 @@ class LruTtlCache:
         max_size: int | None = None,
         default_ttl_ms: float | None = None,
         clock=None,
+        tier: str | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -142,6 +148,7 @@ class LruTtlCache:
         self.capacity = capacity
         self.max_size = max_size
         self.default_ttl_ms = default_ttl_ms
+        self.tier = tier
         self._clock = clock or _monotonic_ms
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._size = 0
@@ -167,20 +174,29 @@ class LruTtlCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                return None, MISS
-            state = entry.state_at(now, stale_grace_ms)
-            if state == MISS:
-                self._drop(entry)
-                self.stats.expirations += 1
-                self.stats.misses += 1
-                return None, MISS
-            if state == STALE:
-                self.stats.stale_hits += 1
-                return entry.value, STALE
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.cost_saved += entry.cost
-            return entry.value, FRESH
+                value, state = None, MISS
+            else:
+                state = entry.state_at(now, stale_grace_ms)
+                if state == MISS:
+                    self._drop(entry)
+                    self.stats.expirations += 1
+                    self.stats.misses += 1
+                    value = None
+                elif state == STALE:
+                    self.stats.stale_hits += 1
+                    value = entry.value
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    self.stats.cost_saved += entry.cost
+                    value = entry.value
+        if self.tier is not None:
+            get_registry().counter(
+                "cache_reads_total",
+                "Cache lookups per tier and read result (fresh/stale/miss).",
+                labels=("tier", "result"),
+            ).labels(tier=self.tier, result=state).inc()
+        return value, state
 
     def peek_entry(self, key: str) -> CacheEntry | None:
         """The entry for ``key`` without touching LRU order or stats."""
@@ -222,7 +238,27 @@ class LruTtlCache:
             self._entries[key] = entry
             self._size += entry.size
             self.stats.stores += 1
-            return self._evict_over_bounds(keep=key)
+            evicted = self._evict_over_bounds(keep=key)
+            live = len(self._entries)
+        if self.tier is not None:
+            registry = get_registry()
+            registry.counter(
+                "cache_stores_total",
+                "Entries written per cache tier.",
+                labels=("tier",),
+            ).labels(tier=self.tier).inc()
+            if evicted:
+                registry.counter(
+                    "cache_evictions_total",
+                    "LRU evictions forced by capacity or size bounds, per tier.",
+                    labels=("tier",),
+                ).labels(tier=self.tier).inc(evicted)
+            registry.gauge(
+                "cache_entries",
+                "Live entries per cache tier.",
+                labels=("tier",),
+            ).labels(tier=self.tier).set(live)
+        return evicted
 
     def _evict_over_bounds(self, keep: str) -> int:
         evicted = 0

@@ -21,6 +21,8 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.observability.metrics import get_registry
+
 __all__ = ["NegativeEntry", "NegativeSourceCache"]
 
 
@@ -61,9 +63,18 @@ class NegativeSourceCache:
         self.skips = 0  #: probes avoided because the source was down
 
     def record_failure(
-        self, source_id: str, status: str = "error", error: str | None = None
+        self,
+        source_id: str,
+        status: str = "error",
+        error: str | None = None,
+        ttl_ms: float | None = None,
     ) -> NegativeEntry:
-        """One more failed round for ``source_id``; returns its entry."""
+        """One more failed round for ``source_id``; returns its entry.
+
+        ``ttl_ms`` overrides the cache-wide TTL for this hold — health
+        scoring passes a longer one for sources with bad track records.
+        """
+        hold_ms = self.ttl_ms if ttl_ms is None else ttl_ms
         with self._lock:
             entry = self._entries.get(source_id)
             if entry is None:
@@ -72,9 +83,16 @@ class NegativeSourceCache:
             entry.failures += 1
             entry.last_status = status
             entry.last_error = error
-            if entry.failures >= self.failure_threshold:
-                entry.down_until_ms = self._clock() + self.ttl_ms
-            return entry
+            held = entry.failures >= self.failure_threshold
+            if held:
+                entry.down_until_ms = self._clock() + hold_ms
+        if held:
+            get_registry().gauge(
+                "negative_cache_ttl_ms",
+                "Current negative-cache hold applied to each down source.",
+                labels=("source_id",),
+            ).labels(source_id=source_id).set(hold_ms)
+        return entry
 
     def record_success(self, source_id: str) -> None:
         """A good answer clears the source's record entirely."""
@@ -102,10 +120,16 @@ class NegativeSourceCache:
                 return None
             self.skips += 1
             detail = f" ({entry.last_error})" if entry.last_error else ""
-            return (
+            reason = (
                 f"negative-cached: {entry.last_status} on "
                 f"{entry.failures} recent round(s){detail}"
             )
+        get_registry().counter(
+            "cache_negative_skips_total",
+            "Wire probes avoided because the source was negative-cached.",
+            labels=("source_id",),
+        ).labels(source_id=source_id).inc()
+        return reason
 
     def down_sources(self) -> list[str]:
         """Sources currently held down (expired entries excluded)."""

@@ -55,6 +55,7 @@ class QueryResultCache:
             max_size=max_size,
             default_ttl_ms=ttl_ms,
             clock=clock,
+            tier="result",
         )
         self._revalidating: set[str] = set()
         self._lock = threading.Lock()

@@ -152,6 +152,9 @@ class QueryTermContext:
         self._n_docs = engine.document_count
         self._avg_doc_len = engine.store.average_token_count()
         self._by_term: dict[tuple, TermPostings] = {}
+        #: Total postings visited while materializing this query's
+        #: statistics — the term-at-a-time work metric.
+        self.postings_walked = 0
         for term in query.terms():
             key = _term_key(term)
             if key not in self._by_term:
@@ -169,7 +172,9 @@ class QueryTermContext:
         df_docs: set[int] = set()
         for field_name, index_terms in engine.matcher.expand(term).items():
             for index_term in index_terms:
-                for posting in engine.index.postings(field_name, index_term):
+                postings = engine.index.postings(field_name, index_term)
+                self.postings_walked += len(postings)
+                for posting in postings:
                     doc_id = posting.doc_id
                     df_docs.add(doc_id)
                     if candidates is None or doc_id in candidates:

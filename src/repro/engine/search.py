@@ -12,6 +12,7 @@ document size and token count.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 
 from repro.engine import fields as F
@@ -38,6 +39,7 @@ from repro.engine.query import (
     TermQuery,
 )
 from repro.engine.ranking import CosineTfIdf, RankingAlgorithm
+from repro.observability.metrics import get_registry
 from repro.text.analysis import Analyzer
 from repro.text.thesaurus import Thesaurus
 
@@ -432,24 +434,55 @@ class SearchEngine:
                 specification's ``MinDocumentScore``); applied before
                 ``top_k``, which commutes with it.
         """
+        started = time.perf_counter()
+        hits, walked, truncated = self._search_timed(
+            filter_query, ranking_query, top_k=top_k, min_score=min_score
+        )
+        registry = get_registry()
+        registry.histogram(
+            "engine_query_eval_ms",
+            "Wall-clock time of one engine search (filter + rank + top-k).",
+        ).observe((time.perf_counter() - started) * 1000.0)
+        if walked:
+            registry.counter(
+                "engine_postings_walked_total",
+                "Postings visited materializing ranking statistics.",
+            ).inc(walked)
+        if truncated:
+            registry.counter(
+                "engine_topk_truncations_total",
+                "Searches whose hit list was cut by the top-k bound.",
+            ).inc()
+        return hits
+
+    def _search_timed(
+        self,
+        filter_query: EngineQuery | None,
+        ranking_query: EngineQuery | None,
+        *,
+        top_k: int | None,
+        min_score: float,
+    ) -> tuple[list[EngineHit], int, bool]:
+        """``search`` proper; returns (hits, postings walked, truncated)."""
         if filter_query is None and ranking_query is None:
-            return []
+            return [], 0, False
 
         candidates: set[int] | None = None
         if filter_query is not None:
             candidates = self.evaluate_filter(filter_query)
             if not candidates:
-                return []
+                return [], 0, False
 
         if ranking_query is None or self.ranking is None:
             if candidates is None:
                 # A Boolean-only engine given only a ranking expression
                 # has nothing it can evaluate.
-                return []
+                return [], 0, False
             hits = [EngineHit(doc_id, 0.0) for doc_id in sorted(candidates)]
             if ranking_query is not None and min_score > 0.0:
                 hits = [hit for hit in hits if hit.score >= min_score]
-            return hits if top_k is None else hits[:top_k]
+            truncated = top_k is not None and len(hits) > top_k
+            return (hits if top_k is None else hits[:top_k]), 0, truncated
 
         context: QueryTermContext | None = None
         if self.evaluation == DOCUMENT_AT_A_TIME:
@@ -467,15 +500,19 @@ class SearchEngine:
                 if score >= min_score
             }
         selected = top_k_hits(scores, top_k)
+        walked = context.postings_walked if context is not None else 0
+        truncated = top_k is not None and len(scores) > top_k
         if context is not None:
-            return [
+            hits = [
                 EngineHit(doc_id, score, context.hit_term_stats(doc_id))
                 for doc_id, score in selected
             ]
-        return [
-            EngineHit(doc_id, score, self._hit_term_stats(ranking_query, doc_id))
-            for doc_id, score in selected
-        ]
+        else:
+            hits = [
+                EngineHit(doc_id, score, self._hit_term_stats(ranking_query, doc_id))
+                for doc_id, score in selected
+            ]
+        return hits, walked, truncated
 
     def _hit_term_stats(self, ranking_query: EngineQuery, doc_id: int) -> list[TermHitStats]:
         stats: list[TermHitStats] = []

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field as dataclass_field
 from repro.federation.executor import Executor, SerialExecutor
 from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
 from repro.federation.policy import QueryPolicy
+from repro.observability.metrics import get_registry
 from repro.observability.tracing import Span, Tracer
 from repro.starts.errors import ProtocolError
 from repro.starts.query import SQuery
@@ -99,6 +100,11 @@ class QueryDispatcher:
             f"query:{request.source_id}", parent=parent, url=request.query_url
         ) as span:
             outcome = self._run_with_policy(request, policy)
+            get_registry().counter(
+                "source_outcomes_total",
+                "Per-source query outcomes after policy (ok/error/timeout/...).",
+                labels=("source_id", "status"),
+            ).labels(source_id=request.source_id, status=outcome.status.value).inc()
             span.annotate(
                 status=outcome.status.value,
                 requests=outcome.requests,
@@ -127,6 +133,11 @@ class QueryDispatcher:
                 elapsed_ms += backoff
                 self.tracer.count(source_id, backoff_ms=backoff)
                 self.tracer.event("backoff", wait_ms=backoff, before_attempt=number)
+                get_registry().counter(
+                    "source_backoff_ms_total",
+                    "Simulated milliseconds spent backing off before retries.",
+                    labels=("source_id",),
+                ).labels(source_id=source_id).inc(backoff)
             attempt = self._attempt(request, policy, number, backoff)
             attempts.extend(attempt.records)
             elapsed_ms += attempt.effective_ms
@@ -245,3 +256,37 @@ class QueryDispatcher:
             latency_ms=sum(rec.latency_ms for rec in attempt.records),
             cost=attempt.cost,
         )
+        registry = get_registry()
+        requests = registry.counter(
+            "source_requests_total",
+            "Wire requests per source and per-attempt outcome.",
+            labels=("source_id", "outcome"),
+        )
+        latency = registry.histogram(
+            "source_request_latency_ms",
+            "Simulated wire latency of individual source requests.",
+            labels=("source_id",),
+        ).labels(source_id=source_id)
+        hedges = 0
+        for record in attempt.records:
+            requests.labels(source_id=source_id, outcome=record.status.value).inc()
+            latency.observe(record.latency_ms)
+            hedges += 1 if record.hedged else 0
+        if number > 1:
+            registry.counter(
+                "source_retries_total",
+                "Retry attempts per source (first attempts excluded).",
+                labels=("source_id",),
+            ).labels(source_id=source_id).inc()
+        if hedges:
+            registry.counter(
+                "source_hedges_total",
+                "Hedged duplicate requests fired per source.",
+                labels=("source_id",),
+            ).labels(source_id=source_id).inc(hedges)
+        if attempt.cost:
+            registry.counter(
+                "source_cost_total",
+                "Accumulated monetary cost charged per source.",
+                labels=("source_id",),
+            ).labels(source_id=source_id).inc(attempt.cost)

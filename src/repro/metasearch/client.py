@@ -37,6 +37,8 @@ from repro.metasearch.merging import (
 )
 from repro.metasearch.selection import SourceSelector, VGlossMax
 from repro.metasearch.translation import ClientTranslator, TranslationReport
+from repro.observability.health import HealthPolicy, SourceHealth
+from repro.observability.metrics import get_registry
 from repro.observability.render import render_trace
 from repro.observability.tracing import Trace, Tracer
 from repro.starts.errors import ProtocolError
@@ -46,6 +48,22 @@ from repro.transport.client import StartsClient
 from repro.transport.network import SimulatedInternet
 
 __all__ = ["MetasearchResult", "Metasearcher"]
+
+
+def _observe_phase(phase: str, duration_ms: float) -> None:
+    get_registry().histogram(
+        "metasearch_phase_ms",
+        "Wall-clock duration of each metasearch pipeline phase.",
+        labels=("phase",),
+    ).labels(phase=phase).observe(duration_ms)
+
+
+def _count_search(result: str) -> None:
+    get_registry().counter(
+        "metasearch_searches_total",
+        "Completed searches by how the answer was produced.",
+        labels=("result",),
+    ).labels(result=result).inc()
 
 
 @dataclass
@@ -158,6 +176,13 @@ class Metasearcher:
             :class:`~repro.cache.CachePolicy` with everything on; pass
             ``CachePolicy.disabled()`` for the paper-faithful pipeline
             with no caching anywhere.
+        health: opt-in source health scoring — pass a
+            :class:`~repro.observability.SourceHealth` (or just a
+            :class:`~repro.observability.HealthPolicy` to have one
+            built).  When present, every query-round outcome feeds the
+            scorer, unhealthy sources are deprioritized in selection
+            and hedged immediately, and their negative-cache holds are
+            scaled up.  ``None`` (the default) changes nothing.
     """
 
     def __init__(
@@ -170,6 +195,7 @@ class Metasearcher:
         query_policy: QueryPolicy | None = None,
         query_policies: dict[str, QueryPolicy] | None = None,
         cache_policy: CachePolicy | None = None,
+        health: SourceHealth | HealthPolicy | None = None,
     ) -> None:
         self.client = StartsClient(internet)
         self.cache_policy = cache_policy or CachePolicy()
@@ -185,6 +211,9 @@ class Metasearcher:
         self.executor: Executor = executor or SerialExecutor()
         self.query_policy = query_policy or QueryPolicy()
         self.query_policies = dict(query_policies or {})
+        self.health: SourceHealth | None = (
+            SourceHealth(health) if isinstance(health, HealthPolicy) else health
+        )
         self.resource_urls = list(resource_urls or [])
         self.result_cache: QueryResultCache | None = None
         self.negative_cache: NegativeSourceCache | None = None
@@ -214,9 +243,10 @@ class Metasearcher:
         """Harvest every configured resource; returns all known sources."""
         tracer = tracer or Tracer()
         self.client.tracer = tracer
-        with tracer.span("discover", resources=len(self.resource_urls)):
+        with tracer.span("discover", resources=len(self.resource_urls)) as span:
             for url in self.resource_urls:
                 self.discovery.refresh_resource(url)
+        _observe_phase("discover", span.duration_ms)
         return self.discovery.known_sources()
 
     def add_resource(self, resource_url: str) -> None:
@@ -276,6 +306,7 @@ class Metasearcher:
                 if state == FRESH:
                     tracer.count_cache(hits=1, cost_saved=cached.cost)
                     tracer.event("cache", status="hit", saved_cost=cached.cost)
+                    _count_search("hit")
                     return self._serve_cached(cached.result, tracer, "hit")
                 if state == STALE:
                     tracer.count_cache(stale_hits=1)
@@ -290,6 +321,7 @@ class Metasearcher:
                         group_by_resource,
                         terms,
                     )
+                    _count_search("stale")
                     return self._serve_cached(cached.result, tracer, "stale")
                 tracer.count_cache(misses=1)
             result = self._query_round(
@@ -305,6 +337,7 @@ class Metasearcher:
             )
         if key is not None:
             self._store_result(key, result, selected_ids, tracer)
+        _count_search("wire")
         result.trace = tracer.trace()
         return result
 
@@ -333,7 +366,7 @@ class Metasearcher:
             client,
             executor=executor,
             policy=self.query_policy,
-            policies=self.query_policies,
+            policies=self._adapted_policies(requests),
             tracer=tracer,
         )
         with tracer.span(
@@ -341,6 +374,7 @@ class Metasearcher:
         ) as query_span:
             for outcome in dispatcher.dispatch(requests, parent=query_span):
                 outcomes[outcome.source_id] = outcome
+        _observe_phase("query", query_span.duration_ms)
         self._record_outcomes(outcomes)
         per_source_results = {
             source_id: outcome.results
@@ -351,13 +385,14 @@ class Metasearcher:
             "merge",
             strategy=type(merger).__name__,
             sources=len(per_source_results),
-        ):
+        ) as merge_span:
             documents = merger.merge(
                 per_source_results,
                 self._merge_context(per_source_results, summaries, terms),
             )
             if query.max_number_documents:
                 documents = documents[: query.max_number_documents]
+        _observe_phase("merge", merge_span.duration_ms)
 
         # Each outcome is one routed group; its elapsed_ms already sums
         # the requests within the group (attempts, backoff, hedges are
@@ -468,16 +503,42 @@ class Metasearcher:
             tracer.event("cache", source=request.source_id, status="negative-skip")
         return kept
 
+    def _adapted_policies(
+        self, requests: list[SourceRequest]
+    ) -> dict[str, QueryPolicy]:
+        """Per-source policies for this round, health adaptation applied.
+
+        Without a health scorer this is just the configured overrides.
+        With one, each entry source's effective policy is run through
+        :meth:`~repro.observability.SourceHealth.adapt` — unhealthy
+        sources get their hedge fired immediately.
+        """
+        if self.health is None:
+            return self.query_policies
+        policies = dict(self.query_policies)
+        for request in requests:
+            base = policies.get(request.source_id, self.query_policy)
+            policies[request.source_id] = self.health.adapt(request.source_id, base)
+        return policies
+
     def _record_outcomes(self, outcomes: dict[str, SourceOutcome]) -> None:
-        """Feed query-round outcomes back into the negative cache."""
+        """Feed query-round outcomes back into health and negative cache."""
+        if self.health is not None:
+            for outcome in outcomes.values():
+                self.health.record_outcome(outcome)
         if self.negative_cache is None:
             return
         for source_id, outcome in outcomes.items():
             if outcome.ok:
                 self.negative_cache.record_success(source_id)
             elif outcome.status in (OutcomeStatus.ERROR, OutcomeStatus.TIMEOUT):
+                ttl_ms = None
+                if self.health is not None:
+                    ttl_ms = self.health.negative_ttl_ms(
+                        source_id, self.negative_cache.ttl_ms
+                    )
                 self.negative_cache.record_failure(
-                    source_id, outcome.status.value, outcome.error
+                    source_id, outcome.status.value, outcome.error, ttl_ms=ttl_ms
                 )
 
     def _schedule_revalidation(
@@ -543,9 +604,15 @@ class Metasearcher:
                 selected_ids = selector.select(terms, summaries, k_sources)
             else:
                 selected_ids = [source.source_id for source in known[:k_sources]]
+            if self.health is not None:
+                reordered = self.health.order_by_health(selected_ids)
+                if reordered != selected_ids:
+                    span.annotate(deprioritized=True)
+                selected_ids = reordered
             span.annotate(
                 summaries=len(summaries), selected=" ".join(selected_ids)
             )
+        _observe_phase("select", span.duration_ms)
         return selected_ids, summaries
 
     def _translate(
@@ -580,14 +647,15 @@ class Metasearcher:
                         tuple(sibling_ids),
                     )
                     span.annotate(skipped=True)
-                    continue
-                if sibling_ids:
-                    translated = translated.with_sources(*sibling_ids)
-                requests.append(
-                    SourceRequest(
-                        entry_id, source.query_url, translated, tuple(sibling_ids)
+                else:
+                    if sibling_ids:
+                        translated = translated.with_sources(*sibling_ids)
+                    requests.append(
+                        SourceRequest(
+                            entry_id, source.query_url, translated, tuple(sibling_ids)
+                        )
                     )
-                )
+            _observe_phase("translate", span.duration_ms)
         return requests, outcomes, reports
 
     def _merge_context(

@@ -1,5 +1,44 @@
-"""Observability: spans, per-source counters, and a text renderer."""
+"""Observability: traces, process-wide metrics, exporters, health.
 
+Three layers, from one operation outward:
+
+* tracing (:class:`Tracer` / :class:`Trace`) — one operation's span
+  tree and per-source counters, rendered by :func:`render_trace`;
+* metrics (:class:`MetricsRegistry`) — longitudinal counters, gauges
+  and histograms accumulated across every operation, exported as
+  Prometheus text by :func:`render_prometheus`;
+* health (:class:`SourceHealth`) — per-source 0–1 scores folded from
+  the observed windows, feeding back into federation policy and
+  negative-cache TTLs.
+
+Traces additionally export as Chrome trace JSON
+(:func:`render_chrome_trace`) and structured NDJSON
+(:func:`render_ndjson`).
+"""
+
+from repro.observability.export import (
+    chrome_trace,
+    render_chrome_trace,
+    render_ndjson,
+    render_prometheus,
+    trace_events,
+)
+from repro.observability.health import (
+    HealthPolicy,
+    SourceHealth,
+    SourceHealthSnapshot,
+)
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    log_scale_buckets,
+    set_registry,
+)
 from repro.observability.render import (
     render_cache_counters,
     render_counters,
@@ -14,6 +53,23 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "chrome_trace",
+    "render_chrome_trace",
+    "render_ndjson",
+    "render_prometheus",
+    "trace_events",
+    "HealthPolicy",
+    "SourceHealth",
+    "SourceHealthSnapshot",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "log_scale_buckets",
+    "set_registry",
     "render_cache_counters",
     "render_counters",
     "render_trace",

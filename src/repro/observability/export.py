@@ -1,0 +1,223 @@
+"""Exporters: Prometheus text exposition, Chrome trace JSON, NDJSON.
+
+Three renderings of the telemetry layer, one per audience:
+
+* :func:`render_prometheus` — the registry's families in the Prometheus
+  text exposition format, ready to serve from a ``/metrics`` endpoint
+  (both transports do; see :mod:`repro.transport`);
+* :func:`chrome_trace` / :func:`render_chrome_trace` — a finished
+  :class:`~repro.observability.Trace` as ``chrome://tracing`` /
+  Perfetto JSON (complete ``"X"`` events, microsecond timestamps), so
+  an end-to-end metasearch round can be inspected visually;
+* :func:`trace_events` / :func:`render_ndjson` — the same trace as a
+  structured NDJSON event log: one JSON object per span, with the
+  operation's trace id and parent/child span ids threaded through, the
+  shape a log pipeline ingests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.tracing import Span, Trace
+
+__all__ = [
+    "render_prometheus",
+    "chrome_trace",
+    "render_chrome_trace",
+    "trace_events",
+    "render_ndjson",
+]
+
+
+# -- Prometheus text exposition -------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _histogram_lines(
+    name: str, names: tuple[str, ...], values: tuple[str, ...], histogram: Histogram
+) -> list[str]:
+    lines: list[str] = []
+    cumulative = 0
+    for bound, bucket_count in zip(histogram.bounds, histogram.bucket_counts):
+        cumulative += bucket_count
+        le_names = names + ("le",)
+        le_values = values + (_format_value(bound),)
+        lines.append(
+            f"{name}_bucket{_label_text(le_names, le_values)} {cumulative}"
+        )
+    lines.append(
+        f'{name}_bucket{_label_text(names + ("le",), values + ("+Inf",))} '
+        f"{histogram.count}"
+    )
+    lines.append(f"{name}_sum{_label_text(names, values)} "
+                 f"{_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{_label_text(names, values)} {histogram.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (version 0.0.4).
+
+    Families sort by name and children by label values, so two renders
+    of the same state are byte-identical — golden tests and diff-based
+    scrapers both rely on that.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        children = family.children()
+        if not children:
+            continue
+        if family.help_text:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help_text)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, instrument in children:
+            if family.kind == "histogram":
+                lines.extend(
+                    _histogram_lines(
+                        family.name, family.label_names, label_values, instrument
+                    )
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_label_text(family.label_names, label_values)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- Chrome trace format ---------------------------------------------------
+
+
+def _chrome_events(
+    span: Span, parent_name: str | None, trace_id: str, events: list[dict]
+) -> None:
+    args: dict[str, object] = {str(k): v for k, v in span.attributes.items()}
+    if parent_name is not None:
+        args["parent"] = parent_name
+    if span.is_open:
+        args["open"] = True
+    events.append(
+        {
+            "name": span.name,
+            "cat": "metasearch",
+            "ph": "X",
+            "ts": round(span.start_ms * 1000.0, 1),  # microseconds
+            "dur": round(span.duration_ms * 1000.0, 1),
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        }
+    )
+    for child in span.children:
+        _chrome_events(child, span.name, trace_id, events)
+
+
+def chrome_trace(trace: Trace) -> dict:
+    """A trace as a ``chrome://tracing`` / Perfetto JSON object.
+
+    Spans become complete (``"X"``) events whose timestamp containment
+    mirrors the span tree; each event additionally carries its parent
+    span's name in ``args.parent`` so the hierarchy survives tools that
+    ignore nesting.  Open spans are exported with their elapsed-so-far
+    duration and ``args.open = true``.
+    """
+    events: list[dict] = []
+    for span in trace.spans:
+        _chrome_events(span, None, trace.trace_id, events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace.trace_id},
+    }
+
+
+def render_chrome_trace(trace: Trace, indent: int | None = None) -> str:
+    return json.dumps(chrome_trace(trace), indent=indent, sort_keys=True)
+
+
+# -- NDJSON structured event log -------------------------------------------
+
+
+def trace_events(trace: Trace) -> list[dict]:
+    """The trace as a flat list of structured span events.
+
+    Span ids are assigned depth-first at export time (1-based);
+    ``parent_id`` is ``None`` for roots.  Per-source counters follow
+    the spans as ``kind="source_counters"`` rows so one NDJSON stream
+    carries the whole operation.
+    """
+    rows: list[dict] = []
+    next_id = [0]
+
+    def visit(span: Span, parent_id: int | None) -> None:
+        next_id[0] += 1
+        span_id = next_id[0]
+        rows.append(
+            {
+                "kind": "span",
+                "trace_id": trace.trace_id,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": span.name,
+                "start_ms": round(span.start_ms, 3),
+                "duration_ms": round(span.duration_ms, 3),
+                "open": span.is_open,
+                "attributes": dict(span.attributes),
+            }
+        )
+        for child in span.children:
+            visit(child, span_id)
+
+    for span in trace.spans:
+        visit(span, None)
+    for source_id in sorted(trace.counters):
+        tally = trace.counters[source_id]
+        rows.append(
+            {
+                "kind": "source_counters",
+                "trace_id": trace.trace_id,
+                "source_id": source_id,
+                "requests": tally.requests,
+                "retries": tally.retries,
+                "failures": tally.failures,
+                "timeouts": tally.timeouts,
+                "hedges": tally.hedges,
+                "latency_ms": round(tally.latency_ms, 3),
+                "backoff_ms": round(tally.backoff_ms, 3),
+                "cost": round(tally.cost, 4),
+            }
+        )
+    return rows
+
+
+def render_ndjson(trace: Trace) -> str:
+    """One JSON object per line: spans depth-first, then counters."""
+    rows = trace_events(trace)
+    return "\n".join(json.dumps(row, sort_keys=True) for row in rows) + (
+        "\n" if rows else ""
+    )

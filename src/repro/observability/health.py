@@ -1,0 +1,273 @@
+"""Source health scoring: from observed metrics back to behavior.
+
+§3.3's operational worries — sources with "large response times",
+sources that "charge for their use", sources that are simply down —
+become a single 0–1 *health score* per source, folded from the same
+windows the metrics registry exports: error rate, timeout rate, a
+latency EWMA against a budget, and a cost EWMA against a budget.
+
+The score closes the observability loop:
+
+* the federation layer *hedges unhealthy sources first* — their
+  :class:`~repro.federation.QueryPolicy` is adapted to fire the
+  duplicate request immediately instead of waiting out a straggler;
+* the metasearcher *deprioritizes* them — healthy sources keep their
+  selection order, unhealthy ones sink to the end of the round;
+* the :class:`~repro.cache.NegativeSourceCache` *holds them down
+  longer* — a failure from a source with a bad track record earns a
+  TTL scaled up to ``negative_ttl_max_scale`` times the base.
+
+Scores are exported as the ``source_health_score`` gauge on every
+update, so the whole loop is visible from ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = ["HealthPolicy", "SourceHealth", "SourceHealthSnapshot"]
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """How observations fold into a score, and what the score changes.
+
+    Attributes:
+        window: rolling number of wire attempts the rates are computed
+            over (per source).
+        ewma_alpha: weight of the newest observation in the latency and
+            cost EWMAs.
+        error_weight / timeout_weight / latency_weight / cost_weight:
+            penalty weights; the score is 1 minus their weighted sum,
+            clamped to [0, 1].
+        latency_budget_ms: latency EWMA at (or above) this budget takes
+            the full latency penalty; below it, proportionally less.
+        cost_budget: same idea for the per-request cost EWMA.
+        min_samples: attempts required before a source can be judged
+            unhealthy — a single flake is not a track record.
+        unhealthy_below: scores under this threshold trigger the
+            behavior changes (hedge-first, deprioritize, longer holds).
+        hedge_unhealthy_after_ms: the ``hedge_after_ms`` applied to an
+            unhealthy source's policy (0.0 = hedge immediately).
+        negative_ttl_max_scale: negative-cache TTL multiplier at score
+            0.0; scales linearly from 1x at the unhealthy threshold.
+    """
+
+    window: int = 20
+    ewma_alpha: float = 0.3
+    # A status is either error or timeout, never both, so the combined
+    # availability penalty is bounded by max(error, timeout) weight: a
+    # source failing every attempt scores <= 0.4 and is flagged under
+    # the default 0.5 threshold.
+    error_weight: float = 0.6
+    timeout_weight: float = 0.6
+    latency_weight: float = 0.15
+    cost_weight: float = 0.05
+    latency_budget_ms: float = 1_000.0
+    cost_budget: float = 1.0
+    min_samples: int = 2
+    unhealthy_below: float = 0.5
+    hedge_unhealthy_after_ms: float = 0.0
+    negative_ttl_max_scale: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 <= self.unhealthy_below <= 1.0:
+            raise ValueError("unhealthy_below must be in [0, 1]")
+        if self.negative_ttl_max_scale < 1.0:
+            raise ValueError("negative_ttl_max_scale must be >= 1")
+
+
+@dataclass(frozen=True)
+class SourceHealthSnapshot:
+    """One source's folded health at a point in time."""
+
+    source_id: str
+    score: float
+    samples: int
+    error_rate: float
+    timeout_rate: float
+    latency_ewma_ms: float
+    cost_ewma: float
+
+
+class _SourceWindow:
+    """Rolling per-source observations (guarded by the tracker's lock)."""
+
+    __slots__ = ("attempts", "latency_ewma_ms", "cost_ewma", "samples")
+
+    def __init__(self, window: int) -> None:
+        self.attempts: deque[str] = deque(maxlen=window)
+        self.latency_ewma_ms = 0.0
+        self.cost_ewma = 0.0
+        self.samples = 0
+
+
+class SourceHealth:
+    """Folds per-source observations into 0–1 health scores.
+
+    Feed it wire attempts (:meth:`record_attempt`) or whole federation
+    outcomes (:meth:`record_outcome`); read :meth:`score`, adapt
+    policies with :meth:`adapt`, and scale negative-cache holds with
+    :meth:`negative_ttl_ms`.  Thread safe; scores are recomputed on
+    read from the rolling windows, and exported to the
+    ``source_health_score`` gauge on every record.
+    """
+
+    def __init__(
+        self,
+        policy: HealthPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy or HealthPolicy()
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._windows: dict[str, _SourceWindow] = {}
+
+    def _registry_now(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- feeding ----------------------------------------------------------
+
+    def record_attempt(
+        self, source_id: str, status: str, latency_ms: float, cost: float = 0.0
+    ) -> float:
+        """One wire attempt's verdict; returns the updated score."""
+        policy = self.policy
+        with self._lock:
+            window = self._windows.get(source_id)
+            if window is None:
+                window = self._windows[source_id] = _SourceWindow(policy.window)
+            window.attempts.append(status)
+            window.samples += 1
+            alpha = policy.ewma_alpha
+            if window.samples == 1:
+                window.latency_ewma_ms = latency_ms
+                window.cost_ewma = cost
+            else:
+                window.latency_ewma_ms += alpha * (latency_ms - window.latency_ewma_ms)
+                window.cost_ewma += alpha * (cost - window.cost_ewma)
+            score = self._score_locked(window)
+        self._registry_now().gauge(
+            "source_health_score",
+            "Folded 0-1 health per source (1 = healthy).",
+            labels=("source_id",),
+        ).labels(source_id=source_id).set(score)
+        return score
+
+    def record_outcome(self, outcome) -> None:
+        """Fold a :class:`~repro.federation.SourceOutcome`'s attempts in.
+
+        Skipped outcomes (negative-cached, nothing translatable) carry
+        no wire evidence and are ignored.
+        """
+        for attempt in getattr(outcome, "attempts", ()):  # SKIPPED has none
+            self.record_attempt(
+                outcome.source_id,
+                attempt.status.value,
+                attempt.latency_ms,
+                attempt.cost,
+            )
+
+    # -- scoring ----------------------------------------------------------
+
+    def _score_locked(self, window: _SourceWindow) -> float:
+        policy = self.policy
+        attempts = window.attempts
+        if not attempts:
+            return 1.0
+        n = len(attempts)
+        errors = sum(1 for status in attempts if status == "error")
+        timeouts = sum(1 for status in attempts if status == "timeout")
+        latency_penalty = min(window.latency_ewma_ms / policy.latency_budget_ms, 1.0)
+        cost_penalty = (
+            min(window.cost_ewma / policy.cost_budget, 1.0)
+            if policy.cost_budget > 0
+            else 0.0
+        )
+        penalty = (
+            policy.error_weight * (errors / n)
+            + policy.timeout_weight * (timeouts / n)
+            + policy.latency_weight * latency_penalty
+            + policy.cost_weight * cost_penalty
+        )
+        return min(max(1.0 - penalty, 0.0), 1.0)
+
+    def score(self, source_id: str) -> float:
+        """The source's current health; 1.0 when nothing is known."""
+        with self._lock:
+            window = self._windows.get(source_id)
+            if window is None:
+                return 1.0
+            return self._score_locked(window)
+
+    def is_unhealthy(self, source_id: str) -> bool:
+        """Below the threshold, with enough evidence to say so."""
+        with self._lock:
+            window = self._windows.get(source_id)
+            if window is None or len(window.attempts) < self.policy.min_samples:
+                return False
+            return self._score_locked(window) < self.policy.unhealthy_below
+
+    def snapshot(self) -> dict[str, SourceHealthSnapshot]:
+        """Every known source's folded health, for display."""
+        with self._lock:
+            result = {}
+            for source_id, window in sorted(self._windows.items()):
+                n = len(window.attempts) or 1
+                result[source_id] = SourceHealthSnapshot(
+                    source_id=source_id,
+                    score=self._score_locked(window),
+                    samples=len(window.attempts),
+                    error_rate=sum(1 for s in window.attempts if s == "error") / n,
+                    timeout_rate=sum(1 for s in window.attempts if s == "timeout") / n,
+                    latency_ewma_ms=window.latency_ewma_ms,
+                    cost_ewma=window.cost_ewma,
+                )
+            return result
+
+    # -- behavior ---------------------------------------------------------
+
+    def adapt(self, source_id: str, policy):
+        """The query policy to actually run ``source_id`` under.
+
+        Healthy sources keep their policy object untouched.  An
+        unhealthy source gets *hedge-first*: its ``hedge_after_ms``
+        drops to ``hedge_unhealthy_after_ms`` (never raised) — the
+        duplicate request goes out immediately, so one more paid
+        request buys not waiting out a source already known to be slow
+        or flaky.
+        """
+        if not self.is_unhealthy(source_id):
+            return policy
+        hedge_at = self.policy.hedge_unhealthy_after_ms
+        if policy.hedge_after_ms is not None and policy.hedge_after_ms <= hedge_at:
+            return policy
+        return dataclasses.replace(policy, hedge_after_ms=hedge_at)
+
+    def order_by_health(self, source_ids: list[str]) -> list[str]:
+        """Healthy sources first, original order preserved within tiers."""
+        return sorted(source_ids, key=self.is_unhealthy)
+
+    def negative_ttl_ms(self, source_id: str, base_ttl_ms: float) -> float:
+        """The negative-cache hold for a failure from this source.
+
+        Healthy (or unjudgeable) sources keep the base TTL; below the
+        unhealthy threshold the hold scales linearly, reaching
+        ``negative_ttl_max_scale`` × base at score 0.0 — the worse the
+        track record, the longer before the next paid probe.
+        """
+        if not self.is_unhealthy(source_id):
+            return base_ttl_ms
+        threshold = self.policy.unhealthy_below or 1.0
+        badness = min(max((threshold - self.score(source_id)) / threshold, 0.0), 1.0)
+        scale = 1.0 + (self.policy.negative_ttl_max_scale - 1.0) * badness
+        return base_ttl_ms * scale

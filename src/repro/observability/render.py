@@ -27,7 +27,11 @@ def _span_lines(span: Span, depth: int, lines: list[str]) -> None:
         f"{name}={_format_value(value)}" for name, value in span.attributes.items()
     )
     label = f"{'  ' * depth}{span.name}"
+    # An open span (a crashed or still-running operation) shows its
+    # elapsed-so-far time, explicitly marked so it never reads as final.
     duration = f"{span.duration_ms:8.1f}ms"
+    if span.is_open:
+        duration += "+ [open]"
     lines.append(f"{label:<42} {duration}  {attributes}".rstrip())
     for child in span.children:
         _span_lines(child, depth + 1, lines)

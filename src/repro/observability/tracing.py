@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field as dataclass_field
@@ -38,11 +39,27 @@ class Span:
     end_ms: float | None = None
     attributes: dict[str, object] = dataclass_field(default_factory=dict)
     children: list["Span"] = dataclass_field(default_factory=list)
+    #: The owning tracer's clock (ms), so an open span can report its
+    #: elapsed-so-far duration; spans built by hand leave it None.
+    clock_ms: object = dataclass_field(default=None, repr=False, compare=False)
+
+    @property
+    def is_open(self) -> bool:
+        """True until the span's ``with`` block (or operation) finishes."""
+        return self.end_ms is None
 
     @property
     def duration_ms(self) -> float:
-        """Wall-clock duration; 0.0 while the span is still open."""
+        """Wall-clock duration; elapsed-so-far while the span is open.
+
+        A crashed operation leaves its spans open — reporting the time
+        they had accrued (rather than 0.0) keeps a partial trace from
+        rendering as a pile of zero-length phases.  Spans constructed
+        without a tracer clock still read 0.0 while open.
+        """
         if self.end_ms is None:
+            if callable(self.clock_ms):
+                return self.clock_ms() - self.start_ms
             return 0.0
         return self.end_ms - self.start_ms
 
@@ -105,6 +122,9 @@ class Trace:
     spans: list[Span] = dataclass_field(default_factory=list)
     counters: dict[str, SourceCounters] = dataclass_field(default_factory=dict)
     cache: CacheCounters | None = None
+    #: The owning operation's id, threaded through every exported span
+    #: (NDJSON event log, Chrome trace metadata).
+    trace_id: str = ""
 
     def walk(self) -> Iterator[Span]:
         for span in self.spans:
@@ -131,11 +151,12 @@ class Tracer:
     since thread-local context does not cross the pool boundary.
     """
 
-    def __init__(self, clock=None) -> None:
+    def __init__(self, clock=None, trace_id: str | None = None) -> None:
         self._clock = clock or time.perf_counter
         self._origin = self._clock()
         self._lock = threading.Lock()
         self._local = threading.local()
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self.spans: list[Span] = []
         self.counters: dict[str, SourceCounters] = {}
         self.cache: CacheCounters | None = None
@@ -154,7 +175,7 @@ class Tracer:
     @contextmanager
     def span(self, name: str, parent: Span | None = None, **attributes: object):
         """Open a span; nests under the current span unless ``parent`` is given."""
-        span = Span(name, self.now_ms(), attributes=dict(attributes))
+        span = Span(name, self.now_ms(), attributes=dict(attributes), clock_ms=self.now_ms)
         stack = self._stack()
         owner = parent if parent is not None else (stack[-1] if stack else None)
         with self._lock:
@@ -191,11 +212,20 @@ class Tracer:
 
         The first call materialises the :class:`CacheCounters`; until
         then the trace carries ``cache=None`` and renders unchanged.
+
+        Every field except ``cost_saved`` is an integral tally; a
+        fractional delta for one of those is a caller bug (it used to
+        be silently truncated) and raises :class:`ValueError`.
         """
         with self._lock:
             if self.cache is None:
                 self.cache = CacheCounters()
             for name, delta in deltas.items():
+                if name != "cost_saved" and delta != int(delta):
+                    raise ValueError(
+                        f"cache counter {name!r} is integral; got fractional "
+                        f"delta {delta!r}"
+                    )
                 current = getattr(self.cache, name)
                 setattr(
                     self.cache,
@@ -206,4 +236,4 @@ class Tracer:
 
     def trace(self) -> Trace:
         """The collected spans and counters as a :class:`Trace`."""
-        return Trace(self.spans, self.counters, self.cache)
+        return Trace(self.spans, self.counters, self.cache, trace_id=self.trace_id)

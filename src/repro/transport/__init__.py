@@ -15,7 +15,11 @@ from repro.transport.network import (
     TransportError,
     TransportTimeout,
 )
-from repro.transport.server import publish_resource, publish_source
+from repro.transport.server import (
+    publish_metrics,
+    publish_resource,
+    publish_source,
+)
 
 __all__ = [
     "StartsClient",
@@ -30,6 +34,7 @@ __all__ = [
     "SimulatedInternet",
     "TransportError",
     "TransportTimeout",
+    "publish_metrics",
     "publish_resource",
     "publish_source",
 ]

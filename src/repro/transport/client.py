@@ -76,6 +76,10 @@ class StartsClient:
         """GET an @SSampleResults blob."""
         return SampleResults.from_soif(parse_soif(self._fetch(sample_url, "sample")))
 
+    def fetch_metrics(self, metrics_url: str) -> str:
+        """GET a ``/metrics`` endpoint; returns the Prometheus text."""
+        return self._fetch(metrics_url, "metrics").decode("utf-8")
+
     def _fetch(self, url: str, kind: str) -> bytes:
         payload, record = self._internet.perform(url, "GET")
         if self.tracer is not None:

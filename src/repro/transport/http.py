@@ -31,10 +31,22 @@ __all__ = ["StartsHttpServer", "HttpTransport"]
 
 
 class StartsHttpServer:
-    """Serves one resource (and its sources) over HTTP on localhost."""
+    """Serves one resource (and its sources) over HTTP on localhost.
 
-    def __init__(self, resource: Resource, host: str = "127.0.0.1", port: int = 0) -> None:
+    Besides the STARTS endpoints, ``GET /metrics`` serves the process
+    metrics registry in the Prometheus text exposition format —
+    ``registry`` defaults to the process-wide one at request time.
+    """
+
+    def __init__(
+        self,
+        resource: Resource,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+    ) -> None:
         self._resource = resource
+        self._registry = registry
         self._server = http.server.ThreadingHTTPServer(
             (host, port), self._make_handler()
         )
@@ -77,6 +89,7 @@ class StartsHttpServer:
     def _make_handler(self):
         resource = self._resource
         base_url = lambda: self.base_url  # noqa: E731 - resolved per request
+        registry_now = lambda: self._registry  # noqa: E731 - resolved per request
 
         class Handler(http.server.BaseHTTPRequestHandler):
             def log_message(self, *args) -> None:  # quiet test output
@@ -96,6 +109,20 @@ class StartsHttpServer:
 
             def do_GET(self) -> None:
                 parts = self.path.strip("/").split("/")
+                if parts == ["metrics"]:
+                    from repro.observability.export import render_prometheus
+                    from repro.observability.metrics import get_registry
+
+                    registry = registry_now() or get_registry()
+                    body = render_prometheus(registry).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
                 if parts == ["resource"]:
                     described = resource.describe()
                     # Rewrite metadata URLs onto this server.

@@ -21,7 +21,7 @@ from repro.starts.query import SQuery
 from repro.starts.soif import parse_soif
 from repro.transport.network import FaultProfile, HostProfile, SimulatedInternet
 
-__all__ = ["publish_source", "publish_resource"]
+__all__ = ["publish_source", "publish_resource", "publish_metrics"]
 
 
 def publish_source(
@@ -106,3 +106,30 @@ def publish_resource(
             internet, source, source_profile, resource=resource, faults=fault_profile
         )
     return f"{base_url}/resource"
+
+
+def publish_metrics(
+    internet: SimulatedInternet,
+    base_url: str,
+    registry=None,
+    profile: HostProfile | None = None,
+) -> str:
+    """Expose a ``/metrics`` endpoint on the simulated internet.
+
+    ``GET {base_url}/metrics`` renders ``registry`` (default: the
+    process-wide one, resolved at request time) as Prometheus text —
+    the simulated-wire twin of the real HTTP server's endpoint.
+    Returns the metrics URL.
+    """
+    from repro.observability.export import render_prometheus
+    from repro.observability.metrics import get_registry
+
+    host = base_url.split("//", 1)[-1].split("/", 1)[0]
+    internet.register_host(host, profile)
+    internet.register_get(
+        f"{base_url}/metrics",
+        lambda: render_prometheus(
+            registry if registry is not None else get_registry()
+        ).encode("utf-8"),
+    )
+    return f"{base_url}/metrics"

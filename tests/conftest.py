@@ -18,6 +18,17 @@ from repro.vendors import build_vendor_source
 
 
 @pytest.fixture
+def fresh_registry():
+    """A private metrics registry swapped in for the test's duration."""
+    from repro.observability import MetricsRegistry, get_registry, set_registry
+
+    previous = get_registry()
+    registry = set_registry(MetricsRegistry())
+    yield registry
+    set_registry(previous)
+
+
+@pytest.fixture
 def source1() -> StartsSource:
     """Source-1 from the paper's examples (Ullman document et al.)."""
     return StartsSource("Source-1", source1_documents())

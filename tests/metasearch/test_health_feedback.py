@@ -1,0 +1,157 @@
+"""Health scoring demonstrably changes federation behavior.
+
+The ISSUE's acceptance scenario: inject faults into one source of a
+healthy federation and watch the whole loop close — the score drops
+below the threshold, the source is hedged immediately, deprioritized in
+selection, and held down longer by the negative cache, all visible in
+the metrics registry.  Plus the flip side: a disabled registry (and no
+health scorer) leaves pipeline behavior byte-identical.
+"""
+
+import pytest
+
+from repro.cache import CachePolicy
+from repro.corpus import CollectionSpec, generate_collection
+from repro.metasearch import Metasearcher
+from repro.observability import MetricsRegistry, SourceHealth, set_registry
+from repro.resource import Resource
+from repro.starts import SQuery, parse_expression
+from repro.transport import FaultProfile, SimulatedInternet, publish_resource
+from repro.vendors import build_vendor_source
+
+FAULTY = "Hf-Db"
+
+
+def _federation(seed: int = 7):
+    """A private three-vendor federation (fault injection would leak
+    out of a shared session-scoped one)."""
+    internet = SimulatedInternet(seed=seed)
+    resource = Resource("HealthFederation")
+    plans = [
+        (FAULTY, "AcmeSearch", {"databases": 1.0}),
+        ("Hf-Net", "OkapiWorks", {"networking": 1.0}),
+        ("Hf-Med", "InferNet", {"medicine": 1.0}),
+    ]
+    for index, (source_id, vendor, topics) in enumerate(plans):
+        documents = generate_collection(
+            CollectionSpec(name=source_id, topics=topics, size=40, seed=200 + index)
+        )
+        resource.add_source(build_vendor_source(vendor, source_id, documents))
+    url = "http://health.example.org"
+    publish_resource(internet, resource, url)
+    return internet, f"{url}/resource"
+
+
+def _query(text: str) -> SQuery:
+    return SQuery(
+        ranking_expression=parse_expression(f'(body-of-text "{text}")'),
+        max_number_documents=5,
+    )
+
+
+def _host(searcher: Metasearcher, source_id: str) -> str:
+    url = searcher.discovery.source(source_id).query_url
+    return url.split("//", 1)[-1].split("/", 1)[0]
+
+
+class TestHealthLoop:
+    def test_faulty_source_trips_the_whole_feedback_loop(self, fresh_registry):
+        internet, resource_url = _federation()
+        health = SourceHealth()
+        searcher = Metasearcher(
+            internet,
+            [resource_url],
+            health=health,
+            # Three failed rounds before the negative cache kicks in, so
+            # the scorer sees the source keep failing first.
+            cache_policy=CachePolicy(negative_failure_threshold=3),
+        )
+        searcher.refresh()
+        internet.set_fault_profile(
+            _host(searcher, FAULTY), FaultProfile(failure_rate=1.0)
+        )
+
+        results = [
+            searcher.search(_query(text), k_sources=3)
+            for text in ("databases", "networking", "medicine", "protein")
+        ]
+
+        # 1. The score collapsed below the unhealthy threshold.
+        assert health.score(FAULTY) < health.policy.unhealthy_below
+        assert health.is_unhealthy(FAULTY)
+        assert all(health.score(sid) > 0.9 for sid in ("Hf-Net", "Hf-Med"))
+
+        # 2. Once unhealthy, the source was hedged immediately: a later
+        # round carries a hedged duplicate attempt.
+        hedged = [
+            attempt
+            for result in results
+            for outcome in result.outcomes.values()
+            if outcome.source_id == FAULTY
+            for attempt in outcome.attempts
+            if attempt.hedged
+        ]
+        assert hedged
+        ((labels, hedges),) = fresh_registry.family("source_hedges_total").children()
+        assert labels == (FAULTY,)
+        assert hedges.value == len(hedged)
+
+        # 3. Selection deprioritized it: sunk to the end of the round.
+        assert results[-1].selected_sources[-1] == FAULTY
+
+        # 4. The third failure negative-cached it with a *scaled* hold —
+        # the gauge shows a TTL beyond the configured base.
+        assert results[-1].skipped_sources() == [FAULTY]
+        ((labels, ttl),) = fresh_registry.family("negative_cache_ttl_ms").children()
+        assert labels == (FAULTY,)
+        assert ttl.value > searcher.cache_policy.negative_ttl_ms
+        assert ttl.value <= (
+            searcher.cache_policy.negative_ttl_ms
+            * health.policy.negative_ttl_max_scale
+        )
+
+        # 5. And the gauge agrees with the scorer.
+        ((labels, gauge),) = [
+            child
+            for child in fresh_registry.family("source_health_score").children()
+            if child[0] == (FAULTY,)
+        ]
+        assert gauge.value == pytest.approx(health.score(FAULTY))
+
+    def test_healthy_federation_is_left_alone(self, fresh_registry):
+        internet, resource_url = _federation()
+        health = SourceHealth()
+        searcher = Metasearcher(internet, [resource_url], health=health)
+        searcher.refresh()
+        result = searcher.search(_query("databases"), k_sources=3)
+        assert result.failed_sources() == []
+        assert all(not attempt.hedged
+                   for outcome in result.outcomes.values()
+                   for attempt in outcome.attempts)
+        assert all(snap.score > 0.9 for snap in health.snapshot().values())
+
+
+class TestDisabledRegistryNeutrality:
+    @staticmethod
+    def _run(registry: MetricsRegistry):
+        internet, resource_url = _federation(seed=13)
+        previous = set_registry(registry)
+        try:
+            searcher = Metasearcher(internet, [resource_url])
+            searcher.refresh()
+            result = searcher.search(_query("databases networking"), k_sources=3)
+        finally:
+            set_registry(previous)
+        return result
+
+    def test_disabled_registry_restores_pre_instrumentation_behavior(self):
+        enabled = self._run(MetricsRegistry())
+        disabled = self._run(MetricsRegistry.disabled())
+        assert (
+            [(d.linkage, d.score, d.source_id) for d in enabled.documents]
+            == [(d.linkage, d.score, d.source_id) for d in disabled.documents]
+        )
+        assert enabled.selected_sources == disabled.selected_sources
+        assert enabled.outcome_counts() == disabled.outcome_counts()
+        # The simulated wire is seeded, so even latencies agree.
+        assert enabled.query_latency_serial_ms == disabled.query_latency_serial_ms

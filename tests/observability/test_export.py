@@ -1,0 +1,196 @@
+"""The exporters: Prometheus text, Chrome trace JSON, NDJSON events."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    render_chrome_trace,
+    render_ndjson,
+    render_prometheus,
+    trace_events,
+)
+
+
+def _registry_with_traffic() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "source_requests_total", "Wire requests.", labels=("source_id", "outcome")
+    )
+    requests.labels(source_id="S1", outcome="ok").inc(3)
+    requests.labels(source_id="S1", outcome="error").inc()
+    registry.gauge("source_health_score", "Health.", labels=("source_id",)).labels(
+        source_id="S1"
+    ).set(0.75)
+    histogram = registry.histogram(
+        "latency_ms", "Latency.", labels=("source_id",), buckets=(1.0, 10.0)
+    )
+    child = histogram.labels(source_id="S1")
+    for value in (0.5, 5.0, 50.0):
+        child.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_full_exposition_shape(self):
+        text = render_prometheus(_registry_with_traffic())
+        lines = text.splitlines()
+        assert "# HELP source_requests_total Wire requests." in lines
+        assert "# TYPE source_requests_total counter" in lines
+        assert 'source_requests_total{source_id="S1",outcome="ok"} 3' in lines
+        assert 'source_requests_total{source_id="S1",outcome="error"} 1' in lines
+        assert "# TYPE source_health_score gauge" in lines
+        assert 'source_health_score{source_id="S1"} 0.75' in lines
+        assert "# TYPE latency_ms histogram" in lines
+        # Cumulative buckets plus +Inf, sum and count.
+        assert 'latency_ms_bucket{source_id="S1",le="1"} 1' in lines
+        assert 'latency_ms_bucket{source_id="S1",le="10"} 2' in lines
+        assert 'latency_ms_bucket{source_id="S1",le="+Inf"} 3' in lines
+        assert 'latency_ms_sum{source_id="S1"} 55.5' in lines
+        assert 'latency_ms_count{source_id="S1"} 3' in lines
+        assert text.endswith("\n")
+
+    def test_rendering_is_deterministic(self):
+        registry = _registry_with_traffic()
+        assert render_prometheus(registry) == render_prometheus(registry)
+
+    def test_golden_parse_round_trip(self):
+        """Every sample line parses as the exposition format requires."""
+        text = render_prometheus(_registry_with_traffic())
+        seen_types: dict[str, str] = {}
+        for line in text.splitlines():
+            assert line == line.strip()
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram")
+                seen_types[name] = kind
+                continue
+            if line.startswith("#"):
+                continue
+            name_and_labels, value = line.rsplit(" ", 1)
+            float(value)  # every sample value is a number
+            name = name_and_labels.split("{", 1)[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in seen_types:
+                    base = name[: -len(suffix)]
+            assert base in seen_types
+        assert set(seen_types) == {
+            "source_requests_total", "source_health_score", "latency_ms",
+        }
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels=("why",)).labels(
+            why='quote " slash \\ newline \n'
+        ).inc()
+        text = render_prometheus(registry)
+        assert r'why="quote \" slash \\ newline \n"' in text
+
+    def test_empty_and_disabled_registries_render_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert render_prometheus(MetricsRegistry.disabled()) == ""
+
+
+def _traced_round() -> Tracer:
+    tracer = Tracer(trace_id="t-42")
+    with tracer.span("search", terms="databases"):
+        with tracer.span("select", k=2):
+            pass
+        with tracer.span("query") as query_span:
+            with tracer.span("query:S1", parent=query_span, url="http://s1"):
+                pass
+            with tracer.span("query:S2", parent=query_span):
+                pass
+        with tracer.span("merge"):
+            pass
+    tracer.count("S1", requests=2, latency_ms=40.0, cost=1.0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_mirror_the_span_tree(self):
+        payload = chrome_trace(_traced_round().trace())
+        events = payload["traceEvents"]
+        names = [event["name"] for event in events]
+        assert names == ["search", "select", "query", "query:S1", "query:S2", "merge"]
+        by_name = {event["name"]: event for event in events}
+        assert by_name["query:S1"]["args"]["parent"] == "query"
+        assert by_name["select"]["args"]["parent"] == "search"
+        assert "parent" not in by_name["search"]["args"]
+        assert all(event["ph"] == "X" for event in events)
+        # Timestamps are microseconds; children start inside the parent.
+        search, query = by_name["search"], by_name["query"]
+        assert query["ts"] >= search["ts"]
+        assert query["ts"] + query["dur"] <= search["ts"] + search["dur"] + 1
+        assert payload["otherData"]["trace_id"] == "t-42"
+
+    def test_open_spans_are_flagged(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            payload = chrome_trace(tracer.trace())
+        assert payload["traceEvents"][0]["args"]["open"] is True
+
+    def test_render_is_valid_json(self):
+        text = render_chrome_trace(_traced_round().trace(), indent=2)
+        assert json.loads(text)["displayTimeUnit"] == "ms"
+
+
+class TestNdjson:
+    def test_span_ids_are_depth_first_with_parent_links(self):
+        rows = trace_events(_traced_round().trace())
+        spans = [row for row in rows if row["kind"] == "span"]
+        assert [row["span_id"] for row in spans] == [1, 2, 3, 4, 5, 6]
+        by_name = {row["name"]: row for row in spans}
+        assert by_name["search"]["parent_id"] is None
+        assert by_name["select"]["parent_id"] == by_name["search"]["span_id"]
+        assert by_name["query:S1"]["parent_id"] == by_name["query"]["span_id"]
+        assert all(row["trace_id"] == "t-42" for row in rows)
+
+    def test_counters_follow_the_spans(self):
+        rows = trace_events(_traced_round().trace())
+        counters = [row for row in rows if row["kind"] == "source_counters"]
+        assert counters == [
+            {
+                "kind": "source_counters",
+                "trace_id": "t-42",
+                "source_id": "S1",
+                "requests": 2,
+                "retries": 0,
+                "failures": 0,
+                "timeouts": 0,
+                "hedges": 0,
+                "latency_ms": 40.0,
+                "backoff_ms": 0.0,
+                "cost": 1.0,
+            }
+        ]
+
+    def test_every_line_is_one_json_object(self):
+        text = render_ndjson(_traced_round().trace())
+        lines = text.splitlines()
+        assert len(lines) == 7  # 6 spans + 1 counter row
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_empty_trace_renders_empty(self):
+        assert render_ndjson(Tracer().trace()) == ""
+
+
+class TestTraceIds:
+    def test_tracer_ids_are_unique_by_default(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+    def test_explicit_id_flows_to_trace(self):
+        assert Tracer(trace_id="abc").trace().trace_id == "abc"
+
+    def test_chrome_dur_uses_elapsed_for_open_spans(self):
+        clock = [0.0]
+        tracer = Tracer(clock=lambda: clock[0])
+        with tracer.span("work"):
+            clock[0] = 0.1
+            event = chrome_trace(tracer.trace())["traceEvents"][0]
+            assert event["dur"] == pytest.approx(100_000.0)  # 100ms in us

@@ -1,0 +1,158 @@
+"""Source health scoring and the behavior it drives."""
+
+import pytest
+
+from repro.federation import QueryPolicy
+from repro.observability import HealthPolicy, MetricsRegistry, SourceHealth
+
+
+def _sick(health: SourceHealth, source_id: str, n: int = 5) -> None:
+    for _ in range(n):
+        health.record_attempt(source_id, "error", latency_ms=20.0, cost=0.1)
+
+
+def _fit(health: SourceHealth, source_id: str, n: int = 5) -> None:
+    for _ in range(n):
+        health.record_attempt(source_id, "ok", latency_ms=20.0, cost=0.1)
+
+
+class TestScoring:
+    def test_unknown_source_is_perfectly_healthy(self):
+        health = SourceHealth(registry=MetricsRegistry())
+        assert health.score("S1") == 1.0
+        assert not health.is_unhealthy("S1")
+
+    def test_errors_drag_the_score_down(self):
+        health = SourceHealth(registry=MetricsRegistry())
+        _fit(health, "good")
+        _sick(health, "bad")
+        assert health.score("good") > 0.9
+        assert health.score("bad") < 0.5
+        assert health.is_unhealthy("bad")
+        assert not health.is_unhealthy("good")
+
+    def test_timeouts_weigh_separately_from_errors(self):
+        policy = HealthPolicy(error_weight=0.0, timeout_weight=0.5)
+        health = SourceHealth(policy, registry=MetricsRegistry())
+        for _ in range(4):
+            health.record_attempt("S", "timeout", latency_ms=500.0)
+        assert health.score("S") < 0.5
+
+    def test_latency_ewma_penalizes_slow_sources(self):
+        policy = HealthPolicy(latency_budget_ms=100.0, latency_weight=0.6)
+        health = SourceHealth(policy, registry=MetricsRegistry())
+        for _ in range(10):
+            health.record_attempt("slow", "ok", latency_ms=500.0)
+        assert health.score("slow") <= 1.0 - 0.6 + 1e-9
+
+    def test_one_flake_is_not_a_track_record(self):
+        policy = HealthPolicy(min_samples=2)
+        health = SourceHealth(policy, registry=MetricsRegistry())
+        health.record_attempt("S", "error", latency_ms=20.0)
+        assert not health.is_unhealthy("S")  # score low, but evidence thin
+        health.record_attempt("S", "error", latency_ms=20.0)
+        assert health.is_unhealthy("S")
+
+    def test_window_forgets_ancient_failures(self):
+        policy = HealthPolicy(window=4)
+        health = SourceHealth(policy, registry=MetricsRegistry())
+        _sick(health, "S", n=4)
+        assert health.is_unhealthy("S")
+        _fit(health, "S", n=4)  # pushes every error out of the window
+        assert not health.is_unhealthy("S")
+        assert health.score("S") > 0.9
+
+    def test_scores_export_to_the_gauge(self):
+        registry = MetricsRegistry()
+        health = SourceHealth(registry=registry)
+        _sick(health, "bad", n=3)
+        family = registry.family("source_health_score")
+        ((labels, gauge),) = family.children()
+        assert labels == ("bad",)
+        assert gauge.value == pytest.approx(health.score("bad"))
+
+    def test_snapshot_reports_folded_rates(self):
+        health = SourceHealth(registry=MetricsRegistry())
+        _sick(health, "bad", n=2)
+        _fit(health, "bad", n=2)
+        snap = health.snapshot()["bad"]
+        assert snap.samples == 4
+        assert snap.error_rate == pytest.approx(0.5)
+        assert snap.timeout_rate == 0.0
+        assert 0.0 < snap.score < 1.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(window=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(unhealthy_below=1.5)
+        with pytest.raises(ValueError):
+            HealthPolicy(negative_ttl_max_scale=0.5)
+
+
+class TestRecordOutcome:
+    def test_outcome_attempts_feed_the_windows(self, fresh_registry):
+        from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
+
+        health = SourceHealth()
+        outcome = SourceOutcome(
+            "S1",
+            OutcomeStatus.ERROR,
+            attempts=(
+                Attempt(1, OutcomeStatus.ERROR, 20.0, 0.1, 0.0, False, "boom"),
+                Attempt(2, OutcomeStatus.ERROR, 20.0, 0.1, 0.0, False, "boom"),
+            ),
+        )
+        health.record_outcome(outcome)
+        assert health.snapshot()["S1"].samples == 2
+
+    def test_skipped_outcomes_carry_no_evidence(self, fresh_registry):
+        from repro.federation.outcomes import SourceOutcome
+
+        health = SourceHealth()
+        health.record_outcome(SourceOutcome.skip("S1", "negative-cached"))
+        assert health.score("S1") == 1.0
+        assert "S1" not in health.snapshot()
+
+
+class TestBehavior:
+    def test_unhealthy_sources_hedge_first(self):
+        health = SourceHealth(registry=MetricsRegistry())
+        _sick(health, "bad")
+        base = QueryPolicy(hedge_after_ms=200.0)
+        adapted = health.adapt("bad", base)
+        assert adapted is not base
+        assert adapted.hedge_after_ms == 0.0
+        # Everything else survives the replace.
+        assert adapted.timeout_ms == base.timeout_ms
+        assert adapted.max_attempts == base.max_attempts
+
+    def test_healthy_sources_keep_their_policy_object(self):
+        health = SourceHealth(registry=MetricsRegistry())
+        _fit(health, "good")
+        base = QueryPolicy(hedge_after_ms=200.0)
+        assert health.adapt("good", base) is base
+
+    def test_hedge_never_raised_by_adaptation(self):
+        policy = HealthPolicy(hedge_unhealthy_after_ms=50.0)
+        health = SourceHealth(policy, registry=MetricsRegistry())
+        _sick(health, "bad")
+        base = QueryPolicy(hedge_after_ms=10.0)  # already more aggressive
+        assert health.adapt("bad", base) is base
+
+    def test_order_by_health_is_stable_within_tiers(self):
+        health = SourceHealth(registry=MetricsRegistry())
+        _sick(health, "B")
+        assert health.order_by_health(["A", "B", "C"]) == ["A", "C", "B"]
+        assert health.order_by_health(["B"]) == ["B"]
+
+    def test_negative_ttl_scales_with_badness(self):
+        policy = HealthPolicy(negative_ttl_max_scale=4.0, unhealthy_below=0.5)
+        health = SourceHealth(policy, registry=MetricsRegistry())
+        assert health.negative_ttl_ms("unknown", 1000.0) == 1000.0
+        _sick(health, "bad", n=20)  # score bottoms out near 1 - weights
+        scaled = health.negative_ttl_ms("bad", 1000.0)
+        assert scaled > 1000.0
+        assert scaled <= 4000.0

@@ -34,13 +34,37 @@ class TestSpans:
             pass
         assert [span.name for span in tracer.trace().spans] == ["first", "second"]
 
-    def test_duration_measured_and_open_span_reads_zero(self):
+    def test_duration_measured_after_close(self):
         clock_value = [0.0]
         tracer = Tracer(clock=lambda: clock_value[0])
         with tracer.span("timed") as span:
-            assert span.duration_ms == 0.0  # still open
             clock_value[0] = 0.25
+        assert not span.is_open
         assert span.duration_ms == pytest.approx(250.0)
+
+    def test_open_span_reports_elapsed_so_far(self):
+        """A crashed round's open spans show accrued time, not 0.0."""
+        clock_value = [0.0]
+        tracer = Tracer(clock=lambda: clock_value[0])
+        with tracer.span("timed") as span:
+            assert span.is_open
+            assert span.duration_ms == 0.0  # nothing accrued yet
+            clock_value[0] = 0.1
+            assert span.duration_ms == pytest.approx(100.0)
+            clock_value[0] = 0.2
+            assert span.duration_ms == pytest.approx(200.0)
+        # Closing freezes the duration against further clock movement.
+        clock_value[0] = 9.9
+        assert span.duration_ms == pytest.approx(200.0)
+
+    def test_hand_built_span_without_clock_reads_zero_while_open(self):
+        from repro.observability import Span
+
+        span = Span(name="manual", start_ms=10.0)
+        assert span.is_open
+        assert span.duration_ms == 0.0
+        span.end_ms = 35.0
+        assert span.duration_ms == pytest.approx(25.0)
 
     def test_annotate_merges_attributes(self):
         tracer = Tracer()
@@ -95,6 +119,80 @@ class TestCounters:
             thread.join()
         assert tracer.counters["S"].requests == 1600
 
+    def test_cache_counters_reject_fractional_integral_deltas(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="integral"):
+            tracer.count_cache(hits=1.5)
+        with pytest.raises(ValueError, match="integral"):
+            tracer.count_cache(misses=0.25)
+        # cost_saved is the one genuinely fractional tally.
+        tracer.count_cache(hits=1, cost_saved=2.75)
+        tracer.count_cache(cost_saved=0.25)
+        assert tracer.cache.hits == 1
+        assert tracer.cache.cost_saved == pytest.approx(3.0)
+
+    def test_whole_valued_floats_still_count(self):
+        tracer = Tracer()
+        tracer.count_cache(hits=2.0, stores=1)
+        assert tracer.cache.hits == 2
+        assert tracer.cache.stores == 1
+
+
+class TestThreadFanOut:
+    """One tracer under a real pool: the query round's concurrency shape."""
+
+    def test_pool_fan_out_with_barrier_keeps_the_trace_consistent(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        tracer = Tracer()
+        workers = 8
+        rounds = 25
+        barrier = threading.Barrier(workers)
+
+        def worker(index: int, query_span) -> None:
+            barrier.wait()  # maximize overlap on the span/counter locks
+            for round_number in range(rounds):
+                name = f"query:src{index}"
+                with tracer.span(name, parent=query_span, round=round_number):
+                    with tracer.span(f"{name}:parse"):
+                        pass
+                tracer.count(f"src{index}", requests=1, latency_ms=1.0)
+                tracer.count("shared", requests=1)
+
+        with tracer.span("query") as query_span:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for future in [
+                    pool.submit(worker, index, query_span)
+                    for index in range(workers)
+                ]:
+                    future.result()
+
+        trace = tracer.trace()
+        assert [span.name for span in trace.spans] == ["query"]
+        assert len(query_span.children) == workers * rounds
+        # Every child kept its own nested parse span: no cross-thread
+        # interleaving corrupted the per-thread span stacks.
+        for child in query_span.children:
+            assert [grandchild.name for grandchild in child.children] == [
+                f"{child.name}:parse"
+            ]
+            assert not child.is_open
+        assert tracer.counters["shared"].requests == workers * rounds
+        for index in range(workers):
+            assert tracer.counters[f"src{index}"].requests == rounds
+
+    def test_sibling_threads_without_parent_become_roots(self):
+        tracer = Tracer()
+
+        def worker() -> None:
+            with tracer.span("orphan"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert [span.name for span in tracer.trace().spans] == ["orphan"]
+
 
 class TestRendering:
     def test_render_trace_shows_tree_and_counters(self):
@@ -109,6 +207,20 @@ class TestRendering:
         assert "terms=databases" in rendered
         assert "per-source counters" in rendered
         assert "S1" in rendered
+
+    def test_render_marks_open_spans(self):
+        clock_value = [0.0]
+        tracer = Tracer(clock=lambda: clock_value[0])
+        with tracer.span("search"):
+            with tracer.span("query"):
+                clock_value[0] = 0.05
+                rendered = render_trace(tracer.trace())
+        assert rendered.count("[open]") == 2  # both spans still running
+        for line in rendered.splitlines():
+            if line.strip().startswith(("search", "query")):
+                assert "ms+ [open]" in line
+        # A finished trace carries no markers.
+        assert "[open]" not in render_trace(tracer.trace())
 
     def test_render_empty_trace(self):
         assert render_trace(Tracer().trace()) == "(empty trace)"

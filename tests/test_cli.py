@@ -66,6 +66,63 @@ class TestServeCommand:
         assert "http://127.0.0.1:" in out
 
 
+class TestMetricsCommand:
+    def test_metrics_prints_prometheus_text(self, capsys, fresh_registry):
+        assert main(["--seed", "3", "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE source_requests_total counter" in out
+        assert "# TYPE metasearch_phase_ms histogram" in out
+        assert 'metasearch_searches_total{result="wire"}' in out
+
+    def test_metrics_restores_the_process_registry(self, capsys, fresh_registry):
+        from repro.observability import get_registry
+
+        main(["--seed", "3", "metrics"])
+        assert get_registry() is fresh_registry
+        # The command ran on its own registry; ours stayed clean.
+        assert fresh_registry.families() == []
+
+
+class TestTraceCommand:
+    def test_trace_renders_timeline(self, capsys, fresh_registry):
+        assert main(["--seed", "3", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "discover" in out
+        assert "search" in out
+        assert "per-source counters" in out
+
+    def test_trace_writes_chrome_and_ndjson(self, tmp_path, capsys, fresh_registry):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        ndjson = tmp_path / "events.ndjson"
+        code = main(
+            [
+                "--seed",
+                "3",
+                "trace",
+                '(body-of-text "databases")',
+                "--chrome",
+                str(chrome),
+                "--ndjson",
+                str(ndjson),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert str(chrome) in out
+        assert str(ndjson) in out
+        payload = json.loads(chrome.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "discover" in names
+        assert "search" in names
+        assert any(name.startswith("query") for name in names)
+        lines = ndjson.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["trace_id"]
+
+
 class TestPlanCommand:
     def test_plan_renders(self, capsys):
         assert main(["--seed", "3", "plan", '(body-of-text "patient")']) == 0

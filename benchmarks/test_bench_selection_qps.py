@@ -1,0 +1,153 @@
+"""Selection QPS benchmark: term-sharded index vs. the dense oracle scan.
+
+A zipf-skewed query workload over a ~1k-source federation of generated
+content summaries, timed on both selection paths.  The indexed path
+scores only the sources a query term actually touches and reads CORI's
+corpus statistics off incrementally maintained counters; the dense
+oracle rescans every summary (and, for CORI, the whole corpus) per
+query.  Results land in ``BENCH_selection_qps.json``.
+
+Acceptance: CORI ``select(k=5)`` through the index must clear 5x the
+dense scan's QPS, the two paths must agree score for score on every
+distinct query, and running under a disabled metrics registry must not
+be slower — the instrumentation has to be overhead-neutral when off.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.corpus import SummaryPopulationSpec, generate_source_summaries
+from repro.corpus.generator import zipf_weights
+from repro.corpus import vocabulary as V
+from repro.metasearch.selection import BGloss, Cori, VGlossMax, VGlossSum
+from repro.metasearch.summary_index import SummaryIndex
+from repro.observability.metrics import MetricsRegistry, get_registry, set_registry
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_SOURCES = 1000
+N_QUERIES = 60
+TOP_K = 5
+
+SELECTORS = {
+    "bgloss": BGloss,
+    "vgloss_sum": VGlossSum,
+    "vgloss_max": VGlossMax,
+    "cori": Cori,
+}
+
+
+def _build_queries() -> list[list[str]]:
+    """Zipf-skewed topical queries of 1-3 terms.
+
+    Terms come from the topic pools the summary generator samples, with
+    zipf weights over each pool — frequent words recur across queries
+    exactly as production query logs repeat their head terms.
+    """
+    rng = random.Random(5)
+    topic_names = sorted(V.TOPICS)
+    queries = []
+    for _ in range(N_QUERIES):
+        topic_pool = sorted(V.TOPICS[rng.choice(topic_names)])
+        weights = zipf_weights(len(topic_pool))
+        n_terms = rng.randint(1, 3)
+        queries.append(rng.choices(topic_pool, weights=weights, k=n_terms))
+    return queries
+
+
+def _run(selector, corpus, queries) -> tuple[float, float]:
+    """(qps, p50_ms) for select(k=TOP_K) over the workload."""
+    walls = []
+    started_batch = time.perf_counter()
+    for terms in queries:
+        started = time.perf_counter()
+        selector.select(terms, corpus, TOP_K)
+        walls.append((time.perf_counter() - started) * 1000.0)
+    elapsed = time.perf_counter() - started_batch
+    ordered = sorted(walls)
+    return len(queries) / elapsed, ordered[round(0.50 * (len(ordered) - 1))]
+
+
+def test_bench_selection_qps(write_table):
+    summaries = generate_source_summaries(
+        SummaryPopulationSpec(n_sources=N_SOURCES, topics_per_source=2, seed=31)
+    )
+    index = SummaryIndex.from_summaries(summaries)
+    queries = _build_queries()
+
+    # Equivalence first: on every distinct query, the indexed path and
+    # the dense oracle return the same floats in the same order.
+    distinct = {tuple(terms) for terms in queries}
+    for terms in sorted(distinct):
+        for name, factory in SELECTORS.items():
+            indexed = factory().rank(list(terms), index)
+            dense = factory(backend="dense").rank(list(terms), summaries)
+            assert indexed == dense, (name, terms)
+
+    payload = {
+        "benchmark": "selection_qps",
+        "n_sources": N_SOURCES,
+        "n_queries": N_QUERIES,
+        "top_k": TOP_K,
+        "index_terms": index.term_count,
+        "selectors": {},
+    }
+    for name, factory in SELECTORS.items():
+        indexed_qps, indexed_p50 = _run(factory(), index, queries)
+        # The dense baseline gets the plain dict — no index in sight —
+        # so it pays exactly what the pre-index code paid, nothing more.
+        dense_qps, dense_p50 = _run(factory(backend="dense"), summaries, queries)
+        payload["selectors"][name] = {
+            "indexed_qps": round(indexed_qps, 1),
+            "indexed_p50_ms": round(indexed_p50, 3),
+            "dense_qps": round(dense_qps, 1),
+            "dense_p50_ms": round(dense_p50, 3),
+            "speedup": round(indexed_qps / max(dense_qps, 1e-9), 1),
+        }
+
+    # Overhead neutrality: the same indexed CORI workload under a
+    # disabled registry must not run measurably slower than under the
+    # live one (the no-op instrument is the whole point).
+    live_qps, _ = _run(Cori(), index, queries)
+    previous = get_registry()
+    set_registry(MetricsRegistry.disabled())
+    try:
+        disabled_qps, _ = _run(Cori(), index, queries)
+    finally:
+        set_registry(previous)
+    payload["metrics_overhead"] = {
+        "enabled_qps": round(live_qps, 1),
+        "disabled_qps": round(disabled_qps, 1),
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_selection_qps.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"{N_QUERIES} zipf queries, top-{TOP_K} of {N_SOURCES} sources "
+        f"({index.term_count} indexed terms)",
+        "",
+    ]
+    for name, row in payload["selectors"].items():
+        lines.append(
+            f"{name:<11} dense qps={row['dense_qps']:>7.1f}  "
+            f"indexed qps={row['indexed_qps']:>8.1f}  "
+            f"speedup={row['speedup']:.1f}x"
+        )
+    overhead = payload["metrics_overhead"]
+    lines.append(
+        f"cori w/ metrics disabled: qps={overhead['disabled_qps']:.1f} "
+        f"(enabled: {overhead['enabled_qps']:.1f})"
+    )
+    write_table("SELECTION_qps", lines)
+
+    # The acceptance bar: sparse CORI selection beats the dense corpus
+    # rescan by 5x at a thousand sources.
+    cori = payload["selectors"]["cori"]
+    assert cori["indexed_qps"] >= 5 * cori["dense_qps"]
+    # Disabled metrics must be at least ~as fast as enabled (loose bound
+    # to keep the benchmark robust on noisy machines).
+    assert disabled_qps >= 0.7 * live_qps

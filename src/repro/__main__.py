@@ -88,6 +88,43 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_select(args: argparse.Namespace) -> int:
+    from repro.metasearch import (
+        BGloss,
+        BySize,
+        Cori,
+        RandomSelector,
+        SelectAll,
+        VGlossMax,
+        VGlossSum,
+    )
+
+    selectors = {
+        "cori": Cori,
+        "bgloss": BGloss,
+        "vgloss-sum": VGlossSum,
+        "vgloss-max": VGlossMax,
+        "by-size": BySize,
+        "select-all": SelectAll,
+        "random": RandomSelector,
+    }
+    terms = args.terms.split()
+    if not terms:
+        print("empty query", file=sys.stderr)
+        return 2
+    searcher = _build_searcher(args.seed)
+    index = searcher.discovery.summary_index()
+    selector = selectors[args.selector]()
+    chosen = set(selector.select(terms, index, args.k))
+    print(f"selector: {args.selector}   terms: {' '.join(terms)}")
+    print(f"sources:  {len(index)} harvested, top {args.k} requested")
+    print(f"{'rank':>4}  {'goodness':>12}  source")
+    for rank, (source_id, goodness) in enumerate(selector.rank(terms, index), 1):
+        marker = "*" if source_id in chosen else " "
+        print(f"{rank:>4}{marker} {goodness:>12.4f}  {source_id}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         FederationSpec,
@@ -275,6 +312,19 @@ def main(argv: list[str] | None = None) -> int:
     plan.add_argument("expression")
     plan.add_argument("--sources", type=int, default=2)
     plan.set_defaults(handler=cmd_plan)
+
+    select = commands.add_parser(
+        "select", help="harvest summaries and rank sources for query terms"
+    )
+    select.add_argument("terms", help='query terms, e.g. "distributed databases"')
+    select.add_argument(
+        "--selector",
+        choices=["cori", "bgloss", "vgloss-sum", "vgloss-max", "by-size",
+                 "select-all", "random"],
+        default="cori",
+    )
+    select.add_argument("-k", type=int, default=5, help="sources to select")
+    select.set_defaults(handler=cmd_select)
 
     experiment = commands.add_parser("experiment", help="run one experiment")
     experiment.add_argument("id", help="E1..E6")

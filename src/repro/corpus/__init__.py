@@ -13,7 +13,13 @@ from repro.corpus.canned import (
     source2_documents,
     ullman_dood_document,
 )
-from repro.corpus.generator import CollectionSpec, generate_collection, zipf_weights
+from repro.corpus.generator import (
+    CollectionSpec,
+    SummaryPopulationSpec,
+    generate_collection,
+    generate_source_summaries,
+    zipf_weights,
+)
 from repro.corpus.workload import (
     GeneratedQuery,
     Workload,
@@ -28,7 +34,9 @@ __all__ = [
     "source2_documents",
     "ullman_dood_document",
     "CollectionSpec",
+    "SummaryPopulationSpec",
     "generate_collection",
+    "generate_source_summaries",
     "zipf_weights",
     "GeneratedQuery",
     "Workload",

@@ -44,6 +44,7 @@ from repro.metasearch.selection import (
     VGlossMax,
     VGlossSum,
 )
+from repro.metasearch.summary_index import SummaryIndex, TermColumns
 from repro.metasearch.rewriting import PredicateRewriter, RewriteReport
 from repro.metasearch.translation import (
     ClientTranslator,
@@ -85,6 +86,8 @@ __all__ = [
     "RandomSelector",
     "SelectAll",
     "SourceSelector",
+    "SummaryIndex",
+    "TermColumns",
     "VGlossMax",
     "VGlossSum",
     "PredicateRewriter",

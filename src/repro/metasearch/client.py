@@ -601,7 +601,13 @@ class Metasearcher:
         with tracer.span("select", selector=selector.name, k=k_sources) as span:
             summaries = self.discovery.summaries()
             if summaries:
-                selected_ids = selector.select(terms, summaries, k_sources)
+                # Score against the incrementally maintained summary
+                # index — sparse term shards instead of a dense scan.
+                # The selector's backend decides whether the fast path
+                # or the byte-identical dense oracle actually runs.
+                selected_ids = selector.select(
+                    terms, self.discovery.summary_index(), k_sources
+                )
             else:
                 selected_ids = [source.source_id for source in known[:k_sources]]
             if self.health is not None:
@@ -706,7 +712,11 @@ class Metasearcher:
         summaries = self.discovery.summaries()
 
         lines = [f"plan for terms {terms} (selector {selector.name}, k={k_sources})"]
-        ranked = selector.rank(terms, summaries) if summaries else []
+        ranked = (
+            selector.rank(terms, self.discovery.summary_index())
+            if summaries
+            else []
+        )
         estimator = BGloss()
         for position, (source_id, goodness) in enumerate(ranked):
             chosen = "->" if position < k_sources else "  "

@@ -13,6 +13,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.cache.summaries import SummaryTtlPolicy
+from repro.metasearch.summary_index import SummaryIndex
 from repro.source.sample import SampleResults
 from repro.starts.metadata import SContentSummary, SMetaAttributes
 from repro.transport.client import StartsClient
@@ -70,6 +71,10 @@ class DiscoveryService:
     #: dropped or replaced, so downstream caches (query results,
     #: negative entries) can purge anything derived from it.
     _purge_hooks: list[Callable[[str], None]] = dataclass_field(default_factory=list)
+    #: the inverted view of every harvested summary, maintained as
+    #: deltas: harvest adds, re-harvest replaces, :meth:`forget` drops.
+    #: Selection scores against this instead of rescanning the dict.
+    _summary_index: SummaryIndex = dataclass_field(default_factory=SummaryIndex)
 
     def refresh_resource(self, resource_url: str) -> list[KnownSource]:
         """Fetch a resource's source list and harvest each new source.
@@ -96,6 +101,7 @@ class DiscoveryService:
                     self.unreachable.pop(source_id, None)
                     self._sources[source_id] = known
                     self.fetched_on[source_id] = self.clock
+                    self._summary_index.update(source_id, known.summary)
                     if refreshing:
                         # The source's metadata/summary just changed out
                         # from under anything derived from the old copy.
@@ -147,6 +153,16 @@ class DiscoveryService:
             if known.summary is not None
         }
 
+    def summary_index(self) -> SummaryIndex:
+        """The incrementally maintained inverted summary index.
+
+        Coherent with :meth:`summaries` by construction: every harvest,
+        stale re-harvest and :meth:`forget` applies the matching
+        add/replace/remove delta, alongside the same purge hooks the
+        derived caches listen on.
+        """
+        return self._summary_index
+
     # -- invalidation --------------------------------------------------------
 
     def add_purge_hook(self, hook: Callable[[str], None]) -> None:
@@ -172,6 +188,7 @@ class DiscoveryService:
             # holds the KnownSource record.
             known.summary = None
             known.sample_results = None
+        self._summary_index.remove(source_id)
         self.fetched_on.pop(source_id, None)
         self.unreachable.pop(source_id, None)
         self._fire_purge(source_id)

@@ -23,15 +23,41 @@ selectors:
 
 All selectors are pure functions of the summaries: no document content
 is touched, which is the protocol's whole point.
+
+Every selector runs on one of two backends:
+
+* ``backend="indexed"`` (the default) — when handed a
+  :class:`~repro.metasearch.summary_index.SummaryIndex`, score
+  *sparsely* against its term shards: only sources containing at least
+  one query term are visited, per-term defaults (BGloss's zero product,
+  CORI's 0.4 absent-term belief) are folded in analytically for
+  everyone else, BGloss intersects shards rarest-first so zero products
+  short-circuit, and :meth:`~SourceSelector.select` keeps a bounded
+  heap instead of sorting the full ranking.
+* ``backend="dense"`` — the original dict-of-summaries scan, kept
+  byte-identical as the oracle the equivalence suite pins the sparse
+  path against.  A selector built with this backend runs the dense
+  path even when handed an index (over :meth:`SummaryIndex.summaries`).
+
+A plain ``dict[str, SContentSummary]`` argument always takes the dense
+path — there is nothing sparse to exploit — so existing callers see
+unchanged behaviour.  Both entry points feed the ``selection_eval_ms``
+histogram in the process metrics registry, labelled by selector and the
+backend actually used; a disabled registry turns those observations
+into no-ops.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
+import time
 import zlib
 from collections.abc import Sequence
 
+from repro.metasearch.summary_index import SummaryIndex
+from repro.observability.metrics import get_registry
 from repro.starts.metadata import SContentSummary
 
 __all__ = [
@@ -44,41 +70,190 @@ __all__ = [
     "RandomSelector",
     "BySize",
     "CostAware",
+    "INDEXED",
+    "DENSE",
 ]
+
+#: Backend names accepted by every selector's ``backend`` argument.
+INDEXED = "indexed"
+DENSE = "dense"
+
+Summaries = "dict[str, SContentSummary] | SummaryIndex"
+
+#: The total order every ranking obeys: descending goodness, ties on id.
+def _order_key(pair: tuple[str, float]) -> tuple[float, str]:
+    return (-pair[1], pair[0])
+
+
+def _observe_selection(selector: str, backend: str, duration_ms: float) -> None:
+    get_registry().histogram(
+        "selection_eval_ms",
+        "Wall-clock duration of one source-selection evaluation.",
+        labels=("selector", "backend"),
+    ).labels(selector=selector, backend=backend).observe(duration_ms)
 
 
 class SourceSelector:
-    """Interface: score every source for a query, best first."""
+    """Interface: score every source for a query, best first.
+
+    Args:
+        backend: ``"indexed"`` scores sparsely against a
+            :class:`SummaryIndex` when one is passed; ``"dense"`` always
+            runs the original per-summary scan (the bit-exact oracle).
+    """
 
     name = "base"
+
+    def __init__(self, backend: str = INDEXED) -> None:
+        if backend not in (INDEXED, DENSE):
+            raise ValueError(f"unknown selection backend: {backend!r}")
+        self.backend = backend
+
+    # -- public entry points (timed) ---------------------------------------
 
     def rank(
         self,
         terms: Sequence[str],
-        summaries: dict[str, SContentSummary],
+        summaries: Summaries,
     ) -> list[tuple[str, float]]:
         """(source_id, goodness) sorted by descending goodness.
 
         Ties break on source id for determinism.
         """
-        scored = [
-            (source_id, self.score(terms, summary))
-            for source_id, summary in summaries.items()
-        ]
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored
+        started = time.perf_counter()
+        try:
+            return self._rank_impl(terms, summaries)
+        finally:
+            _observe_selection(
+                self.name,
+                self._backend_used(summaries),
+                (time.perf_counter() - started) * 1000.0,
+            )
 
     def select(
         self,
         terms: Sequence[str],
-        summaries: dict[str, SContentSummary],
+        summaries: Summaries,
         k: int,
     ) -> list[str]:
         """The ids of the top-k sources."""
-        return [source_id for source_id, _ in self.rank(terms, summaries)[:k]]
+        started = time.perf_counter()
+        try:
+            return self._select_impl(terms, summaries, k)
+        finally:
+            _observe_selection(
+                self.name,
+                self._backend_used(summaries),
+                (time.perf_counter() - started) * 1000.0,
+            )
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError
+
+    def _backend_used(self, summaries: Summaries) -> str:
+        if isinstance(summaries, SummaryIndex) and self.backend == INDEXED:
+            return INDEXED
+        return DENSE
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _rank_impl(
+        self, terms: Sequence[str], summaries: Summaries
+    ) -> list[tuple[str, float]]:
+        if isinstance(summaries, SummaryIndex):
+            if self.backend == DENSE:
+                return self._rank_dense(terms, summaries.summaries())
+            return self._rank_indexed(terms, summaries)
+        return self._rank_dense(terms, summaries)
+
+    def _select_impl(
+        self, terms: Sequence[str], summaries: Summaries, k: int
+    ) -> list[str]:
+        if isinstance(summaries, SummaryIndex) and self.backend == INDEXED:
+            return self._select_indexed(terms, summaries, k)
+        return [source_id for source_id, _ in self._rank_impl(terms, summaries)[:k]]
+
+    # -- the dense oracle --------------------------------------------------
+
+    def _rank_dense(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+    ) -> list[tuple[str, float]]:
+        scored = [
+            (source_id, self.score(terms, summary))
+            for source_id, summary in summaries.items()
+        ]
+        scored.sort(key=_order_key)
+        return scored
+
+    # -- the sparse indexed path -------------------------------------------
+
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float] | None:
+        """``(ordinal → score, default score for everyone else)``.
+
+        ``None`` means the selector has no sparse form; the indexed path
+        then falls back to dense scoring over the index's summaries.
+        """
+        return None
+
+    def _scored_indexed(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> list[tuple[str, float]]:
+        sparse = self._sparse_scores(terms, index)
+        if sparse is None:
+            return [
+                (source_id, self.score(terms, index.summary(source_id)))
+                for source_id, _ in index.sorted_sources()
+            ]
+        touched, default = sparse
+        return [
+            (source_id, touched.get(ordinal, default))
+            for source_id, ordinal in index.sorted_sources()
+        ]
+
+    def _rank_indexed(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> list[tuple[str, float]]:
+        scored = self._scored_indexed(terms, index)
+        scored.sort(key=_order_key)
+        return scored
+
+    def _select_indexed(
+        self, terms: Sequence[str], index: SummaryIndex, k: int
+    ) -> list[str]:
+        """Top-k via a bounded heap, never materializing the full sort.
+
+        Sources outside the touched set all carry the same default
+        score, so only the first k of them (in id order — exactly how
+        their ties break) can possibly make the cut.
+        """
+        sparse = self._sparse_scores(terms, index)
+        if sparse is None:
+            scored = self._scored_indexed(terms, index)
+            return [
+                source_id
+                for source_id, _ in heapq.nsmallest(k, scored, key=_order_key)
+            ]
+        touched, default = sparse
+        pool = [
+            (index.source_id(ordinal), goodness)
+            for ordinal, goodness in touched.items()
+        ]
+        if len(touched) < len(index):
+            filled = 0
+            for source_id, ordinal in index.sorted_sources():
+                if ordinal in touched:
+                    continue
+                pool.append((source_id, default))
+                filled += 1
+                if filled >= k:
+                    break
+        return [
+            source_id for source_id, _ in heapq.nsmallest(k, pool, key=_order_key)
+        ]
 
 
 class BGloss(SourceSelector):
@@ -98,6 +273,48 @@ class BGloss(SourceSelector):
                 return 0.0
         return estimate
 
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float]:
+        if not terms:
+            # No conjuncts: the estimate is the document count itself.
+            return (
+                {
+                    ordinal: float(n_docs)
+                    for _, ordinal in index.sorted_sources()
+                    if (n_docs := index.num_docs(ordinal)) > 0
+                },
+                0.0,
+            )
+        columns = [index.term_columns(term) for term in terms]
+        # Rarest term first: the candidate set can only shrink, and a
+        # term absent everywhere zeroes every product immediately.
+        by_rarity = sorted(columns, key=len)
+        if not len(by_rarity[0]):
+            return {}, 0.0
+        candidates = set(by_rarity[0].positions)
+        for shard in by_rarity[1:]:
+            positions = shard.positions
+            candidates = {
+                ordinal for ordinal in candidates if ordinal in positions
+            }
+            if not candidates:
+                return {}, 0.0
+        touched: dict[int, float] = {}
+        for ordinal in candidates:
+            n_docs = index.num_docs(ordinal)
+            if n_docs <= 0:
+                continue
+            estimate = float(n_docs)
+            for shard in columns:  # original term order: float-exact
+                df = shard.document_frequencies[shard.positions[ordinal]]
+                estimate *= df / n_docs
+                if estimate == 0.0:
+                    break
+            if estimate != 0.0:
+                touched[ordinal] = estimate
+        return touched, 0.0
+
 
 class VGlossSum(SourceSelector):
     """Vector-space GlOSS, Sum variant: total postings mass of the terms."""
@@ -106,6 +323,19 @@ class VGlossSum(SourceSelector):
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         return float(sum(summary.total_postings(term) for term in terms))
+
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float]:
+        totals: dict[int, int] = {}
+        for term in terms:
+            shard = index.term_columns(term)
+            for ordinal, postings in zip(shard.ordinals, shard.postings):
+                totals[ordinal] = totals.get(ordinal, 0) + postings
+        return (
+            {ordinal: float(total) for ordinal, total in totals.items()},
+            0.0,
+        )
 
 
 class VGlossMax(SourceSelector):
@@ -128,6 +358,37 @@ class VGlossMax(SourceSelector):
                 goodness += df * (1.0 + math.log(max(average_tf, 1.0)))
         return goodness
 
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float]:
+        n_terms = len(terms)
+        if not n_terms:
+            return {}, 0.0
+        # Gather each touched source's (df, postings) per query position
+        # into a flat row, then accumulate in query-term order so the
+        # float sums match the dense path bit for bit.
+        rows: dict[int, list[int]] = {}
+        for position, term in enumerate(terms):
+            shard = index.term_columns(term)
+            offset = 2 * position
+            dfs, postings = shard.document_frequencies, shard.postings
+            for slot, ordinal in enumerate(shard.ordinals):
+                row = rows.get(ordinal)
+                if row is None:
+                    row = rows[ordinal] = [0] * (2 * n_terms)
+                row[offset] = dfs[slot]
+                row[offset + 1] = postings[slot]
+        touched: dict[int, float] = {}
+        for ordinal, row in rows.items():
+            goodness = 0.0
+            for position in range(n_terms):
+                df = row[2 * position]
+                if df > 0:
+                    average_tf = row[2 * position + 1] / df
+                    goodness += df * (1.0 + math.log(max(average_tf, 1.0)))
+            touched[ordinal] = goodness
+        return touched, 0.0
+
 
 class Cori(SourceSelector):
     """CORI (Callan et al., ref [5]): df.icf belief scoring of sources.
@@ -137,14 +398,18 @@ class Cori(SourceSelector):
         I = log((C + 0.5) / cf_t) / log(C + 1.0)
         belief = 0.4 + 0.6 * T * I
     where cw_s is the source's total word mass, C the number of
-    sources, and cf_t how many sources contain t.  Requires the full
-    summary set, so ``rank`` is overridden; ``score`` alone cannot be
-    computed without corpus-level statistics.
+    sources, and cf_t how many sources contain t.  Requires corpus-level
+    statistics, so ``score`` alone cannot be computed: the dense path
+    rescans the full summary set per call, while the indexed path reads
+    the incrementally maintained corpus columns and visits only sources
+    containing at least one query term — every absent term contributes
+    the default 0.4 belief, folded in analytically for untouched
+    sources.
     """
 
     name = "CORI"
 
-    def rank(
+    def _rank_dense(
         self,
         terms: Sequence[str],
         summaries: dict[str, SContentSummary],
@@ -178,8 +443,59 @@ class Cori(SourceSelector):
                 beliefs.append(0.4 + 0.6 * t_part * max(i_part, 0.0))
             goodness = sum(beliefs) / len(beliefs) if beliefs else 0.0
             scored.append((source_id, goodness))
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        scored.sort(key=_order_key)
         return scored
+
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float]:
+        n_sources = len(index)
+        n_terms = len(terms)
+        if not n_sources or not n_terms:
+            return {}, 0.0
+        mean_mass = index.mean_clamped_word_mass()
+        columns = [index.term_columns(term) for term in terms]
+        # Per-term I components depend only on maintained corpus stats.
+        log_denominator = math.log(n_sources + 1.0)
+        i_parts: list[float] = []
+        for shard in columns:
+            cf = shard.collection_frequency
+            if cf == 0:
+                i_parts.append(0.0)  # unused: every df is 0 for this term
+            else:
+                i_parts.append(
+                    max(math.log((n_sources + 0.5) / cf) / log_denominator, 0.0)
+                )
+        rows: dict[int, list[int]] = {}
+        for position, shard in enumerate(columns):
+            dfs = shard.document_frequencies
+            for slot, ordinal in enumerate(shard.ordinals):
+                row = rows.get(ordinal)
+                if row is None:
+                    row = rows[ordinal] = [0] * n_terms
+                row[position] = dfs[slot]
+        # The all-absent belief profile, summed exactly as the dense
+        # path sums a per-term list of 0.4s.
+        default_sum = 0.0
+        for _ in range(n_terms):
+            default_sum += 0.4
+        default = default_sum / n_terms
+        touched: dict[int, float] = {}
+        for ordinal, row in rows.items():
+            # Hoisted per-source mass ratio: the dense path evaluates
+            # the identical sub-expression per term; hoisting it is
+            # bit-neutral because the operands never change mid-query.
+            mass_ratio = 150.0 * index.clamped_word_mass(ordinal) / mean_mass
+            belief_sum = 0.0
+            for position in range(n_terms):
+                df = row[position]
+                if df == 0:
+                    belief_sum += 0.4
+                else:
+                    t_part = df / (df + 50.0 + mass_ratio)
+                    belief_sum += 0.4 + 0.6 * t_part * i_parts[position]
+            touched[ordinal] = belief_sum / n_terms
+        return touched, default
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError("CORI needs the full summary set; use rank()")
@@ -193,27 +509,48 @@ class SelectAll(SourceSelector):
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         return 1.0
 
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float]:
+        return {}, 1.0
+
 
 class RandomSelector(SourceSelector):
     """Baseline: a seeded random permutation per query."""
 
     name = "random"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, backend: str = INDEXED) -> None:
+        super().__init__(backend)
         self._seed = seed
 
-    def rank(
-        self,
-        terms: Sequence[str],
-        summaries: dict[str, SContentSummary],
+    def _permute(
+        self, terms: Sequence[str], ids: list[str]
     ) -> list[tuple[str, float]]:
         # zlib.crc32 rather than hash(): Python string hashing is
         # randomized per process, which would break reproducibility.
         digest = zlib.crc32(" ".join(terms).encode("utf-8"))
         rng = random.Random((self._seed * 2654435761 + digest) & 0xFFFFFFFF)
-        ids = sorted(summaries)
         rng.shuffle(ids)
         return [(source_id, float(len(ids) - index)) for index, source_id in enumerate(ids)]
+
+    def _rank_dense(
+        self,
+        terms: Sequence[str],
+        summaries: dict[str, SContentSummary],
+    ) -> list[tuple[str, float]]:
+        return self._permute(terms, sorted(summaries))
+
+    def _scored_indexed(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> list[tuple[str, float]]:
+        return self._permute(terms, index.source_ids())
+
+    def _rank_indexed(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> list[tuple[str, float]]:
+        # Already a full permutation; the order key would only re-derive it.
+        return self._scored_indexed(terms, index)
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError("RandomSelector ranks, it does not score")
@@ -227,12 +564,27 @@ class BySize(SourceSelector):
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         return float(summary.num_docs)
 
+    def _sparse_scores(
+        self, terms: Sequence[str], index: SummaryIndex
+    ) -> tuple[dict[int, float], float]:
+        return (
+            {
+                ordinal: float(n_docs)
+                for _, ordinal in index.sorted_sources()
+                if (n_docs := index.num_docs(ordinal)) != 0
+            },
+            0.0,
+        )
+
 
 class CostAware(SourceSelector):
     """Discount an inner selector's goodness by per-source cost.
 
     ``utility = goodness / (1 + tradeoff * cost)``; costs default to 0,
-    so unspecified sources are unaffected.
+    so unspecified sources are unaffected.  The backend is the inner
+    selector's business: the discount itself is the same scalar
+    operation either way, so dense and indexed rankings stay bit-exact
+    together.
     """
 
     name = "cost-aware"
@@ -243,17 +595,18 @@ class CostAware(SourceSelector):
         costs: dict[str, float],
         tradeoff: float = 1.0,
     ) -> None:
+        super().__init__(inner.backend)
         self._inner = inner
         self._costs = costs
         self._tradeoff = tradeoff
         self.name = f"cost-aware({inner.name})"
 
-    def rank(
+    def _rank_impl(
         self,
         terms: Sequence[str],
-        summaries: dict[str, SContentSummary],
+        summaries: Summaries,
     ) -> list[tuple[str, float]]:
-        ranked = self._inner.rank(terms, summaries)
+        ranked = self._inner._rank_impl(terms, summaries)
         discounted = [
             (
                 source_id,
@@ -261,8 +614,21 @@ class CostAware(SourceSelector):
             )
             for source_id, goodness in ranked
         ]
-        discounted.sort(key=lambda pair: (-pair[1], pair[0]))
+        discounted.sort(key=_order_key)
         return discounted
+
+    def _select_impl(
+        self, terms: Sequence[str], summaries: Summaries, k: int
+    ) -> list[str]:
+        # Discounting can promote a source past the inner top-k, so the
+        # full discounted ranking is required either way; the heap only
+        # skips the final sort.
+        return [
+            source_id
+            for source_id, _ in heapq.nsmallest(
+                k, self._rank_impl(terms, summaries), key=_order_key
+            )
+        ]
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError("CostAware wraps rank(), not score()")

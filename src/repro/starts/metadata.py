@@ -429,13 +429,51 @@ class SContentSummary:
             return list(by_word.get(word, ()))
         return list(by_word_field.get((word, field), ()))
 
+    def word_statistics(self) -> dict[str, tuple[int, int]]:
+        """``word key → (total postings, total df)`` across all sections.
+
+        The key is the entry word, lowercased unless the summary is
+        case sensitive (the same keying :meth:`lookup` uses); negative
+        statistics (absent per the "at least one of" rule) clamp to 0.
+        Built once on first access and memoized, so the per-query probes
+        of :meth:`document_frequency` / :meth:`total_postings` are a
+        single dict get instead of a list walk per call.  Like the word
+        index, the memo is invalidated whenever ``sections`` is swapped
+        out (the summary is otherwise immutable) — callers that replace
+        ``sections`` via ``object.__setattr__`` get fresh statistics on
+        the next probe.
+        """
+        cached = self.__dict__.get("_word_stats_cache")
+        if cached is not None and cached[0] is self.sections:
+            return cached[1]
+        by_word, _ = self._word_index()
+        stats = {
+            word: (
+                sum(max(entry.postings, 0) for entry in entries),
+                sum(max(entry.document_frequency, 0) for entry in entries),
+            )
+            for word, entries in by_word.items()
+        }
+        object.__setattr__(self, "_word_stats_cache", (self.sections, stats))
+        return stats
+
     def document_frequency(self, word: str, field: str | None = None) -> int:
         """Total df of ``word`` across sections (0 if absent)."""
+        if field is None:
+            if not self.case_sensitive:
+                word = word.lower()
+            stats = self.word_statistics().get(word)
+            return stats[1] if stats is not None else 0
         return sum(
             max(entry.document_frequency, 0) for entry in self.lookup(word, field)
         )
 
     def total_postings(self, word: str, field: str | None = None) -> int:
+        if field is None:
+            if not self.case_sensitive:
+                word = word.lower()
+            stats = self.word_statistics().get(word)
+            return stats[0] if stats is not None else 0
         return sum(max(entry.postings, 0) for entry in self.lookup(word, field))
 
     def total_word_mass(self) -> int:

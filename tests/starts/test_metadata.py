@@ -185,6 +185,32 @@ class TestSContentSummary:
     def test_missing_word_is_zero(self):
         assert self.summary().document_frequency("nonexistent") == 0
 
+    def test_word_statistics_memoized(self):
+        s = self.summary()
+        stats = s.word_statistics()
+        assert stats["algorithm"] == (100, 53)
+        assert s.word_statistics() is stats  # built once, reused
+        # The memo backs the field-less fast paths.
+        assert s.document_frequency("algorithm") == 53
+        assert s.total_postings("algorithm") == 100
+
+    def test_word_statistics_invalidated_when_sections_swap(self):
+        s = self.summary()
+        assert "datos" in s.word_statistics()
+        object.__setattr__(s, "sections", s.sections[:1])
+        fresh = s.word_statistics()
+        assert "datos" not in fresh
+        assert s.total_postings("datos") == 0
+
+    def test_field_restricted_lookups_bypass_memo(self):
+        s = self.summary()
+        s.word_statistics()
+        # A field restriction must still scan the sections, not the
+        # whole-summary memo.
+        assert s.document_frequency("algorithm", "title") == 53
+        assert s.document_frequency("algorithm", "author") == 0
+        assert s.total_postings("datos", "title") == 59
+
 
 class TestSResource:
     def test_round_trip_and_example12(self):

@@ -49,6 +49,26 @@ class TestQueryCommand:
         assert code == 0
 
 
+class TestSelectCommand:
+    def test_ranks_and_marks_selected(self, capsys):
+        code = main(["--seed", "3", "select", "distributed databases", "-k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selector: cori" in out
+        assert "4 harvested" in out
+        # The goodness table lists every source, selected ones starred.
+        assert out.count("*") == 2
+        assert "Source-DB" in out
+
+    def test_selector_choice(self, capsys):
+        code = main(["--seed", "3", "select", "databases", "--selector", "bgloss"])
+        assert code == 0
+        assert "selector: bgloss" in capsys.readouterr().out
+
+    def test_empty_query_fails(self, capsys):
+        assert main(["select", "   "]) == 2
+
+
 class TestExperimentCommand:
     def test_e4_runs_quickly(self, capsys):
         assert main(["experiment", "E4"]) == 0

@@ -9,6 +9,7 @@ times one full metasearch (select → translate → query → merge).
 
 import json
 import pathlib
+import threading
 import time
 from collections import Counter
 
@@ -52,7 +53,9 @@ def test_bench_e2e_latency_json(write_table):
     Builds a fresh 8-source world, refreshes with instantaneous
     simulated time, then flips the internet into realtime mode so each
     ~20 ms host latency is actually slept — making the executor choice
-    visible on the wall clock.  The figures land in
+    visible on the wall clock.  Also measures the streaming path:
+    time-to-first-result through ``search_stream`` and the p99 stream
+    latency under concurrent load.  The figures land in
     ``BENCH_e2e_latency.json`` so future runs have a perf trajectory.
     """
     spec = FederationSpec(
@@ -82,6 +85,52 @@ def test_bench_e2e_latency_json(write_table):
             else result.query_latency_parallel_ms
         )
         outcome_counts.update(result.outcome_counts())
+
+    # Streaming columns: the first merged emission lands long before the
+    # whole round does, and concurrent streams stay bounded at p99.
+    def streaming_searcher() -> Metasearcher:
+        fresh = Metasearcher(
+            world.internet,
+            [world.resource_url],
+            cache_policy=CachePolicy.disabled(),
+        )
+        world.internet.realtime = False
+        fresh.refresh()
+        world.internet.realtime = True
+        return fresh
+
+    def stream_once(searcher: Metasearcher) -> tuple[float, float]:
+        """(time to first merged documents, total stream wall) in ms."""
+        started = time.perf_counter()
+        first_ms = None
+        for emission in searcher.search_stream(
+            query, k_sources=8, executor=ParallelExecutor()
+        ):
+            if first_ms is None and emission.documents:
+                first_ms = (time.perf_counter() - started) * 1000.0
+        total_ms = (time.perf_counter() - started) * 1000.0
+        return first_ms if first_ms is not None else total_ms, total_ms
+
+    time_to_first_ms, _ = stream_once(streaming_searcher())
+
+    stream_walls: list[float] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        searcher = streaming_searcher()
+        for _ in range(4):
+            _, total_ms = stream_once(searcher)
+            with lock:
+                stream_walls.append(total_ms)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stream_walls.sort()
+    p99_index = min(len(stream_walls) - 1, int(len(stream_walls) * 0.99))
+    p99_under_concurrency_ms = stream_walls[p99_index]
     world.internet.realtime = False
 
     payload = {
@@ -92,6 +141,8 @@ def test_bench_e2e_latency_json(write_table):
         "parallel_wall_ms": round(walls["parallel"], 3),
         "simulated_serial_ms": round(simulated["serial"], 3),
         "simulated_parallel_ms": round(simulated["parallel"], 3),
+        "time_to_first_result_ms": round(time_to_first_ms, 3),
+        "p99_under_concurrency_ms": round(p99_under_concurrency_ms, 3),
         "outcome_counts": dict(sorted(outcome_counts.items())),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -107,8 +158,11 @@ def test_bench_e2e_latency_json(write_table):
             f"simulated={payload['simulated_serial_ms']:.1f}ms",
             f"parallel  wall={payload['parallel_wall_ms']:.1f}ms "
             f"simulated={payload['simulated_parallel_ms']:.1f}ms",
+            f"stream    first-result={payload['time_to_first_result_ms']:.1f}ms "
+            f"p99-under-concurrency={payload['p99_under_concurrency_ms']:.1f}ms",
         ],
     )
 
     assert payload["parallel_wall_ms"] < payload["serial_wall_ms"]
+    assert payload["time_to_first_result_ms"] < payload["serial_wall_ms"]
     assert not set(payload["outcome_counts"]) - {"ok", "skipped"}

@@ -1,0 +1,215 @@
+"""Streaming federation at scale: first results early, thousands in flight.
+
+The asyncio executor's two headline claims, measured:
+
+* **Time to first result.**  Over 64 sources with heterogeneous
+  latencies (5–145 ms simulated), a streamed search must surface its
+  first merged documents in well under half the batch search's median
+  wall time — the fast sources answer while the stragglers are still
+  on the wire.
+* **In-flight scale.**  One process must hold hundreds of concurrent
+  source queries: 512 requests dispatched through a single
+  ``AsyncExecutor`` peak at >= 256 simultaneously in flight (each wait
+  is a suspended coroutine, not a blocked thread).
+
+Figures land in ``benchmarks/results/BENCH_streaming.json``.
+"""
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro.cache import CachePolicy
+from repro.corpus import source1_documents
+from repro.federation import (
+    AsyncExecutor,
+    QueryDispatcher,
+    QueryPolicy,
+    SourceRequest,
+)
+from repro.metasearch import Metasearcher, SelectAll
+from repro.resource import Resource
+from repro.source import StartsSource
+from repro.starts import SQuery, parse_expression
+from repro.transport import (
+    HostProfile,
+    SimulatedInternet,
+    StartsClient,
+    publish_resource,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_SOURCES = 64
+N_ROUNDS = 5
+
+
+def ranking_query() -> SQuery:
+    return SQuery(
+        ranking_expression=parse_expression('(body-of-text "databases")'),
+        max_number_documents=10,
+    )
+
+
+def _publish_fleet(internet, latency_for, tag):
+    sources = [
+        StartsSource(
+            f"{tag}-{index:02d}",
+            source1_documents(),
+            base_url=f"http://{tag.lower()}{index:02d}.org/s",
+        )
+        for index in range(N_SOURCES)
+    ]
+    resource = Resource(tag, sources)
+    publish_resource(
+        internet,
+        resource,
+        f"http://{tag.lower()}.org",
+        source_profiles={
+            source.source_id: HostProfile(
+                latency_ms=latency_for(index), jitter_ms=0.0
+            )
+            for index, source in enumerate(sources)
+        },
+    )
+    return sources
+
+
+def _heterogeneous_searcher() -> Metasearcher:
+    """64 sources spread over 5–145 ms simulated latency, realtime 1/4 speed."""
+    internet = SimulatedInternet(seed=6)
+    _publish_fleet(internet, lambda index: 5.0 + 2.2 * index, "Fleet")
+    searcher = Metasearcher(
+        internet,
+        ["http://fleet.org/resource"],
+        selector=SelectAll(),
+        cache_policy=CachePolicy.disabled(),
+        query_policy=QueryPolicy(timeout_ms=2_000.0),
+    )
+    searcher.refresh()
+    internet.realtime = True
+    internet.time_scale = 0.25
+    return searcher
+
+
+def test_bench_streaming_first_result(write_table):
+    """ttfr must beat half the batch p50 over 64 concurrent sources."""
+    searcher = _heterogeneous_searcher()
+    query = ranking_query()
+
+    batch_walls: list[float] = []
+    for _ in range(N_ROUNDS):
+        executor = AsyncExecutor(max_concurrency=N_SOURCES)
+        started = time.perf_counter()
+        result = searcher.search(query, k_sources=N_SOURCES, executor=executor)
+        batch_walls.append((time.perf_counter() - started) * 1000.0)
+        assert len(result.ok_sources()) == N_SOURCES
+
+    first_result_walls: list[float] = []
+    stream_walls: list[float] = []
+    for _ in range(N_ROUNDS):
+        executor = AsyncExecutor(max_concurrency=N_SOURCES)
+        started = time.perf_counter()
+        first_ms = None
+        for emission in searcher.search_stream(
+            query,
+            k_sources=N_SOURCES,
+            executor=executor,
+            early_stop=False,
+        ):
+            if first_ms is None and emission.documents:
+                first_ms = (time.perf_counter() - started) * 1000.0
+        stream_walls.append((time.perf_counter() - started) * 1000.0)
+        assert first_ms is not None
+        first_result_walls.append(first_ms)
+
+    batch_p50 = statistics.median(batch_walls)
+    ttfr_p50 = statistics.median(first_result_walls)
+
+    payload = {
+        "benchmark": "streaming",
+        "n_sources": N_SOURCES,
+        "rounds": N_ROUNDS,
+        "batch_p50_ms": round(batch_p50, 3),
+        "time_to_first_result_p50_ms": round(ttfr_p50, 3),
+        "ttfr_over_batch_p50": round(ttfr_p50 / batch_p50, 4),
+        "stream_total_p50_ms": round(statistics.median(stream_walls), 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    existing = {}
+    path = RESULTS_DIR / "BENCH_streaming.json"
+    if path.exists():
+        existing = json.loads(path.read_text())
+    existing.update(payload)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+    write_table(
+        "BENCH_streaming_first_result",
+        [
+            f"streaming over {N_SOURCES} sources (5-145 ms simulated, 1/4 realtime)",
+            "",
+            f"batch p50:           {batch_p50:8.1f} ms",
+            f"first result p50:    {ttfr_p50:8.1f} ms "
+            f"({payload['ttfr_over_batch_p50']:.2f}x of batch)",
+        ],
+    )
+
+    # Acceptance: first merged results in under half the batch median.
+    assert ttfr_p50 < 0.5 * batch_p50
+
+
+def test_bench_streaming_inflight_scale(write_table):
+    """512 source queries through one executor peak >= 256 in flight."""
+    internet = SimulatedInternet(seed=8)
+    sources = _publish_fleet(internet, lambda index: 400.0, "Deep")
+    internet.realtime = True
+    internet.time_scale = 0.25  # every request sleeps ~100 ms of wall clock
+
+    executor = AsyncExecutor(max_concurrency=512)
+    dispatcher = QueryDispatcher(
+        StartsClient(internet),
+        executor=executor,
+        policy=QueryPolicy(timeout_ms=2_000.0),
+    )
+    # Eight interleaved waves over the 64 hosts: 512 concurrent requests.
+    requests = [
+        SourceRequest(
+            source.source_id,
+            f"{source.base_url}/query",
+            ranking_query(),
+        )
+        for _ in range(8)
+        for source in sources
+    ]
+    started = time.perf_counter()
+    outcomes = dispatcher.dispatch(requests)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+
+    assert all(outcome.ok for outcome in outcomes)
+    peak = executor.peak_inflight
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_streaming.json"
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    existing.update(
+        {
+            "inflight_requests": len(requests),
+            "peak_inflight": peak,
+            "inflight_wall_ms": round(wall_ms, 3),
+        }
+    )
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+    write_table(
+        "BENCH_streaming_inflight",
+        [
+            f"{len(requests)} source queries, one asyncio executor",
+            "",
+            f"peak in flight:  {peak}",
+            f"wall:            {wall_ms:8.1f} ms "
+            f"(vs ~{len(requests) * 100:.0f} ms if serial)",
+        ],
+    )
+
+    assert peak >= 256

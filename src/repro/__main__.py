@@ -5,6 +5,9 @@ Commands:
 * ``demo`` — build the quick federation and run one metasearch.
 * ``query EXPR`` — run a STARTS ranking expression over the quick
   federation (e.g. ``python -m repro query '(body-of-text "databases")'``).
+* ``search EXPR [--stream]`` — run a metasearch; with ``--stream``,
+  print merged results incrementally (with per-emission latency) as
+  sources answer, via the asyncio executor.
 * ``experiment {E1,E2,E3,E4,E5,E6}`` — run one experiment and print its
   table (smaller federation than benchmarks/, for quick looks).
 * ``parse EXPR`` — parse an expression and print its canonical form and
@@ -58,6 +61,49 @@ def cmd_query(args: argparse.Namespace) -> int:
     result = searcher.search(query, k_sources=args.sources)
     print("selected sources:", ", ".join(result.selected_sources))
     for document in result.documents:
+        print(f"{document.score:10.4f}  [{document.source_id}]  {document.linkage}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    expression = parse_expression(args.expression)
+    if expression is None:
+        print("empty expression", file=sys.stderr)
+        return 2
+    searcher = _build_searcher(args.seed)
+    executor = None
+    if args.stream:
+        from repro.federation import AsyncExecutor
+
+        if args.realtime:
+            searcher.client.internet.realtime = True
+        executor = AsyncExecutor(max_concurrency=max(args.sources, 1))
+    query = SQuery(ranking_expression=expression, max_number_documents=args.limit)
+    if not args.stream:
+        result = searcher.search(query, k_sources=args.sources)
+        print("selected sources:", ", ".join(result.selected_sources))
+        for document in result.documents:
+            print(f"{document.score:10.4f}  [{document.source_id}]  {document.linkage}")
+        return 0
+    final = None
+    for emission in searcher.search_stream(
+        query, k_sources=args.sources, executor=executor
+    ):
+        if emission.is_final:
+            final = emission
+            continue
+        source = emission.outcome.source_id if emission.outcome else "-"
+        status = emission.outcome.status.value if emission.outcome else "-"
+        print(
+            f"[{emission.elapsed_ms:8.1f} ms] #{emission.sequence} "
+            f"{source}: {status}  merged={len(emission.documents)} "
+            f"pending={emission.pending}"
+        )
+    if final is None:
+        return 1
+    flag = "  (terminated early)" if final.terminated_early else ""
+    print(f"final after {final.elapsed_ms:.1f} ms{flag}:")
+    for document in final.documents:
         print(f"{document.score:10.4f}  [{document.source_id}]  {document.linkage}")
     return 0
 
@@ -303,6 +349,24 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--limit", type=int, default=10)
     query.add_argument("--sources", type=int, default=2)
     query.set_defaults(handler=cmd_query)
+
+    search = commands.add_parser(
+        "search", help="run a metasearch, optionally streaming merged results"
+    )
+    search.add_argument("expression")
+    search.add_argument(
+        "--stream",
+        action="store_true",
+        help="print merged results incrementally as sources answer",
+    )
+    search.add_argument(
+        "--realtime",
+        action="store_true",
+        help="with --stream: sleep out simulated latencies on the wall clock",
+    )
+    search.add_argument("--limit", type=int, default=10)
+    search.add_argument("--sources", type=int, default=3)
+    search.set_defaults(handler=cmd_search)
 
     parse = commands.add_parser("parse", help="parse and re-serialize")
     parse.add_argument("expression")

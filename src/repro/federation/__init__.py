@@ -7,6 +7,11 @@ hedging), and partial-result outcomes that keep a search alive when
 individual sources fail.
 """
 
+from repro.federation.aio import (
+    AsyncExecutor,
+    AsyncSourceAdapter,
+    ClientSourceAdapter,
+)
 from repro.federation.executor import (
     Executor,
     ParallelExecutor,
@@ -18,6 +23,9 @@ from repro.federation.policy import QueryPolicy
 from repro.federation.runner import QueryDispatcher, SourceRequest
 
 __all__ = [
+    "AsyncExecutor",
+    "AsyncSourceAdapter",
+    "ClientSourceAdapter",
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",

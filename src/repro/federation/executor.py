@@ -13,15 +13,18 @@ depend on completion order.
 
 from __future__ import annotations
 
+import logging
 import threading
-from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor as _ThreadPool, wait
 from typing import Protocol, TypeVar, runtime_checkable
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "submit_background"]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
+
+logger = logging.getLogger(__name__)
 
 
 @runtime_checkable
@@ -44,6 +47,18 @@ class SerialExecutor:
         self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
     ) -> list[ResultT]:
         return [fn(task) for task in tasks]
+
+    def run_stream(
+        self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
+    ) -> Iterator[tuple[int, ResultT]]:
+        """Yield ``(index, result)`` lazily, one task at a time.
+
+        Completion order *is* task order here, but laziness matters:
+        a streaming caller that stops early never runs the remaining
+        tasks at all.
+        """
+        for index, task in enumerate(tasks):
+            yield index, fn(task)
 
     def submit(self, fn: Callable[[], object]) -> None:
         """Run ``fn`` inline — single-threaded code stays deterministic."""
@@ -76,6 +91,33 @@ class ParallelExecutor:
         with _ThreadPool(max_workers=min(workers, len(tasks))) as pool:
             return list(pool.map(fn, tasks))
 
+    def run_stream(
+        self, tasks: Sequence[TaskT], fn: Callable[[TaskT], ResultT]
+    ) -> Iterator[tuple[int, ResultT]]:
+        """Yield ``(index, result)`` pairs in completion order.
+
+        Futures are submitted up front; each ``next()`` waits for the
+        earliest remaining completion, so a streaming caller sees the
+        fastest source first.  Abandoning the generator cancels any
+        futures that have not started.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        workers = self.max_workers or min(32, len(tasks))
+        pool = _ThreadPool(max_workers=min(workers, len(tasks)))
+        try:
+            futures = {pool.submit(fn, task): index for index, task in enumerate(tasks)}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def submit(self, fn: Callable[[], object]) -> None:
         """Run ``fn`` on a daemon thread; the caller never waits for it.
 
@@ -88,14 +130,37 @@ class ParallelExecutor:
         threading.Thread(target=fn, daemon=True).start()
 
 
-def submit_background(executor: object, fn: Callable[[], object]) -> None:
+def submit_background(
+    executor: object, fn: Callable[[], object], task_name: str = "background"
+) -> None:
     """Schedule ``fn`` through ``executor.submit`` when it has one.
 
     Third-party executors only promise :class:`Executor`'s ``run``;
     for those, background work degrades gracefully to running inline.
+
+    A worker exception used to vanish with its daemon thread (or, run
+    inline, blow up a caller that had already been served its answer).
+    Now every failure is surfaced the same way regardless of executor:
+    logged with its traceback and counted in the
+    ``background_task_failures_total`` metric, never re-raised into the
+    foreground request.
     """
+
+    def guarded() -> None:
+        try:
+            fn()
+        except Exception:
+            logger.exception("background task %r failed", task_name)
+            from repro.observability.metrics import get_registry
+
+            get_registry().counter(
+                "background_task_failures_total",
+                "Exceptions raised by fire-and-forget background tasks.",
+                labels=("task",),
+            ).labels(task=task_name).inc()
+
     submit = getattr(executor, "submit", None)
     if callable(submit):
-        submit(fn)
+        submit(guarded)
     else:
-        fn()
+        guarded()

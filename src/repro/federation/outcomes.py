@@ -26,6 +26,10 @@ class OutcomeStatus(str, enum.Enum):
     ERROR = "error"
     TIMEOUT = "timeout"
     SKIPPED = "skipped"
+    #: Abandoned mid-flight by a streaming search: the merged top-k was
+    #: provably stable (or the deadline expired) before this source
+    #: answered.  Not a failure — the source was never given the chance.
+    CANCELLED = "cancelled"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -98,10 +102,27 @@ class SourceOutcome:
             sibling_ids=tuple(sibling_ids),
         )
 
+    @classmethod
+    def cancelled(
+        cls, source_id: str, reason: str, sibling_ids: tuple[str, ...] = ()
+    ) -> "SourceOutcome":
+        """A source abandoned mid-stream, with the reason on record.
+
+        Unlike a skip, the request may already have been on the wire
+        (and paid for); unlike an error, the source did nothing wrong —
+        negative caching and health scoring treat it as neutral.
+        """
+        return cls(
+            source_id,
+            OutcomeStatus.CANCELLED,
+            skip_reason=reason,
+            sibling_ids=tuple(sibling_ids),
+        )
+
     def describe(self) -> str:
         """One display line: status, attempts, wire time, cost."""
-        if self.status is OutcomeStatus.SKIPPED:
-            return f"{self.source_id}: skipped ({self.skip_reason})"
+        if self.status in (OutcomeStatus.SKIPPED, OutcomeStatus.CANCELLED):
+            return f"{self.source_id}: {self.status.value} ({self.skip_reason})"
         detail = (
             f"{self.source_id}: {self.status.value} after {self.requests} request(s)"
             f" ({self.retries} retr{'y' if self.retries == 1 else 'ies'}),"

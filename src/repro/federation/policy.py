@@ -73,3 +73,19 @@ class QueryPolicy:
         if status == "timeout":
             return self.retry_on_timeout
         return self.retry_on_error
+
+    def attempt_wall_budget_s(
+        self, time_scale: float = 1.0, hang_cap_ms: float = 60_000.0, slack_s: float = 5.0
+    ) -> float:
+        """Wall-clock budget (seconds) for one realtime attempt.
+
+        Used by the asyncio executor as the ``asyncio.wait_for`` guard
+        around an awaited attempt: the *simulated* deadline decides the
+        outcome deterministically (the transport clamps latency to
+        ``timeout_ms``), so this bound only has to catch a genuinely
+        hung handler.  It is deliberately generous — ``slack_s`` on top
+        of the scaled simulated budget — so scheduler jitter can never
+        flip an outcome.
+        """
+        simulated_ms = self.timeout_ms if self.timeout_ms is not None else hang_cap_ms
+        return simulated_ms * time_scale / 1000.0 + slack_s

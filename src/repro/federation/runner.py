@@ -14,9 +14,11 @@ leaves a record instead of aborting the search.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import asyncio
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field as dataclass_field
 
+from repro.federation.aio import AsyncSourceAdapter, ClientSourceAdapter
 from repro.federation.executor import Executor, SerialExecutor
 from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
 from repro.federation.policy import QueryPolicy
@@ -29,6 +31,9 @@ from repro.transport.client import StartsClient
 from repro.transport.network import TransportError, TransportTimeout
 
 __all__ = ["SourceRequest", "QueryDispatcher"]
+
+#: (status, latency_ms, cost, results, error) — one wire request's fate.
+_SingleResult = tuple[OutcomeStatus, float, float, SQResults | None, str | None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,23 +78,66 @@ class QueryDispatcher:
         policy: QueryPolicy | None = None,
         policies: dict[str, QueryPolicy] | None = None,
         tracer: Tracer | None = None,
+        adapter: AsyncSourceAdapter | None = None,
     ) -> None:
         self.client = client
         self.executor = executor or SerialExecutor()
         self.policy = policy or QueryPolicy()
         self.policies = dict(policies or {})
         self.tracer = tracer or Tracer()
+        #: The awaitable source backend the async attempt path queries;
+        #: defaults to the STARTS client's own awaitable request path.
+        self.adapter: AsyncSourceAdapter = adapter or ClientSourceAdapter(client)
 
     def policy_for(self, source_id: str) -> QueryPolicy:
         return self.policies.get(source_id, self.policy)
+
+    def _task_function(self, parent: Span | None):
+        """The per-request task the executor drives.
+
+        An async-capable executor (``is_async``) receives the coroutine
+        path, so waits suspend tasks instead of blocking threads; every
+        other executor receives the plain callable it always has.
+        """
+        if getattr(self.executor, "is_async", False):
+
+            async def task_function(request: SourceRequest) -> SourceOutcome:
+                return await self.run_one_async(request, parent)
+
+        else:
+
+            def task_function(request: SourceRequest) -> SourceOutcome:  # type: ignore[misc]
+                return self.run_one(request, parent)
+
+        return task_function
 
     def dispatch(
         self, requests: Sequence[SourceRequest], parent: Span | None = None
     ) -> list[SourceOutcome]:
         """Run every request; outcomes come back in request order."""
-        return self.executor.run(
-            list(requests), lambda request: self.run_one(request, parent)
-        )
+        return self.executor.run(list(requests), self._task_function(parent))
+
+    def dispatch_stream(
+        self, requests: Sequence[SourceRequest], parent: Span | None = None
+    ) -> Iterator[SourceOutcome]:
+        """Yield outcomes *as sources complete*, not in request order.
+
+        Executors with a ``run_stream`` method stream natively (serial:
+        lazily task by task; parallel: thread completion order; async:
+        event-loop completion order).  Closing the iterator early
+        abandons whatever is still in flight — the hook streaming
+        searches use for deadline expiry and stable-top-k termination.
+        """
+        requests = list(requests)
+        task_function = self._task_function(parent)
+        run_stream = getattr(self.executor, "run_stream", None)
+        if run_stream is None:
+            # Third-party executor with only the protocol's run():
+            # degrade to emitting the completed batch in request order.
+            yield from self.executor.run(requests, task_function)
+            return
+        for _, outcome in run_stream(requests, task_function):
+            yield outcome
 
     def run_one(
         self, request: SourceRequest, parent: Span | None = None
@@ -100,21 +148,47 @@ class QueryDispatcher:
             f"query:{request.source_id}", parent=parent, url=request.query_url
         ) as span:
             outcome = self._run_with_policy(request, policy)
-            get_registry().counter(
-                "source_outcomes_total",
-                "Per-source query outcomes after policy (ok/error/timeout/...).",
-                labels=("source_id", "status"),
-            ).labels(source_id=request.source_id, status=outcome.status.value).inc()
-            span.annotate(
-                status=outcome.status.value,
-                requests=outcome.requests,
-                retries=outcome.retries,
-                wire_ms=outcome.elapsed_ms,
-                cost=outcome.cost,
-            )
-            if outcome.error:
-                span.annotate(error=outcome.error)
+            self._annotate_outcome(span, request, outcome)
         return outcome
+
+    async def run_one_async(
+        self, request: SourceRequest, parent: Span | None = None
+    ) -> SourceOutcome:
+        """The asyncio mirror of :meth:`run_one`: same policy, same
+        accounting, every wait awaited instead of slept.
+
+        Spans are opened and closed explicitly (never via the tracer's
+        thread-local stack) because sibling source tasks interleave on
+        one event-loop thread.
+        """
+        policy = self.policy_for(request.source_id)
+        span = self.tracer.open_span(
+            f"query:{request.source_id}", parent=parent, url=request.query_url
+        )
+        try:
+            outcome = await self._run_with_policy_async(request, policy, span)
+            self._annotate_outcome(span, request, outcome)
+        finally:
+            self.tracer.close_span(span)
+        return outcome
+
+    def _annotate_outcome(
+        self, span: Span, request: SourceRequest, outcome: SourceOutcome
+    ) -> None:
+        get_registry().counter(
+            "source_outcomes_total",
+            "Per-source query outcomes after policy (ok/error/timeout/...).",
+            labels=("source_id", "status"),
+        ).labels(source_id=request.source_id, status=outcome.status.value).inc()
+        span.annotate(
+            status=outcome.status.value,
+            requests=outcome.requests,
+            retries=outcome.retries,
+            wire_ms=outcome.elapsed_ms,
+            cost=outcome.cost,
+        )
+        if outcome.error:
+            span.annotate(error=outcome.error)
 
     # -- policy machinery --------------------------------------------------
 
@@ -131,38 +205,96 @@ class QueryDispatcher:
             backoff = policy.backoff_before(number)
             if backoff:
                 elapsed_ms += backoff
-                self.tracer.count(source_id, backoff_ms=backoff)
-                self.tracer.event("backoff", wait_ms=backoff, before_attempt=number)
-                get_registry().counter(
-                    "source_backoff_ms_total",
-                    "Simulated milliseconds spent backing off before retries.",
-                    labels=("source_id",),
-                ).labels(source_id=source_id).inc(backoff)
+                self._note_backoff(source_id, backoff, number)
             attempt = self._attempt(request, policy, number, backoff)
             attempts.extend(attempt.records)
             elapsed_ms += attempt.effective_ms
             cost += attempt.cost
             self._count(source_id, number, attempt)
-            if attempt.status is OutcomeStatus.OK:
-                return SourceOutcome(
-                    source_id,
-                    OutcomeStatus.OK,
-                    results=attempt.results,
-                    attempts=tuple(attempts),
-                    elapsed_ms=elapsed_ms,
-                    cost=cost,
-                    sibling_ids=request.sibling_ids,
+            if attempt.status is OutcomeStatus.OK or not policy.should_retry(
+                attempt.status.value, number
+            ):
+                return self._terminal_outcome(
+                    request, attempt, attempts, elapsed_ms, cost
                 )
-            if not policy.should_retry(attempt.status.value, number):
-                return SourceOutcome(
-                    source_id,
-                    attempt.status,
-                    attempts=tuple(attempts),
-                    elapsed_ms=elapsed_ms,
-                    cost=cost,
-                    error=attempt.error,
-                    sibling_ids=request.sibling_ids,
+
+    async def _run_with_policy_async(
+        self, request: SourceRequest, policy: QueryPolicy, span: Span
+    ) -> SourceOutcome:
+        """Mirror of :meth:`_run_with_policy` over awaited attempts.
+
+        The *decisions* — when to back off, retry, hedge, give up — are
+        the shared helpers the sync path uses, driven by the same
+        deterministic simulated latencies, so an async round produces
+        bit-identical outcomes; only the waiting is cooperative.
+        """
+        source_id = request.source_id
+        attempts: list[Attempt] = []
+        elapsed_ms = 0.0
+        cost = 0.0
+        number = 0
+        while True:
+            number += 1
+            backoff = policy.backoff_before(number)
+            if backoff:
+                elapsed_ms += backoff
+                self._note_backoff(source_id, backoff, number, parent=span)
+                if self._realtime():
+                    await asyncio.sleep(
+                        backoff * self.client.internet.time_scale / 1000.0
+                    )
+            attempt = await self._attempt_async(request, policy, number, backoff, span)
+            attempts.extend(attempt.records)
+            elapsed_ms += attempt.effective_ms
+            cost += attempt.cost
+            self._count(source_id, number, attempt)
+            if attempt.status is OutcomeStatus.OK or not policy.should_retry(
+                attempt.status.value, number
+            ):
+                return self._terminal_outcome(
+                    request, attempt, attempts, elapsed_ms, cost
                 )
+
+    def _note_backoff(
+        self, source_id: str, backoff: float, number: int, parent: Span | None = None
+    ) -> None:
+        self.tracer.count(source_id, backoff_ms=backoff)
+        self.tracer.event(
+            "backoff", parent=parent, wait_ms=backoff, before_attempt=number
+        )
+        get_registry().counter(
+            "source_backoff_ms_total",
+            "Simulated milliseconds spent backing off before retries.",
+            labels=("source_id",),
+        ).labels(source_id=source_id).inc(backoff)
+
+    @staticmethod
+    def _terminal_outcome(
+        request: SourceRequest,
+        attempt: _AttemptOutcome,
+        attempts: list[Attempt],
+        elapsed_ms: float,
+        cost: float,
+    ) -> SourceOutcome:
+        if attempt.status is OutcomeStatus.OK:
+            return SourceOutcome(
+                request.source_id,
+                OutcomeStatus.OK,
+                results=attempt.results,
+                attempts=tuple(attempts),
+                elapsed_ms=elapsed_ms,
+                cost=cost,
+                sibling_ids=request.sibling_ids,
+            )
+        return SourceOutcome(
+            request.source_id,
+            attempt.status,
+            attempts=tuple(attempts),
+            elapsed_ms=elapsed_ms,
+            cost=cost,
+            error=attempt.error,
+            sibling_ids=request.sibling_ids,
+        )
 
     def _attempt(
         self,
@@ -171,31 +303,85 @@ class QueryDispatcher:
         number: int,
         backoff_ms: float,
     ) -> _AttemptOutcome:
-        status, latency, cost, results, error = self._single(request, policy)
-        records = [Attempt(number, status, latency, cost, backoff_ms, False, error)]
-        self.tracer.event(
-            f"attempt:{number}",
-            status=status.value,
-            latency_ms=latency,
-            cost=cost,
-        )
-        hedge_at = policy.hedge_after_ms
-        if hedge_at is None or latency <= hedge_at:
+        primary = self._single(request, policy)
+        records = [self._record_of(number, primary, backoff_ms, hedged=False)]
+        self._trace_attempt(number, primary, hedged=False)
+        if not self._needs_hedge(policy, primary):
+            status, latency, cost, results, error = primary
             return _AttemptOutcome(status, tuple(records), results, latency, cost, error)
 
         # The primary was still unanswered at the hedge deadline, so a
         # duplicate went out; it completes hedge_at later than a fresh
         # request would.  The faster success wins, both are paid for.
-        h_status, h_latency, h_cost, h_results, h_error = self._single(request, policy)
-        records.append(Attempt(number, h_status, h_latency, h_cost, 0.0, True, h_error))
+        hedge = self._single(request, policy)
+        records.append(self._record_of(number, hedge, 0.0, hedged=True))
+        self._trace_attempt(number, hedge, hedged=True)
+        return self._resolve_hedge(policy, records, primary, hedge)
+
+    async def _attempt_async(
+        self,
+        request: SourceRequest,
+        policy: QueryPolicy,
+        number: int,
+        backoff_ms: float,
+        span: Span,
+    ) -> _AttemptOutcome:
+        """:meth:`_attempt`, awaiting each wire request.
+
+        The hedge decision is made from the primary's *simulated*
+        latency (exactly as the sync path does), never from wall-clock
+        races — outcomes stay deterministic under any scheduler.
+        """
+        primary = await self._single_async(request, policy)
+        records = [self._record_of(number, primary, backoff_ms, hedged=False)]
+        self._trace_attempt(number, primary, hedged=False, parent=span)
+        if not self._needs_hedge(policy, primary):
+            status, latency, cost, results, error = primary
+            return _AttemptOutcome(status, tuple(records), results, latency, cost, error)
+        hedge = await self._single_async(request, policy)
+        records.append(self._record_of(number, hedge, 0.0, hedged=True))
+        self._trace_attempt(number, hedge, hedged=True, parent=span)
+        return self._resolve_hedge(policy, records, primary, hedge)
+
+    @staticmethod
+    def _record_of(
+        number: int, single: _SingleResult, backoff_ms: float, hedged: bool
+    ) -> Attempt:
+        status, latency, cost, _, error = single
+        return Attempt(number, status, latency, cost, backoff_ms, hedged, error)
+
+    def _trace_attempt(
+        self,
+        number: int,
+        single: _SingleResult,
+        hedged: bool,
+        parent: Span | None = None,
+    ) -> None:
+        status, latency, cost, _, _ = single
         self.tracer.event(
-            f"attempt:{number}:hedge",
-            status=h_status.value,
-            latency_ms=h_latency,
-            cost=h_cost,
+            f"attempt:{number}:hedge" if hedged else f"attempt:{number}",
+            parent=parent,
+            status=status.value,
+            latency_ms=latency,
+            cost=cost,
         )
+
+    @staticmethod
+    def _needs_hedge(policy: QueryPolicy, primary: _SingleResult) -> bool:
+        hedge_at = policy.hedge_after_ms
+        return hedge_at is not None and primary[1] > hedge_at
+
+    @staticmethod
+    def _resolve_hedge(
+        policy: QueryPolicy,
+        records: list[Attempt],
+        primary: _SingleResult,
+        hedge: _SingleResult,
+    ) -> _AttemptOutcome:
+        status, latency, cost, results, error = primary
+        h_status, h_latency, h_cost, h_results, h_error = hedge
         total_cost = cost + h_cost
-        hedge_completion = hedge_at + h_latency
+        hedge_completion = (policy.hedge_after_ms or 0.0) + h_latency
         winners: list[tuple[float, SQResults | None]] = []
         if status is OutcomeStatus.OK:
             winners.append((latency, results))
@@ -223,23 +409,66 @@ class QueryDispatcher:
 
     def _single(
         self, request: SourceRequest, policy: QueryPolicy
-    ) -> tuple[OutcomeStatus, float, float, SQResults | None, str | None]:
+    ) -> _SingleResult:
         """One wire request → (status, latency_ms, cost, results, error)."""
         try:
             results, record = self.client.query_with_record(
                 request.query_url, request.query, deadline_ms=policy.timeout_ms
             )
             return OutcomeStatus.OK, record.latency_ms, record.cost, results, None
-        except TransportTimeout as exc:
-            record = exc.record
+        except (TransportError, ProtocolError) as exc:
+            return self._classify_failure(exc, policy)
+
+    async def _single_async(
+        self, request: SourceRequest, policy: QueryPolicy
+    ) -> _SingleResult:
+        """One awaited wire request through the async source adapter.
+
+        The outcome-deciding deadline is the *simulated* ``timeout_ms``
+        (enforced deterministically by the transport); in realtime mode
+        an ``asyncio.wait_for`` wall-clock guard additionally backstops
+        a genuinely hung backend, with enough slack that scheduler
+        jitter can never flip an outcome.
+        """
+        try:
+            query_coro = self.adapter.query(
+                request.query_url, request.query, deadline_ms=policy.timeout_ms
+            )
+            if self._realtime():
+                results, record = await asyncio.wait_for(
+                    query_coro,
+                    timeout=policy.attempt_wall_budget_s(
+                        self.client.internet.time_scale
+                    ),
+                )
+            else:
+                results, record = await query_coro
+            return OutcomeStatus.OK, record.latency_ms, record.cost, results, None
+        except (TransportError, ProtocolError) as exc:
+            return self._classify_failure(exc, policy)
+        except TimeoutError:
+            return (
+                OutcomeStatus.TIMEOUT,
+                policy.timeout_ms or 0.0,
+                0.0,
+                None,
+                "wall-clock attempt budget exceeded",
+            )
+
+    def _realtime(self) -> bool:
+        internet = getattr(self.client, "internet", None)
+        return bool(getattr(internet, "realtime", False))
+
+    @staticmethod
+    def _classify_failure(exc: Exception, policy: QueryPolicy) -> _SingleResult:
+        record = getattr(exc, "record", None)
+        if isinstance(exc, TransportTimeout):
             latency = record.latency_ms if record else (policy.timeout_ms or 0.0)
             cost = record.cost if record else 0.0
             return OutcomeStatus.TIMEOUT, latency, cost, None, str(exc)
-        except (TransportError, ProtocolError) as exc:
-            record = getattr(exc, "record", None)
-            latency = record.latency_ms if record else 0.0
-            cost = record.cost if record else 0.0
-            return OutcomeStatus.ERROR, latency, cost, None, str(exc)
+        latency = record.latency_ms if record else 0.0
+        cost = record.cost if record else 0.0
+        return OutcomeStatus.ERROR, latency, cost, None, str(exc)
 
     def _count(self, source_id: str, number: int, attempt: _AttemptOutcome) -> None:
         self.tracer.count(

@@ -6,6 +6,7 @@ re-exported here for convenience.
 """
 
 from repro.federation import (
+    AsyncExecutor,
     OutcomeStatus,
     ParallelExecutor,
     QueryPolicy,
@@ -17,7 +18,7 @@ from repro.metasearch.brokers import (
     HierarchicalSelector,
     merge_summaries,
 )
-from repro.metasearch.client import Metasearcher, MetasearchResult
+from repro.metasearch.client import Metasearcher, MetasearchResult, StreamEmission
 from repro.metasearch.dedup import collapse_near_duplicates, jaccard, word_shingles
 from repro.metasearch.discovery import DiscoveryService, KnownSource
 from repro.metasearch.merging import (
@@ -30,6 +31,7 @@ from repro.metasearch.merging import (
     NormalizedScoreMerge,
     RawScoreMerge,
     RoundRobinMerge,
+    StreamingMerge,
     TermFrequencyMerge,
     TfIdfRecomputeMerge,
 )
@@ -53,6 +55,7 @@ from repro.metasearch.translation import (
 )
 
 __all__ = [
+    "AsyncExecutor",
     "OutcomeStatus",
     "ParallelExecutor",
     "QueryPolicy",
@@ -66,6 +69,7 @@ __all__ = [
     "word_shingles",
     "Metasearcher",
     "MetasearchResult",
+    "StreamEmission",
     "DiscoveryService",
     "KnownSource",
     "MERGE_STRATEGIES",
@@ -77,6 +81,7 @@ __all__ = [
     "NormalizedScoreMerge",
     "RawScoreMerge",
     "RoundRobinMerge",
+    "StreamingMerge",
     "TermFrequencyMerge",
     "TfIdfRecomputeMerge",
     "BGloss",

@@ -17,6 +17,7 @@ merging proceeds over the survivors.  Every phase is traced;
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.cache.core import FRESH, STALE
@@ -47,7 +48,7 @@ from repro.starts.results import SQResults
 from repro.transport.client import StartsClient
 from repro.transport.network import SimulatedInternet
 
-__all__ = ["MetasearchResult", "Metasearcher"]
+__all__ = ["MetasearchResult", "Metasearcher", "StreamEmission"]
 
 
 def _observe_phase(phase: str, duration_ms: float) -> None:
@@ -154,6 +155,40 @@ class MetasearchResult:
         if not lines:
             return "(no trace recorded)"
         return "\n".join(lines)
+
+
+@dataclass
+class StreamEmission:
+    """One incremental answer from :meth:`Metasearcher.search_stream`.
+
+    An emission is produced every time a source's outcome lands (and
+    once, final, when the stream finishes): the merged rank so far, how
+    much of the round has completed, and — on the last emission only —
+    the assembled :class:`MetasearchResult`.
+    """
+
+    #: 0-based position of this emission in the stream.
+    sequence: int
+    #: The outcome that triggered this emission; ``None`` on the final
+    #: wrap-up emission and on cache-served single-emission streams.
+    outcome: SourceOutcome | None
+    #: Merged rank over every source that has answered so far, already
+    #: truncated to the query's ``MaxNumberDocuments``.
+    documents: list[MergedDocument]
+    #: Entry sources completed / still in flight after this emission.
+    completed: int
+    pending: int
+    #: Wall-clock milliseconds since the stream started.
+    elapsed_ms: float
+    #: True once the stream decided to stop before every source
+    #: answered (provably stable top-k, or the deadline expired).
+    terminated_early: bool = False
+    #: The final result; set only on the last emission.
+    result: MetasearchResult | None = None
+
+    @property
+    def is_final(self) -> bool:
+        return self.result is not None
 
 
 class Metasearcher:
@@ -340,6 +375,256 @@ class Metasearcher:
         _count_search("wire")
         result.trace = tracer.trace()
         return result
+
+    def search_stream(
+        self,
+        query: SQuery,
+        k_sources: int = 3,
+        selector: SourceSelector | None = None,
+        merger: MergeStrategy | None = None,
+        group_by_resource: bool = False,
+        executor: Executor | None = None,
+        tracer: Tracer | None = None,
+        deadline_ms: float | None = None,
+        early_stop: bool = True,
+    ) -> Iterator[StreamEmission]:
+        """The incremental :meth:`search`: emissions as sources answer.
+
+        The same pipeline — select, cache, translate, dispatch, merge —
+        but the query round streams: every completed source outcome
+        yields a :class:`StreamEmission` carrying the merged rank so
+        far, and the final emission carries the assembled
+        :class:`MetasearchResult`.  The final rank is bit-identical to
+        what batch :meth:`search` would return for the same world.
+
+        The stream can end before every source answers:
+
+        * ``early_stop`` (default on) terminates once the current top
+          ``MaxNumberDocuments`` provably cannot change — the merge
+          strategy's scores are arrival-order-stable and the k-th score
+          strictly exceeds every pending source's score upper bound.
+          Because the *kept* documents are exactly that stable top-k,
+          the bit-identical guarantee survives early termination.
+        * ``deadline_ms`` bounds the stream's wall-clock time.
+
+        Sources still in flight at termination are cancelled (the
+        executor abandons their tasks) and recorded as ``CANCELLED``
+        outcomes — visible in the result, neutral to health scoring and
+        the negative cache.  An early-terminated result is never stored
+        in the result cache; cache hits and stale serves come back as a
+        single final emission, exactly as :meth:`search` serves them.
+        """
+        query.validate()
+        known = self.discovery.known_sources()
+        if not known:
+            raise ProtocolError("no sources discovered; call refresh() first")
+
+        selector = selector or self.selector
+        merger = merger or self.merger
+        executor = executor or self.executor
+        tracer = tracer or Tracer()
+        self.client.tracer = tracer
+        terms = self._selection_terms(query)
+        started_ms = tracer.now_ms()
+
+        search_span = tracer.open_span("search", terms=" ".join(terms))
+        try:
+            selected_ids, summaries = self._select(
+                tracer, selector, terms, k_sources, known
+            )
+            key: str | None = None
+            if self.result_cache is not None:
+                key = self._cache_key(query, selected_ids, group_by_resource, merger)
+                cached, state = self.result_cache.lookup(key)
+                if state in (FRESH, STALE):
+                    status = "hit" if state == FRESH else "stale"
+                    if state == FRESH:
+                        tracer.count_cache(hits=1, cost_saved=cached.cost)
+                    else:
+                        tracer.count_cache(stale_hits=1)
+                        self._schedule_revalidation(
+                            key,
+                            query,
+                            list(selected_ids),
+                            dict(summaries),
+                            merger,
+                            executor,
+                            group_by_resource,
+                            terms,
+                        )
+                    tracer.event("cache", parent=search_span, status=status)
+                    _count_search(status)
+                    tracer.close_span(search_span)
+                    served = self._serve_cached(cached.result, tracer, status)
+                    yield StreamEmission(
+                        sequence=0,
+                        outcome=None,
+                        documents=list(served.documents),
+                        completed=0,
+                        pending=0,
+                        elapsed_ms=tracer.now_ms() - started_ms,
+                        result=served,
+                    )
+                    return
+                tracer.count_cache(misses=1)
+
+            requests, outcomes, reports = self._translate(
+                tracer, query, selected_ids, summaries, group_by_resource
+            )
+            requests = self._filter_negative_cached(tracer, requests, outcomes)
+            dispatcher = QueryDispatcher(
+                self.client,
+                executor=executor,
+                policy=self.query_policy,
+                policies=self._adapted_policies(requests),
+                tracer=tracer,
+            )
+            # The accumulator filters this down to the sources that
+            # actually answer, mirroring what _merge_context builds for
+            # the batch path — so the final rank matches the oracle.
+            stream_merge = merger.start_stream(
+                self._candidate_context(selected_ids, summaries, terms)
+            )
+            k = query.max_number_documents
+            pending_ids = {request.source_id for request in requests}
+            terminated_early = False
+            termination_reason: str | None = None
+            sequence = 0
+            first_result_seen = False
+
+            query_span = tracer.open_span(
+                "query",
+                parent=search_span,
+                executor=executor.name,
+                requests=len(requests),
+                streaming=True,
+            )
+            outcome_stream = dispatcher.dispatch_stream(requests, parent=query_span)
+            try:
+                for outcome in outcome_stream:
+                    outcomes[outcome.source_id] = outcome
+                    pending_ids.discard(outcome.source_id)
+                    if outcome.ok and outcome.results is not None:
+                        stream_merge.feed(outcome.source_id, outcome.results)
+                    documents = stream_merge.current_top_k(k or None)
+                    elapsed_ms = tracer.now_ms() - started_ms
+                    if documents and not first_result_seen:
+                        first_result_seen = True
+                        get_registry().histogram(
+                            "stream_first_result_ms",
+                            "Wall-clock time until a streamed search first "
+                            "emitted merged documents.",
+                        ).observe(elapsed_ms)
+                    tracer.event(
+                        f"emit:{sequence}",
+                        parent=query_span,
+                        source=outcome.source_id,
+                        status=outcome.status.value,
+                        documents=len(documents),
+                        pending=len(pending_ids),
+                    )
+                    yield StreamEmission(
+                        sequence=sequence,
+                        outcome=outcome,
+                        documents=list(documents),
+                        completed=len(outcomes),
+                        pending=len(pending_ids),
+                        elapsed_ms=elapsed_ms,
+                    )
+                    sequence += 1
+                    if not pending_ids:
+                        break
+                    if deadline_ms is not None and elapsed_ms >= deadline_ms:
+                        terminated_early = True
+                        termination_reason = "stream deadline expired"
+                        break
+                    if early_stop and k and stream_merge.is_stable_top_k(
+                        k, pending_ids
+                    ):
+                        terminated_early = True
+                        termination_reason = (
+                            "top-k stable: no pending source can change the answer"
+                        )
+                        break
+            finally:
+                # Break or thrown-in close: abandon in-flight tasks now,
+                # not at garbage collection.
+                outcome_stream.close()
+            if terminated_early:
+                query_span.annotate(terminated_early=True, reason=termination_reason)
+                tracer.event(
+                    "early-termination", parent=query_span, reason=termination_reason
+                )
+                for source_id in sorted(pending_ids):
+                    outcomes[source_id] = SourceOutcome.cancelled(
+                        source_id, termination_reason
+                    )
+            tracer.close_span(query_span)
+            _observe_phase("query", query_span.duration_ms)
+            self._record_outcomes(outcomes)
+
+            documents = stream_merge.current_top_k(k or None)
+            per_source_results = {
+                source_id: outcome.results
+                for source_id, outcome in outcomes.items()
+                if outcome.ok and outcome.results is not None
+            }
+            group_times = [outcome.elapsed_ms for outcome in outcomes.values()]
+            result = MetasearchResult(
+                list(documents),
+                list(selected_ids),
+                per_source_results,
+                reports,
+                query_latency_serial_ms=sum(group_times),
+                query_latency_parallel_ms=max(group_times, default=0.0),
+                outcomes=outcomes,
+            )
+            if key is not None and not terminated_early:
+                # A cancelled round answered with fewer sources than the
+                # key promises; only complete rounds are cacheable.
+                self._store_result(key, result, selected_ids, tracer)
+            _count_search("stream")
+        finally:
+            tracer.close_span(search_span)
+        result.trace = tracer.trace()
+        yield StreamEmission(
+            sequence=sequence,
+            outcome=None,
+            documents=list(documents),
+            completed=len(outcomes),
+            pending=len(pending_ids) if terminated_early else 0,
+            elapsed_ms=tracer.now_ms() - started_ms,
+            terminated_early=terminated_early,
+            result=result,
+        )
+
+    def _candidate_context(
+        self, selected_ids: list[str], summaries: dict, terms: list[str]
+    ) -> MergeContext:
+        """Merge raw material for every *candidate* source of a stream.
+
+        The streaming accumulator narrows it to the sources that answer
+        (see :meth:`StreamingMerge._context_for`), which reproduces the
+        batch path's :meth:`_merge_context` exactly.
+        """
+        return MergeContext(
+            metadata={
+                source_id: self.discovery.source(source_id).metadata
+                for source_id in selected_ids
+            },
+            summaries={
+                source_id: summary
+                for source_id, summary in summaries.items()
+                if source_id in selected_ids
+            },
+            samples={
+                source_id: sample
+                for source_id in selected_ids
+                if (sample := self.discovery.source(source_id).sample_results)
+                is not None
+            },
+            query_terms=tuple(terms),
+        )
 
     def _query_round(
         self,

@@ -40,6 +40,7 @@ __all__ = [
     "MergeContext",
     "MergedDocument",
     "MergeStrategy",
+    "StreamingMerge",
     "RawScoreMerge",
     "NormalizedScoreMerge",
     "TermFrequencyMerge",
@@ -75,6 +76,13 @@ class MergeStrategy:
     """Interface: per-source results → one merged, deduplicated rank."""
 
     name = "base"
+    #: True when a document's merged score depends only on its *own*
+    #: source's results and context slice — never on which other sources
+    #: answered.  Stable strategies can merge incrementally (feed one
+    #: source at a time) and support provably-sound early termination;
+    #: unstable ones (CORI's belief normalization, tf·idf's global
+    #: document frequencies) rescore as the answering set grows.
+    stable_scores = False
 
     def merge(
         self, results: dict[str, SQResults], context: MergeContext
@@ -98,6 +106,126 @@ class MergeStrategy:
     ) -> float:
         raise NotImplementedError
 
+    def score_upper_bound(self, source_id: str, context: MergeContext) -> float:
+        """Largest merged score any document from ``source_id`` can get.
+
+        ``inf`` (the default) means "no useful bound" — early
+        termination then never fires for this strategy.  Bounds assume
+        sources honor their advertised metadata (e.g. ``ScoreRange``),
+        the same trust every strategy already places in it.
+        """
+        return math.inf
+
+    def start_stream(self, context: MergeContext) -> "StreamingMerge":
+        """An incremental accumulator over this strategy.
+
+        Feed per-source results as they arrive; the accumulator's final
+        rank is bit-identical to a batch :meth:`merge` over the same
+        per-source results and (suitably filtered) context.
+        """
+        return StreamingMerge(self, context)
+
+
+class StreamingMerge:
+    """Incremental rank-merge: feed sources one at a time, read the rank.
+
+    For stable-score strategies each source is scored exactly once on
+    arrival (its per-source slice of a batch merge) and the global rank
+    is a cheap dedupe-and-sort of the cached pieces.  For unstable
+    strategies the accumulator re-runs the full batch merge over the
+    sources fed so far, with the context filtered to the fed keys the
+    way :class:`~repro.metasearch.client.Metasearcher` filters it —
+    either way the final rank equals the batch oracle by construction.
+    """
+
+    def __init__(self, strategy: MergeStrategy, context: MergeContext) -> None:
+        self.strategy = strategy
+        self.context = context
+        self._fed: dict[str, SQResults] = {}
+        self._scored: list[MergedDocument] = []  # stable path's cache
+        self._rank: list[MergedDocument] = []
+        self._dirty = False
+
+    @property
+    def fed_source_ids(self) -> tuple[str, ...]:
+        return tuple(self._fed)
+
+    def feed(self, source_id: str, results: SQResults) -> None:
+        """Add one source's results (at most once per source)."""
+        if source_id in self._fed:
+            raise ValueError(f"source {source_id!r} already fed")
+        self._fed[source_id] = results
+        if self.strategy.stable_scores:
+            self._scored.extend(
+                self.strategy.merge({source_id: results}, self._context_for())
+            )
+        self._dirty = True
+
+    def merged(self) -> list[MergedDocument]:
+        """The merged rank over every source fed so far, best first."""
+        if self._dirty:
+            if self.strategy.stable_scores:
+                self._rank = _dedupe_and_sort(list(self._scored))
+            else:
+                self._rank = self.strategy.merge(
+                    dict(self._fed), self._context_for()
+                )
+            self._dirty = False
+        return self._rank
+
+    def current_top_k(self, k: int | None = None) -> list[MergedDocument]:
+        rank = self.merged()
+        return rank if k is None else rank[:k]
+
+    def is_stable_top_k(self, k: int, pending_source_ids) -> bool:
+        """Can no pending source change the top ``k`` of the rank?
+
+        Requires a stable-score strategy, ``k`` documents already
+        merged, and the k-th score *strictly* above every pending
+        source's score upper bound: at equal scores the ``(score,
+        linkage)`` tie-break could still reorder, and a duplicate
+        arriving at exactly the bound could not raise any held score
+        past one strictly above it.
+        """
+        if not self.strategy.stable_scores:
+            return False
+        rank = self.merged()
+        if len(rank) < k:
+            return False
+        bounds = [
+            self.strategy.score_upper_bound(source_id, self.context)
+            for source_id in pending_source_ids
+        ]
+        if not bounds:
+            return True
+        return rank[k - 1].score > max(bounds)
+
+    def _context_for(self) -> MergeContext:
+        """The context a batch merge over the fed sources would see.
+
+        Mirrors ``Metasearcher._merge_context``: metadata, summaries and
+        samples restricted to the sources that actually answered.
+        """
+        fed = self._fed
+        return MergeContext(
+            metadata={
+                source_id: metadata
+                for source_id, metadata in self.context.metadata.items()
+                if source_id in fed
+            },
+            summaries={
+                source_id: summary
+                for source_id, summary in self.context.summaries.items()
+                if source_id in fed
+            },
+            samples={
+                source_id: sample
+                for source_id, sample in self.context.samples.items()
+                if source_id in fed
+            },
+            query_terms=self.context.query_terms,
+        )
+
 
 def _dedupe_and_sort(scored: list[MergedDocument]) -> list[MergedDocument]:
     best: dict[str, MergedDocument] = {}
@@ -114,9 +242,17 @@ class RawScoreMerge(MergeStrategy):
     """Baseline: trust the raw scores across engines (incorrectly)."""
 
     name = "raw-score"
+    stable_scores = True
 
     def score(self, source_id, document, results, context) -> float:
         return document.raw_score
+
+    def score_upper_bound(self, source_id, context) -> float:
+        metadata = context.metadata.get(source_id)
+        if metadata is None:
+            return math.inf
+        _, high = metadata.score_range
+        return high if math.isfinite(high) else math.inf
 
 
 class NormalizedScoreMerge(MergeStrategy):
@@ -128,6 +264,10 @@ class NormalizedScoreMerge(MergeStrategy):
     """
 
     name = "range-normalized"
+    stable_scores = True
+
+    def score_upper_bound(self, source_id, context) -> float:
+        return 1.0
 
     def score(self, source_id, document, results, context) -> float:
         metadata = context.metadata.get(source_id)
@@ -145,6 +285,7 @@ class TermFrequencyMerge(MergeStrategy):
     """Example 9: discard scores, rank by total query-term occurrences."""
 
     name = "term-frequency"
+    stable_scores = True
 
     def score(self, source_id, document, results, context) -> float:
         return float(sum(stats.term_frequency for stats in document.term_stats))
@@ -239,6 +380,10 @@ class RoundRobinMerge(MergeStrategy):
     """
 
     name = "round-robin"
+    stable_scores = True
+
+    def score_upper_bound(self, source_id, context) -> float:
+        return 1.0
 
     def merge(self, results, context) -> list[MergedDocument]:
         scored: list[MergedDocument] = []
@@ -267,6 +412,7 @@ class CalibratedMerge(MergeStrategy):
     """
 
     name = "sample-calibrated"
+    stable_scores = True
 
     def score(self, source_id, document, results, context) -> float:
         sample = context.samples.get(source_id)

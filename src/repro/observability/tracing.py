@@ -187,6 +187,29 @@ class Tracer:
             stack.pop()
             span.end_ms = self.now_ms()
 
+    def open_span(
+        self, name: str, parent: Span | None = None, **attributes: object
+    ) -> Span:
+        """Open a span *without* touching the thread-local stack.
+
+        The ``with``-based :meth:`span` nests via a per-thread stack,
+        which interleaved asyncio tasks on one thread would corrupt
+        (task A would pop task B's span).  Async code opens spans
+        explicitly — always with an explicit ``parent`` — and closes
+        them with :meth:`close_span`.
+        """
+        span = Span(
+            name, self.now_ms(), attributes=dict(attributes), clock_ms=self.now_ms
+        )
+        with self._lock:
+            (parent.children if parent is not None else self.spans).append(span)
+        return span
+
+    def close_span(self, span: Span) -> None:
+        """Close a span opened with :meth:`open_span` (idempotent)."""
+        if span.end_ms is None:
+            span.end_ms = self.now_ms()
+
     def event(
         self, name: str, parent: Span | None = None, **attributes: object
     ) -> Span:

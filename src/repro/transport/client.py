@@ -58,6 +58,22 @@ class StartsClient:
         )
         return SQResults.from_soif_stream(response), record
 
+    async def query_with_record_async(
+        self, query_url: str, query: SQuery, deadline_ms: float | None = None
+    ) -> tuple[SQResults, AccessRecord]:
+        """:meth:`query_with_record` over the network's awaitable path.
+
+        Accounting is identical to the synchronous method; in realtime
+        mode the simulated latency is awaited (``asyncio.sleep``) rather
+        than slept, so one event loop can hold thousands of source
+        queries in flight.
+        """
+        body = query.to_soif().dump().encode("utf-8")
+        response, record = await self._internet.perform_async(
+            query_url, "POST", body, deadline_ms=deadline_ms
+        )
+        return SQResults.from_soif_stream(response), record
+
     def fetch_resource(self, resource_url: str) -> SResource:
         """GET an @SResource blob."""
         return SResource.from_soif(parse_soif(self._fetch(resource_url, "resource")))

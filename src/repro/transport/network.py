@@ -28,6 +28,7 @@ way real network waits do.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import threading
 import time
@@ -272,6 +273,40 @@ class SimulatedInternet:
         spent whether or not an answer arrives) and carry it on the
         raised exception.
         """
+        handler, latency, status, detail, record = self._begin(
+            url, method, deadline_ms
+        )
+        self._sleep(latency)
+        return self._finish(handler, method, body, status, detail, record)
+
+    async def perform_async(
+        self,
+        url: str,
+        method: str = "GET",
+        body: bytes | None = None,
+        deadline_ms: float | None = None,
+    ) -> tuple[bytes, AccessRecord]:
+        """:meth:`perform`, awaiting instead of blocking the thread.
+
+        Accounting (latency draw, fault decision, deadline clamp, log
+        record) is identical to the synchronous path — the same world
+        produces the same records either way.  The only difference is
+        *how* realtime latency is spent: ``asyncio.sleep`` yields the
+        event loop, so thousands of simulated requests can be in flight
+        on one thread.
+        """
+        handler, latency, status, detail, record = self._begin(
+            url, method, deadline_ms
+        )
+        if self.realtime and latency > 0.0:
+            await asyncio.sleep(latency * self.time_scale / 1000.0)
+        return self._finish(handler, method, body, status, detail, record)
+
+    def _begin(
+        self, url: str, method: str, deadline_ms: float | None
+    ) -> tuple[object, float, str, str, AccessRecord]:
+        """The locked accounting half of a request: draw latency, decide
+        faults, clamp to the caller's deadline, and log the record."""
         with self._lock:
             handlers = self._post_handlers if method == "POST" else self._get_handlers
             handler = handlers.get(url)
@@ -293,11 +328,22 @@ class SimulatedInternet:
                 latency = deadline_ms
             record = AccessRecord(url, method, latency, profile.cost_per_query, status)
             self.log.append(record)
-        self._sleep(latency)
+        return handler, latency, status, detail, record
+
+    @staticmethod
+    def _finish(
+        handler: object,
+        method: str,
+        body: bytes | None,
+        status: str,
+        detail: str,
+        record: AccessRecord,
+    ) -> tuple[bytes, AccessRecord]:
+        """The post-wait half: raise injected failures or run the handler."""
         if status == "timeout":
-            raise TransportTimeout(f"{method} {url} timed out: {detail}", record)
+            raise TransportTimeout(f"{method} {record.url} timed out: {detail}", record)
         if status == "error":
-            raise TransportError(f"{method} {url} failed: {detail}", record)
+            raise TransportError(f"{method} {record.url} failed: {detail}", record)
         payload = handler(body) if method == "POST" else handler()
         return payload, record
 

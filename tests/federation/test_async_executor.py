@@ -1,0 +1,234 @@
+"""The asyncio-native executor: protocol, streaming, caps, cancellation."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.federation import (
+    AsyncExecutor,
+    AsyncSourceAdapter,
+    ClientSourceAdapter,
+    Executor,
+    QueryDispatcher,
+    QueryPolicy,
+    SerialExecutor,
+    SourceRequest,
+)
+from repro.experiments import FederationSpec, build_federation
+from repro.starts import SQuery, parse_expression
+from repro.transport import StartsClient
+
+
+def ranking_query() -> SQuery:
+    return SQuery(
+        ranking_expression=parse_expression('list((body-of-text "database"))')
+    )
+
+
+class TestProtocolConformance:
+    def test_satisfies_executor_protocol(self):
+        assert isinstance(AsyncExecutor(), Executor)
+
+    def test_is_async_marker(self):
+        assert AsyncExecutor.is_async is True
+        assert not getattr(SerialExecutor(), "is_async", False)
+
+    def test_client_adapter_satisfies_adapter_protocol(self):
+        fed = build_federation(FederationSpec(n_sources=2, docs_per_source=5))
+        adapter = ClientSourceAdapter(StartsClient(fed.internet))
+        assert isinstance(adapter, AsyncSourceAdapter)
+        assert adapter.name == "starts-client"
+
+    def test_rejects_silly_concurrency(self):
+        with pytest.raises(ValueError):
+            AsyncExecutor(max_concurrency=0)
+
+
+class TestRun:
+    def test_sync_fn_results_in_task_order(self):
+        executor = AsyncExecutor(max_concurrency=4)
+        assert executor.run([3, 1, 2], lambda n: n * 10) == [30, 10, 20]
+
+    def test_coroutine_fn_results_in_task_order(self):
+        executor = AsyncExecutor(max_concurrency=4)
+
+        async def work(n):
+            await asyncio.sleep(0.001 * (3 - n))  # later tasks finish first
+            return n * 10
+
+        assert executor.run([0, 1, 2], work) == [0, 10, 20]
+
+    def test_empty_batch(self):
+        assert AsyncExecutor().run([], lambda n: n) == []
+
+    def test_exception_propagates(self):
+        executor = AsyncExecutor(max_concurrency=2)
+
+        async def explode(n):
+            raise RuntimeError(f"boom {n}")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            executor.run([1, 2], explode)
+
+
+class TestRunStream:
+    def test_yields_in_completion_order(self):
+        executor = AsyncExecutor(max_concurrency=4)
+
+        async def work(n):
+            await asyncio.sleep(n * 0.005)
+            return n
+
+        order = [index for index, _ in executor.run_stream([2, 0, 1], work)]
+        assert order == [1, 2, 0]
+
+    def test_close_cancels_inflight_tasks(self):
+        executor = AsyncExecutor(max_concurrency=4)
+        cancelled = []
+
+        async def work(n):
+            try:
+                await asyncio.sleep(0.001 if n == 0 else 60.0)
+                return n
+            except asyncio.CancelledError:
+                cancelled.append(n)
+                raise
+
+        stream = executor.run_stream([0, 1, 2], work)
+        index, result = next(stream)
+        assert (index, result) == (0, 0)
+        stream.close()
+        assert sorted(cancelled) == [1, 2]
+
+    def test_semaphore_caps_concurrency(self):
+        executor = AsyncExecutor(max_concurrency=3)
+        running = 0
+        observed_max = 0
+
+        async def work(n):
+            nonlocal running, observed_max
+            running += 1
+            observed_max = max(observed_max, running)
+            await asyncio.sleep(0.002)
+            running -= 1
+            return n
+
+        executor.run(list(range(12)), work)
+        assert observed_max == 3
+
+    def test_peak_inflight_tracks_high_water_mark(self):
+        executor = AsyncExecutor(max_concurrency=8)
+
+        async def work(n):
+            await asyncio.sleep(0.005)
+            return n
+
+        executor.run(list(range(8)), work)
+        assert executor.peak_inflight == 8
+
+
+class TestDispatcherIntegration:
+    """Outcomes through the async path match the serial oracle bit for bit."""
+
+    POLICY = QueryPolicy(timeout_ms=500.0, max_retries=1, hedge_after_ms=100.0)
+
+    def _outcomes(self, executor):
+        fed = build_federation(
+            FederationSpec(
+                n_sources=6,
+                docs_per_source=15,
+                seed=11,
+                flaky_source_index=1,
+                dead_source_index=4,
+            )
+        )
+        dispatcher = QueryDispatcher(
+            StartsClient(fed.internet), executor=executor, policy=self.POLICY
+        )
+        requests = [
+            SourceRequest(sid, f"{fed.sources[sid].base_url}/query", ranking_query())
+            for sid in fed.source_ids()
+        ]
+        return dispatcher.dispatch(requests)
+
+    def test_outcomes_bit_identical_to_serial(self):
+        serial = self._outcomes(SerialExecutor())
+        concurrent = self._outcomes(AsyncExecutor(max_concurrency=4))
+        for a, b in zip(serial, concurrent):
+            assert a.source_id == b.source_id
+            assert a.status == b.status
+            assert a.elapsed_ms == b.elapsed_ms
+            assert a.cost == b.cost
+            assert len(a.attempts) == len(b.attempts)
+            a_scores = [d.raw_score for d in (a.results.documents if a.results else [])]
+            b_scores = [d.raw_score for d in (b.results.documents if b.results else [])]
+            assert a_scores == b_scores
+
+    def test_realtime_round_overlaps_waits(self):
+        """64 sources at 20 ms each must land in far less than the serial sum."""
+        fed = build_federation(
+            FederationSpec(
+                n_sources=64,
+                docs_per_source=3,
+                seed=2,
+                slow_source_index=None,
+                charging_source_index=None,
+            )
+        )
+        fed.internet.realtime = True
+        fed.internet.time_scale = 0.1
+        dispatcher = QueryDispatcher(
+            StartsClient(fed.internet),
+            executor=AsyncExecutor(max_concurrency=64),
+            policy=QueryPolicy(timeout_ms=500.0),
+        )
+        requests = [
+            SourceRequest(sid, f"{fed.sources[sid].base_url}/query", ranking_query())
+            for sid in fed.source_ids()
+        ]
+        start = time.perf_counter()
+        outcomes = dispatcher.dispatch(requests)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        serial_ms = sum(o.elapsed_ms for o in outcomes) * fed.internet.time_scale
+        assert all(o.ok for o in outcomes)
+        assert wall_ms < serial_ms / 4
+
+
+class TestSubmitBackground:
+    """Background failures surface in the log and metrics, never the caller."""
+
+    def test_failure_is_logged_and_counted(self, caplog, fresh_registry):
+        from repro.federation import submit_background
+
+        done = threading.Event()
+
+        def fails():
+            try:
+                raise RuntimeError("refresh blew up")
+            finally:
+                done.set()
+
+        with caplog.at_level("ERROR", logger="repro.federation.executor"):
+            submit_background(SerialExecutor(), fails, task_name="revalidation")
+        assert done.wait(timeout=2.0)
+        assert any("revalidation" in record.message for record in caplog.records)
+        counter = fresh_registry.counter(
+            "background_task_failures_total",
+            "Exceptions raised by fire-and-forget background tasks.",
+            labels=("task",),
+        )
+        assert counter.labels(task="revalidation").value == 1
+
+    def test_failure_does_not_raise_into_caller(self):
+        from repro.federation import submit_background
+
+        submit_background(SerialExecutor(), lambda: 1 / 0)  # must not raise
+
+    def test_success_still_runs(self):
+        from repro.federation import submit_background
+
+        ran = []
+        submit_background(SerialExecutor(), lambda: ran.append(True))
+        assert ran == [True]

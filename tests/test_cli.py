@@ -1,7 +1,5 @@
 """The ``python -m repro`` command-line interface."""
 
-import pytest
-
 from repro.__main__ import main
 
 
@@ -47,6 +45,46 @@ class TestQueryCommand:
             ]
         )
         assert code == 0
+
+
+class TestSearchCommand:
+    def test_batch_search_prints_rank(self, capsys):
+        code = main(["--seed", "3", "search", '(body-of-text "databases")'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected sources:" in out
+        assert "http://" in out
+
+    def test_stream_prints_emissions_then_final_rank(self, capsys, fresh_registry):
+        code = main(
+            ["--seed", "3", "search", '(body-of-text "databases")', "--stream"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # One progress line per source, with its per-emission latency.
+        assert out.count(" ms] #") >= 2
+        assert "pending=" in out
+        assert "final after" in out
+        assert "http://" in out
+
+    def test_stream_final_rank_matches_batch(self, capsys, fresh_registry):
+        assert main(["--seed", "3", "search", '(body-of-text "databases")']) == 0
+        batch_out = capsys.readouterr().out
+        batch_rank = [
+            line for line in batch_out.splitlines() if line.lstrip().startswith("0.")
+        ]
+        assert (
+            main(["--seed", "3", "search", '(body-of-text "databases")', "--stream"])
+            == 0
+        )
+        stream_out = capsys.readouterr().out
+        stream_rank = [
+            line for line in stream_out.splitlines() if line.lstrip().startswith("0.")
+        ]
+        assert batch_rank == stream_rank
+
+    def test_empty_expression_fails(self, capsys):
+        assert main(["search", "   "]) == 2
 
 
 class TestSelectCommand:

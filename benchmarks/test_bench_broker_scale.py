@@ -1,0 +1,184 @@
+"""Broker-hierarchy scale benchmark: selection QPS across leaf fan-outs.
+
+A zipf-skewed query workload runs brokered CORI selection over
+generated summary populations of 1k/5k/10k sources, sharded across
+1/2/4/8 leaf brokers.  Because leaf consultations are independent, the
+root records per-leaf wall times for every selection and exposes the
+two deployment costs directly: ``last_serial_ms`` (the sum — one
+worker) and ``last_parallel_ms`` (the max — one worker per leaf).  The
+modeled parallel QPS charges each query its measured root overhead
+plus the *slowest leaf's* measured time, the same max-over-groups
+accounting the federation layer uses for parallel query latency.
+
+Results land in ``BENCH_broker_scale.json``.  Acceptance: at 10k
+sources the hierarchy scales near-linearly from 1 to 4 leaf workers
+(modeled QPS ratio >= 2.0, leaf fan-out speedup >= 2.5), the brokered
+top-k stays bit-identical to the flat oracle, and a cold failover at
+10k sources recovers by replaying the delta log.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.broker import build_hierarchy
+from repro.corpus import SummaryPopulationSpec, generate_source_summaries
+from repro.corpus import vocabulary as V
+from repro.corpus.generator import zipf_weights
+from repro.metasearch.selection import Cori
+from repro.metasearch.summary_index import SummaryIndex
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SOURCE_TIERS = (1000, 5000, 10000)
+LEAF_TIERS = (1, 2, 4, 8)
+N_QUERIES = 40
+TOP_K = 5
+
+
+def _build_queries() -> list[list[str]]:
+    """Zipf-skewed topical queries of 1-3 terms (as in BENCH_selection_qps)."""
+    rng = random.Random(5)
+    topic_names = sorted(V.TOPICS)
+    queries = []
+    for _ in range(N_QUERIES):
+        topic_pool = sorted(V.TOPICS[rng.choice(topic_names)])
+        weights = zipf_weights(len(topic_pool))
+        queries.append(
+            rng.choices(topic_pool, weights=weights, k=rng.randint(1, 3))
+        )
+    return queries
+
+
+def _populate(n_leaves, summaries):
+    root = build_hierarchy(n_leaves)
+    for source_id in sorted(summaries):
+        root.apply_delta(source_id, summaries[source_id])
+    return root
+
+
+def _run(root, queries) -> dict:
+    """One configuration's QPS under both deployment models."""
+    selector = Cori()
+    wall_ms = serial_ms = parallel_ms = modeled_ms = 0.0
+    for terms in queries:
+        started = time.perf_counter()
+        root.top_candidates(selector, terms, TOP_K)
+        elapsed = (time.perf_counter() - started) * 1000.0
+        wall_ms += elapsed
+        serial_ms += root.last_serial_ms
+        parallel_ms += root.last_parallel_ms
+        # Root overhead (elapsed minus leaf time) stays serial; leaf
+        # work collapses to the slowest leaf when one worker per leaf.
+        modeled_ms += elapsed - root.last_serial_ms + root.last_parallel_ms
+    return {
+        "wall_qps": round(len(queries) / (wall_ms / 1000.0), 1),
+        "modeled_parallel_qps": round(len(queries) / (modeled_ms / 1000.0), 1),
+        "leaf_fanout_speedup": round(serial_ms / max(parallel_ms, 1e-9), 2),
+        "leaf_serial_ms_per_query": round(serial_ms / len(queries), 3),
+        "leaf_parallel_ms_per_query": round(parallel_ms / len(queries), 3),
+    }
+
+
+def _failover_recovery(summaries) -> dict:
+    """Cold vs. warm standby promotion time on the biggest shard."""
+    root = _populate(4, summaries)
+    leaves = sorted(root.handles(), key=lambda leaf: -len(leaf.index))
+    cold = leaves[0]
+    lag = cold.replication_lag
+    cold.fail()
+    started = time.perf_counter()
+    cold.fail_over()
+    cold_ms = (time.perf_counter() - started) * 1000.0
+
+    warm = leaves[1]
+    warm.replicate()
+    warm.fail()
+    started = time.perf_counter()
+    warm.fail_over()
+    warm_ms = (time.perf_counter() - started) * 1000.0
+    return {
+        "shard_sources": len(cold.index),
+        "cold_lag_deltas": lag,
+        "cold_recovery_ms": round(cold_ms, 3),
+        "warm_recovery_ms": round(warm_ms, 3),
+    }
+
+
+def test_bench_broker_scale(write_table):
+    queries = _build_queries()
+    populations = {
+        n: generate_source_summaries(
+            SummaryPopulationSpec(n_sources=n, topics_per_source=2, seed=31)
+        )
+        for n in SOURCE_TIERS
+    }
+
+    # Exactness first: the hierarchy's top-k is the flat oracle's, bit
+    # for bit, at the smallest tier across every fan-out.
+    oracle_summaries = populations[SOURCE_TIERS[0]]
+    index = SummaryIndex.from_summaries(oracle_summaries)
+    for n_leaves in LEAF_TIERS:
+        root = _populate(n_leaves, oracle_summaries)
+        for terms in queries:
+            assert root.select(Cori(), terms, TOP_K) == Cori().select(
+                terms, index, TOP_K
+            ), (n_leaves, terms)
+
+    payload = {
+        "benchmark": "broker_scale",
+        "n_queries": N_QUERIES,
+        "top_k": TOP_K,
+        "tiers": {},
+    }
+    for n_sources, summaries in populations.items():
+        tier = {}
+        for n_leaves in LEAF_TIERS:
+            tier[str(n_leaves)] = _run(_populate(n_leaves, summaries), queries)
+        payload["tiers"][str(n_sources)] = tier
+
+    ten_k = payload["tiers"]["10000"]
+    payload["scaling_10k_1_to_4"] = round(
+        ten_k["4"]["modeled_parallel_qps"] / ten_k["1"]["modeled_parallel_qps"], 2
+    )
+    payload["failover"] = _failover_recovery(populations[10000])
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_broker_scale.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"{N_QUERIES} zipf queries, top-{TOP_K}, brokered CORI selection",
+        "modeled parallel = measured root overhead + slowest leaf per query",
+        "",
+        f"{'sources':>8} {'leaves':>7} {'wall qps':>9} {'parallel qps':>13} "
+        f"{'fan-out speedup':>16}",
+    ]
+    for n_sources, tier in payload["tiers"].items():
+        for n_leaves, row in tier.items():
+            lines.append(
+                f"{n_sources:>8} {n_leaves:>7} {row['wall_qps']:>9.1f} "
+                f"{row['modeled_parallel_qps']:>13.1f} "
+                f"{row['leaf_fanout_speedup']:>15.2f}x"
+            )
+    failover = payload["failover"]
+    lines.append("")
+    lines.append(
+        f"failover @ {failover['shard_sources']}-source shard: "
+        f"cold {failover['cold_recovery_ms']:.1f} ms "
+        f"({failover['cold_lag_deltas']} deltas replayed), "
+        f"warm {failover['warm_recovery_ms']:.1f} ms"
+    )
+    lines.append(f"1 -> 4 leaf workers @ 10k: {payload['scaling_10k_1_to_4']:.2f}x")
+    write_table("BROKER_scale", lines)
+
+    # Near-linear 1 -> 4 worker scaling at 10k sources.  The fan-out
+    # speedup (sum over max of per-leaf measured times) is the noise-
+    # robust bound; the modeled QPS ratio additionally charges root
+    # overhead and gets a looser bar.
+    assert ten_k["4"]["leaf_fanout_speedup"] >= 2.5
+    assert payload["scaling_10k_1_to_4"] >= 2.0
+    # A warm standby promotes without replaying the log; cold recovery
+    # is bounded by one replay of the shard's whole delta history.
+    assert failover["warm_recovery_ms"] <= failover["cold_recovery_ms"] * 1.5

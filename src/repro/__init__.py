@@ -43,6 +43,7 @@ Quickstart::
         print(doc.score, doc.linkage)
 """
 
+from repro.broker import BrokeredMetasearcher
 from repro.cache import CachePolicy
 from repro.conformance import ConformanceReport, check_source
 from repro.corpus import CollectionSpec, build_workload, generate_collection
@@ -86,6 +87,7 @@ from repro.vendors import build_vendor_source, vendor_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "BrokeredMetasearcher",
     "CachePolicy",
     "ConformanceReport",
     "check_source",

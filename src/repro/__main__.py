@@ -10,6 +10,10 @@ Commands:
   sources answer, via the asyncio executor.
 * ``experiment {E1,E2,E3,E4,E5,E6}`` — run one experiment and print its
   table (smaller federation than benchmarks/, for quick looks).
+* ``broker [--sources N] [--leaves N] [--terms "..."]`` — shard a
+  synthetic summary population across a root/leaf broker hierarchy and
+  print the routing table, per-leaf shard statistics, and (with
+  ``--terms``) one brokered selection.
 * ``parse EXPR`` — parse an expression and print its canonical form and
   PQF encoding.
 * ``metrics`` — run a few searches and print the process metrics in
@@ -168,6 +172,48 @@ def cmd_select(args: argparse.Namespace) -> int:
     for rank, (source_id, goodness) in enumerate(selector.rank(terms, index), 1):
         marker = "*" if source_id in chosen else " "
         print(f"{rank:>4}{marker} {goodness:>12.4f}  {source_id}")
+    return 0
+
+
+def cmd_broker(args: argparse.Namespace) -> int:
+    from repro.broker import build_hierarchy
+    from repro.corpus import SummaryPopulationSpec, generate_source_summaries
+    from repro.metasearch import SELECTOR_REGISTRY
+
+    spec = SummaryPopulationSpec(n_sources=args.sources, seed=args.seed)
+    summaries = generate_source_summaries(spec)
+    root = build_hierarchy(args.leaves)
+    for source_id, summary in summaries.items():
+        root.apply_delta(source_id, summary)
+
+    table = root.routing_table(sorted(summaries))
+    print(f"hierarchy: root over {args.leaves} leaves, "
+          f"{len(summaries)} sources on the ring")
+    print()
+    print(f"{'leaf':<10} {'sources':>8} {'terms':>8} {'gen':>6} "
+          f"{'lag':>4}  first sources owned")
+    for leaf in root.handles():
+        stats = leaf.shard_stats()
+        owned = table[leaf.leaf_id]
+        preview = ", ".join(owned[:3]) + (", ..." if len(owned) > 3 else "")
+        print(
+            f"{stats['leaf']:<10} {stats['sources']:>8} {stats['terms']:>8} "
+            f"{stats['generation']:>6} {stats['replication_lag']:>4}  {preview}"
+        )
+
+    terms = args.terms.split() if args.terms else []
+    if terms:
+        selector = SELECTOR_REGISTRY[args.selector]()
+        selected = root.select(selector, terms, args.k)
+        print()
+        print(f"selection: {args.selector} over {' '.join(terms)}, "
+              f"top {args.k}")
+        print(f"  descended leaves (parallel {root.last_parallel_ms:.2f} ms, "
+              f"serial {root.last_serial_ms:.2f} ms):")
+        for leaf_id, elapsed in sorted(root.last_leaf_elapsed_ms.items()):
+            print(f"    {leaf_id:<10} {elapsed:8.2f} ms")
+        for rank, source_id in enumerate(selected, 1):
+            print(f"  {rank:>4}  {source_id}  (leaf {root.ring.locate(source_id)})")
     return 0
 
 
@@ -389,6 +435,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     select.add_argument("-k", type=int, default=5, help="sources to select")
     select.set_defaults(handler=cmd_select)
+
+    broker = commands.add_parser(
+        "broker", help="build a root/leaf broker hierarchy and print its shards"
+    )
+    broker.add_argument("--sources", type=int, default=200, help="synthetic sources")
+    broker.add_argument("--leaves", type=int, default=4, help="leaf brokers")
+    broker.add_argument(
+        "--terms", default=None, help='demo a brokered selection, e.g. "databases"'
+    )
+    broker.add_argument(
+        "--selector",
+        choices=["cori", "bgloss", "vgloss-sum", "vgloss-max", "by-size",
+                 "select-all"],
+        default="cori",
+    )
+    broker.add_argument("-k", type=int, default=5, help="sources to select")
+    broker.set_defaults(handler=cmd_broker)
 
     experiment = commands.add_parser("experiment", help="run one experiment")
     experiment.add_argument("id", help="E1..E6")

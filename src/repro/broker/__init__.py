@@ -1,0 +1,64 @@
+"""Tiered broker subsystem: the metasearcher sharded root-over-leaves.
+
+The GlOSS reference of the paper ([8], "broker hierarchies") and
+ZBroker's query routing both anticipate the same wall: a flat
+metasearcher that compares every content summary per query stops
+scaling somewhere in the thousands of sources.  This package shards
+the selection phase instead:
+
+* :class:`LeafBroker` — owns a consistent-hash partition of the
+  sources and the :class:`~repro.metasearch.SummaryIndex` shard for
+  it, fed by the discovery delta stream; the same log replays into a
+  standby index for generation-checked replication and failover.
+* :class:`RootBroker` — probes the leaves' exact aggregate statistics,
+  prunes shards no query term touches, descends into the rest
+  concurrently over the :class:`~repro.federation.Executor` protocol,
+  and merges the per-shard fragments into the **bit-exact** flat
+  top-k.  Admission control and load shedding ride on per-leaf
+  :class:`~repro.observability.SourceHealth` scores.
+* :class:`NetworkLeafHandle` / ``publish_broker_leaf`` — leaves as
+  endpoints on the simulated internet, so the hierarchy spans
+  processes and fault profiles.
+* :class:`BrokeredMetasearcher` — the one-line swap preserving the
+  whole ``Metasearcher`` search/search_stream surface.
+
+The flat single-broker index remains the oracle: for every
+distributable selector, hierarchical selection is bit-identical to
+``selector.select(terms, flat_index, k)``.
+"""
+
+from repro.broker.facade import BrokeredMetasearcher, build_hierarchy
+from repro.broker.leaf import (
+    CorpusStats,
+    GlobalStatsView,
+    LeafBroker,
+    LeafProbe,
+    LeafUnavailableError,
+)
+from repro.broker.partition import ConsistentHashRing
+from repro.broker.remote import NetworkLeafHandle, selector_wire_name
+from repro.broker.root import (
+    AdmissionPolicy,
+    BrokerOverloadedError,
+    LeafHandle,
+    RootBroker,
+    RoutingPolicy,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "BrokerOverloadedError",
+    "BrokeredMetasearcher",
+    "ConsistentHashRing",
+    "CorpusStats",
+    "GlobalStatsView",
+    "LeafBroker",
+    "LeafHandle",
+    "LeafProbe",
+    "LeafUnavailableError",
+    "NetworkLeafHandle",
+    "RootBroker",
+    "RoutingPolicy",
+    "build_hierarchy",
+    "selector_wire_name",
+]

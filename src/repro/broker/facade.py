@@ -1,0 +1,137 @@
+"""The one-line swap: a :class:`Metasearcher` whose selection is tiered.
+
+``BrokeredMetasearcher`` satisfies the whole ``Metasearcher`` surface —
+``search``, ``search_stream``, ``explain_plan``, caching, health,
+policies — and changes exactly one phase: source selection runs
+through a root/leaf broker hierarchy instead of the flat summary
+index.  The hierarchy is fed by the discovery delta stream (every
+harvest, re-harvest and ``forget`` routed through the consistent-hash
+ring to the owning leaf), so it is coherent with the flat index by
+construction; and because brokered selection is bit-exact for
+distributable selectors, search results are bit-identical to the flat
+metasearcher's.  A non-distributable selector (random, cost-aware)
+falls back to the flat index transparently.
+"""
+
+from __future__ import annotations
+
+from repro.broker.leaf import LeafBroker
+from repro.broker.root import AdmissionPolicy, RootBroker, RoutingPolicy
+from repro.federation.executor import Executor
+from repro.metasearch.client import Metasearcher, _observe_phase
+from repro.metasearch.selection import SourceSelector
+from repro.observability.health import HealthPolicy
+
+__all__ = ["BrokeredMetasearcher", "build_hierarchy"]
+
+
+def build_hierarchy(
+    n_leaves: int,
+    executor: Executor | None = None,
+    admission: AdmissionPolicy | None = None,
+    routing: RoutingPolicy | None = None,
+    eager_replication: bool = False,
+    health_policy: HealthPolicy | None = None,
+    leaf_prefix: str = "leaf",
+    broker_id: str = "root",
+) -> RootBroker:
+    """A root over ``n_leaves`` fresh in-process leaf brokers.
+
+    Leaf ids are ``{leaf_prefix}-00`` … so the ring's routing table is
+    deterministic for a given leaf count.
+    """
+    if n_leaves < 1:
+        raise ValueError("n_leaves must be >= 1")
+    leaves = [
+        LeafBroker(f"{leaf_prefix}-{index:02d}", eager_replication=eager_replication)
+        for index in range(n_leaves)
+    ]
+    return RootBroker(
+        leaves,
+        executor=executor,
+        admission=admission,
+        routing=routing,
+        health_policy=health_policy,
+        broker_id=broker_id,
+    )
+
+
+class BrokeredMetasearcher(Metasearcher):
+    """A :class:`Metasearcher` selecting through a broker hierarchy.
+
+    Args:
+        internet / resource_urls / **kwargs: exactly as
+            :class:`Metasearcher`.
+        broker: a prebuilt :class:`RootBroker` (nested trees, network
+            leaves); mutually exclusive with the ``n_leaves`` shortcut.
+        n_leaves: build a fresh local hierarchy this wide (default 4).
+        admission / routing: hierarchy policies for the built root.
+        broker_executor: fan-out executor for leaf consultations;
+            defaults to the searcher's own executor, so a parallel or
+            async metasearcher fans out over its leaves the same way it
+            fans out over its sources.
+    """
+
+    def __init__(
+        self,
+        internet,
+        resource_urls=None,
+        broker: RootBroker | None = None,
+        n_leaves: int = 4,
+        admission: AdmissionPolicy | None = None,
+        routing: RoutingPolicy | None = None,
+        broker_executor: Executor | None = None,
+        eager_replication: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(internet, resource_urls, **kwargs)
+        if broker is not None and (admission or routing or broker_executor):
+            raise ValueError("pass policies to the prebuilt broker, not both")
+        self.broker = broker or build_hierarchy(
+            n_leaves,
+            executor=broker_executor or self.executor,
+            admission=admission,
+            routing=routing,
+            eager_replication=eager_replication,
+        )
+        # Every discovery delta — harvest, re-harvest, forget — routes
+        # through the ring to the owning leaf, in the exact order the
+        # flat index saw it.
+        self.discovery.add_delta_hook(self.broker.apply_delta)
+
+    def _select(self, tracer, selector, terms, k_sources, known):
+        with tracer.span(
+            "select", selector=selector.name, k=k_sources, brokered=True
+        ) as span:
+            summaries = self.discovery.summaries()
+            if summaries:
+                selected_ids = self._select_sources(
+                    tracer, selector, terms, k_sources
+                )
+            else:
+                selected_ids = [source.source_id for source in known[:k_sources]]
+            if self.health is not None:
+                reordered = self.health.order_by_health(selected_ids)
+                if reordered != selected_ids:
+                    span.annotate(deprioritized=True)
+                selected_ids = reordered
+            span.annotate(
+                summaries=len(summaries), selected=" ".join(selected_ids)
+            )
+        _observe_phase("select", span.duration_ms)
+        return selected_ids, summaries
+
+    def _select_sources(
+        self,
+        tracer,
+        selector: SourceSelector,
+        terms: list[str],
+        k_sources: int,
+    ) -> list[str]:
+        if not getattr(selector, "distributable", False):
+            # A global permutation or cross-source discount cannot be
+            # sharded; the flat index answers it, same as the base class.
+            return selector.select(
+                terms, self.discovery.summary_index(), k_sources
+            )
+        return self.broker.select(selector, terms, k_sources, tracer=tracer)

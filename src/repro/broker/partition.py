@@ -1,0 +1,89 @@
+"""Consistent-hash partitioning of sources over leaf brokers.
+
+The root broker must send every source's summary delta to exactly one
+leaf, keep doing so across restarts, and move as few sources as
+possible when a leaf joins or drains.  A consistent-hash ring with
+virtual nodes gives all three: each member is hashed onto the ring at
+``replicas`` points, a key belongs to the first member point at or
+after its own hash, and adding or removing one member only remaps the
+keys that fell between its points and their predecessors — roughly a
+``1/n`` fraction instead of nearly everything, as a modulo scheme
+would.
+
+Hashing is ``zlib.crc32`` rather than ``hash()``: Python string hashing
+is salted per process, and a routing table that changes between runs
+would silently reshard every leaf.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from collections.abc import Iterable
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(label: str) -> int:
+    return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+
+
+class ConsistentHashRing:
+    """Deterministic key → member assignment with minimal reshuffling.
+
+    Args:
+        members: initial member names (leaf broker ids).
+        replicas: virtual nodes per member; more replicas smooth the
+            load spread at the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, members: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._members: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            raise ValueError(f"member already on the ring: {member!r}")
+        self._members.add(member)
+        for replica in range(self.replicas):
+            # Ties between distinct labels are resolved by the point
+            # tuple's second element, deterministically.
+            bisect.insort(self._points, (_point(f"{member}#{replica}"), member))
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            raise ValueError(f"not a ring member: {member!r}")
+        self._members.remove(member)
+        self._points = [point for point in self._points if point[1] != member]
+
+    def locate(self, key: str) -> str:
+        """The member that owns ``key`` — first point at/after its hash."""
+        if not self._points:
+            raise ValueError("the ring has no members")
+        index = bisect.bisect_left(self._points, (_point(key), ""))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._points[index][1]
+
+    def assignments(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """member → sorted keys it owns (members with none included)."""
+        table: dict[str, list[str]] = {member: [] for member in self._members}
+        for key in keys:
+            table[self.locate(key)].append(key)
+        for owned in table.values():
+            owned.sort()
+        return table

@@ -1,0 +1,166 @@
+"""Leaf brokers as network endpoints on the simulated internet.
+
+A leaf need not live in the root's process: ZBroker-style, each leaf
+can be published as a set of HTTP-ish endpoints under a base URL and
+consulted over the wire.  :class:`NetworkLeafHandle` implements the
+same handle protocol a local :class:`~repro.broker.LeafBroker` does, so
+a :class:`~repro.broker.RootBroker` cannot tell the difference — and
+the simulated internet's latency/fault profiles apply to broker
+traffic just as they do to source traffic.
+
+The wire format is JSON (floats round-trip exactly through ``repr``,
+so candidate scores merge bit-identically to the in-process path);
+summaries ride as SOIF text, the protocol's own exchange format.
+Selectors cross the wire *by name*, resolved server-side against
+:data:`~repro.metasearch.selection.SELECTOR_REGISTRY` — a leaf scores
+with its own selector instance, which is safe precisely because
+distributable selectors carry no per-query state.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.broker.leaf import CorpusStats, LeafProbe
+from repro.metasearch.selection import SELECTOR_REGISTRY, SourceSelector
+from repro.starts.metadata import SContentSummary
+from repro.starts.soif import parse_soif
+from repro.transport.network import SimulatedInternet
+
+__all__ = ["NetworkLeafHandle", "selector_wire_name"]
+
+
+def selector_wire_name(selector: SourceSelector) -> str:
+    """The registry name a selector crosses the wire as.
+
+    Exact-class lookup: a subclass may score differently, and silently
+    substituting its parent server-side would break bit-exactness.
+    """
+    for name, cls in SELECTOR_REGISTRY.items():
+        if type(selector) is cls:
+            return name
+    raise ValueError(
+        f"selector {selector.name!r} has no wire name; register it in "
+        "SELECTOR_REGISTRY to consult network leaves with it"
+    )
+
+
+def _stats_payload(stats: CorpusStats) -> dict:
+    return {
+        "n_sources": stats.n_sources,
+        "clamped_mass_total": stats.clamped_mass_total,
+        "collection_frequencies": dict(stats.collection_frequencies),
+    }
+
+
+def stats_from_payload(payload: dict) -> CorpusStats:
+    return CorpusStats(
+        n_sources=payload["n_sources"],
+        clamped_mass_total=payload["clamped_mass_total"],
+        collection_frequencies=payload["collection_frequencies"],
+    )
+
+
+def probe_payload(probe: LeafProbe) -> dict:
+    return {
+        "leaf": probe.leaf_id,
+        "n_sources": probe.n_sources,
+        "clamped_mass_total": probe.clamped_mass_total,
+        "generation": probe.generation,
+        "term_lengths": list(probe.term_lengths),
+        "term_collection_frequencies": list(probe.term_collection_frequencies),
+        "term_postings": list(probe.term_postings),
+        "fill_ids": list(probe.fill_ids),
+    }
+
+
+def _probe_from_payload(payload: dict) -> LeafProbe:
+    return LeafProbe(
+        leaf_id=payload["leaf"],
+        n_sources=payload["n_sources"],
+        clamped_mass_total=payload["clamped_mass_total"],
+        generation=payload["generation"],
+        term_lengths=tuple(payload["term_lengths"]),
+        term_collection_frequencies=tuple(payload["term_collection_frequencies"]),
+        term_postings=tuple(payload["term_postings"]),
+        fill_ids=tuple(payload["fill_ids"]),
+    )
+
+
+class NetworkLeafHandle:
+    """Consult a published leaf broker over the simulated internet."""
+
+    def __init__(
+        self, internet: SimulatedInternet, base_url: str, leaf_id: str
+    ) -> None:
+        self.internet = internet
+        self.base_url = base_url
+        self.leaf_id = leaf_id
+
+    def _post(self, endpoint: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode("utf-8")
+        return json.loads(self.internet.post(f"{self.base_url}/{endpoint}", body))
+
+    def probe(self, terms: Sequence[str], k: int) -> LeafProbe:
+        return _probe_from_payload(
+            self._post("probe", {"terms": list(terms), "k": k})
+        )
+
+    def select_candidates(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        k: int,
+        stats: CorpusStats,
+    ) -> list[tuple[str, float]]:
+        response = self._post(
+            "select",
+            {
+                "selector": selector_wire_name(selector),
+                "terms": list(terms),
+                "k": k,
+                "stats": _stats_payload(stats),
+            },
+        )
+        return [(source_id, score) for source_id, score in response["candidates"]]
+
+    def rank_all(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        stats: CorpusStats,
+    ) -> list[tuple[str, float]]:
+        response = self._post(
+            "rank",
+            {
+                "selector": selector_wire_name(selector),
+                "terms": list(terms),
+                "stats": _stats_payload(stats),
+            },
+        )
+        return [(source_id, score) for source_id, score in response["ranking"]]
+
+    def apply_delta(self, source_id: str, summary: SContentSummary | None) -> None:
+        self._post(
+            "delta",
+            {
+                "source": source_id,
+                "summary": (
+                    summary.to_soif().dump() if summary is not None else None
+                ),
+            },
+        )
+
+    def fail_over(self) -> None:
+        self._post("failover", {})
+
+    def shard_stats(self) -> dict:
+        return json.loads(self.internet.fetch(f"{self.base_url}/stats"))
+
+
+def parse_summary_text(text: str | None) -> SContentSummary | None:
+    """The delta endpoint's summary field: SOIF text or ``None``."""
+    if text is None:
+        return None
+    return SContentSummary.from_soif(parse_soif(text.encode("utf-8")))

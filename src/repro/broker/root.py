@@ -1,0 +1,526 @@
+"""The root broker: selection-over-brokers with exact descent.
+
+A query round against the hierarchy is two fan-outs over the
+:class:`~repro.federation.Executor` protocol:
+
+1. **Probe** — every leaf returns its :class:`~repro.broker.LeafProbe`:
+   aggregate corpus statistics plus per-query-term shard sizes.  The
+   root sums the integer statistics into the exact
+   :class:`~repro.broker.CorpusStats` of the whole federation.
+2. **Descend** — only into leaves whose shards contain at least one
+   query term (for *prunable* selectors; others always descend).  Each
+   descended leaf scores its shard through a
+   :class:`~repro.broker.GlobalStatsView` and returns its exact top-k
+   fragment; a pruned leaf is stood in for by its probe's first-k
+   source ids at the selector's ``sparse_default`` — provably the score
+   of every source it holds.  Merging all fragments with
+   :func:`~repro.metasearch.selection.order_key` reproduces the flat
+   index's top-k bit for bit.
+
+The root is itself a leaf handle — ``probe`` / ``select_candidates`` /
+``rank_all`` / ``apply_delta`` — so hierarchies nest: a sub-root
+aggregates its own children's probes and passes the *global* statistics
+it was handed straight down, keeping exactness through any depth.
+
+Operationally the root adds what a front door needs: admission control
+(shed on concurrent-query pressure or on a broadly unhealthy leaf
+fleet, counted in ``broker_shed_total``), per-leaf
+:class:`~repro.observability.SourceHealth` scoring fed by every
+consultation, and one automatic failover retry when a leaf raises —
+the standby is promoted and the consultation repeated before the error
+is allowed to surface.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from threading import Lock
+from typing import Protocol, runtime_checkable
+
+from repro.broker.leaf import CorpusStats, LeafProbe
+from repro.broker.partition import ConsistentHashRing
+from repro.federation.executor import Executor, SerialExecutor, run_tasks_catching
+from repro.metasearch.selection import SourceSelector, order_key
+from repro.observability.health import HealthPolicy, SourceHealth
+from repro.observability.metrics import get_registry, linear_buckets
+from repro.starts.metadata import SContentSummary
+
+__all__ = [
+    "AdmissionPolicy",
+    "BrokerOverloadedError",
+    "LeafHandle",
+    "RootBroker",
+    "RoutingPolicy",
+]
+
+
+class BrokerOverloadedError(RuntimeError):
+    """The root shed this query instead of admitting it.
+
+    Attributes:
+        reason: the shed counter label — ``"inflight"`` or
+            ``"unhealthy"``.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@runtime_checkable
+class LeafHandle(Protocol):
+    """What the root requires of a child — leaf, sub-root, or network."""
+
+    leaf_id: str
+
+    def probe(self, terms: Sequence[str], k: int) -> LeafProbe: ...
+
+    def select_candidates(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        k: int,
+        stats: CorpusStats,
+    ) -> list[tuple[str, float]]: ...
+
+    def rank_all(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        stats: CorpusStats,
+    ) -> list[tuple[str, float]]: ...
+
+    def apply_delta(self, source_id: str, summary: SContentSummary | None) -> None: ...
+
+    def fail_over(self) -> None: ...
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """When the root refuses work instead of degrading everyone's.
+
+    Attributes:
+        max_inflight: concurrent selections admitted at once; ``None``
+            admits everything.
+        min_mean_leaf_health: shed while the mean 0-1 health score of
+            the leaf fleet is below this — queries that would mostly
+            hit failing shards are better refused than half-answered.
+    """
+
+    max_inflight: int | None = None
+    min_mean_leaf_health: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0")
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """How far a selection may descend.
+
+    Attributes:
+        max_fanout: cap on leaves descended per selection; the most
+            promising leaves (by summed query-term postings of their
+            aggregate summaries — additive, so this *is* vGlOSS-Sum of
+            the merged summary) are kept.  ``None`` descends into every
+            touched leaf and keeps the result bit-exact; a cap trades
+            exactness for bounded fan-out, GlOSS-style.
+    """
+
+    max_fanout: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_fanout is not None and self.max_fanout < 1:
+            raise ValueError("max_fanout must be >= 1")
+
+
+def _aggregate_stats(terms: Sequence[str], probes: Sequence[LeafProbe]) -> CorpusStats:
+    """Sum the leaves' integer statistics — exact in any order."""
+    collection_frequencies: dict[str, int] = {}
+    for position, term in enumerate(terms):
+        collection_frequencies[term] = sum(
+            probe.term_collection_frequencies[position] for probe in probes
+        )
+    return CorpusStats(
+        n_sources=sum(probe.n_sources for probe in probes),
+        clamped_mass_total=sum(probe.clamped_mass_total for probe in probes),
+        collection_frequencies=collection_frequencies,
+    )
+
+
+class RootBroker:
+    """Selection-over-brokers: probe, prune, descend, merge.
+
+    Args:
+        handles: the children — :class:`~repro.broker.LeafBroker`,
+            network handles, or nested :class:`RootBroker` instances.
+        executor: drives both fan-out rounds; defaults to serial.
+        admission: shed policy; the default admits everything.
+        routing: descent policy; the default stays bit-exact.
+        health: per-leaf health tracker (a fresh one by default), fed
+            by every consultation and read by admission control.
+        broker_id: this node's name as a child of a bigger hierarchy.
+        ring_replicas: virtual nodes per leaf on the routing ring; more
+            replicas tighten the shard-size spread, which directly caps
+            the slowest leaf in a parallel fan-out.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[LeafHandle],
+        executor: Executor | None = None,
+        admission: AdmissionPolicy | None = None,
+        routing: RoutingPolicy | None = None,
+        health: SourceHealth | None = None,
+        health_policy: HealthPolicy | None = None,
+        broker_id: str = "root",
+        ring_replicas: int = 128,
+    ) -> None:
+        seen: set[str] = set()
+        for handle in handles:
+            if handle.leaf_id in seen:
+                raise ValueError(f"duplicate leaf id: {handle.leaf_id!r}")
+            seen.add(handle.leaf_id)
+        self.leaf_id = broker_id
+        self._handles: list[LeafHandle] = list(handles)
+        self._by_id = {handle.leaf_id: handle for handle in self._handles}
+        self.executor: Executor = executor or SerialExecutor()
+        self.admission = admission or AdmissionPolicy()
+        self.routing = routing or RoutingPolicy()
+        self.health = health or SourceHealth(policy=health_policy)
+        self.ring = ConsistentHashRing(self._by_id, replicas=ring_replicas)
+        self._inflight = 0
+        self._inflight_lock = Lock()
+        #: per-leaf wall time of the last selection's consultations,
+        #: and the max/sum across leaves — the parallel- and serial-
+        #: deployment costs of that selection (see the scale benchmark).
+        self.last_leaf_elapsed_ms: dict[str, float] = {}
+        self.last_parallel_ms = 0.0
+        self.last_serial_ms = 0.0
+
+    # -- topology ----------------------------------------------------------
+
+    def handles(self) -> list[LeafHandle]:
+        return list(self._handles)
+
+    def handle(self, leaf_id: str) -> LeafHandle:
+        return self._by_id[leaf_id]
+
+    def routing_table(self, source_ids: Sequence[str]) -> dict[str, list[str]]:
+        """leaf id → the given sources it owns, per the ring."""
+        return self.ring.assignments(source_ids)
+
+    # -- the delta stream --------------------------------------------------
+
+    def apply_delta(self, source_id: str, summary: SContentSummary | None) -> None:
+        """Route one discovery delta to the owning child."""
+        self._by_id[self.ring.locate(source_id)].apply_delta(source_id, summary)
+
+    def fail_over(self) -> None:
+        """A root has no standby of its own; children fail over alone."""
+
+    # -- admission ---------------------------------------------------------
+
+    def _shed(self, reason: str, message: str) -> None:
+        get_registry().counter(
+            "broker_shed_total",
+            "Selections refused by broker admission control, by reason.",
+            labels=("reason",),
+        ).labels(reason=reason).inc()
+        raise BrokerOverloadedError(message, reason)
+
+    def _admit(self) -> None:
+        limit = self.admission.max_inflight
+        if limit is not None:
+            with self._inflight_lock:
+                if self._inflight >= limit:
+                    self._shed(
+                        "inflight",
+                        f"{self._inflight} selections in flight (limit {limit})",
+                    )
+                self._inflight += 1
+        floor = self.admission.min_mean_leaf_health
+        if floor is not None and self._handles:
+            mean = sum(
+                self.health.score(handle.leaf_id) for handle in self._handles
+            ) / len(self._handles)
+            if mean < floor:
+                if limit is not None:
+                    self._release()
+                self._shed(
+                    "unhealthy",
+                    f"mean leaf health {mean:.2f} below {floor:.2f}",
+                )
+
+    def _release(self) -> None:
+        if self.admission.max_inflight is not None:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    # -- consulting children -----------------------------------------------
+
+    def _consult(
+        self,
+        handles: Sequence[LeafHandle],
+        fn: Callable[[LeafHandle], object],
+    ) -> list[object]:
+        """Fan out ``fn`` with per-leaf timing, health, and failover.
+
+        A failing leaf gets one failover-and-retry (standby promotion)
+        before its error surfaces; every attempt feeds the health
+        tracker either way.
+        """
+
+        def timed(handle: LeafHandle) -> tuple[object, float]:
+            started = time.perf_counter()
+            result = fn(handle)
+            return result, (time.perf_counter() - started) * 1000.0
+
+        outcomes = run_tasks_catching(self.executor, handles, timed)
+        results: list[object] = []
+        for handle, (outcome, error) in zip(handles, outcomes):
+            if error is None:
+                result, elapsed_ms = outcome
+                self.health.record_attempt(handle.leaf_id, "ok", elapsed_ms)
+                self._note_elapsed(handle.leaf_id, elapsed_ms)
+                results.append(result)
+                continue
+            self.health.record_attempt(handle.leaf_id, "error", 0.0)
+            get_registry().counter(
+                "broker_failovers_total",
+                "Leaf failovers triggered by a failed consultation.",
+                labels=("leaf",),
+            ).labels(leaf=handle.leaf_id).inc()
+            handle.fail_over()
+            started = time.perf_counter()
+            result = fn(handle)  # a second failure surfaces to the caller
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.health.record_attempt(handle.leaf_id, "ok", elapsed_ms)
+            self._note_elapsed(handle.leaf_id, elapsed_ms)
+            results.append(result)
+        return results
+
+    def _note_elapsed(self, leaf_id: str, elapsed_ms: float) -> None:
+        total = self.last_leaf_elapsed_ms.get(leaf_id, 0.0) + elapsed_ms
+        self.last_leaf_elapsed_ms[leaf_id] = total
+        self.last_serial_ms += elapsed_ms
+        self.last_parallel_ms = max(self.last_parallel_ms, total)
+
+    def _reset_timings(self) -> None:
+        self.last_leaf_elapsed_ms = {}
+        self.last_parallel_ms = 0.0
+        self.last_serial_ms = 0.0
+
+    # -- selection ---------------------------------------------------------
+
+    def _require_distributable(self, selector: SourceSelector) -> None:
+        if not getattr(selector, "distributable", False):
+            raise ValueError(
+                f"selector {selector.name!r} is not distributable across "
+                "broker shards; use the flat index for it"
+            )
+
+    def _plan_descent(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        probes: Sequence[LeafProbe],
+    ) -> tuple[list[LeafProbe], list[LeafProbe]]:
+        """(descend, pruned) — pruning only when provably exact.
+
+        A leaf is prunable when the selector promises that a shard with
+        no query term scores every source at ``sparse_default`` — then
+        the probe's fill ids stand in for the whole leaf.  An optional
+        ``max_fanout`` additionally keeps only the most promising
+        touched leaves (by additive postings mass), which is the lossy
+        GlOSS trade — never applied by default.
+        """
+        if not getattr(selector, "prunable", False) or not terms:
+            descend = list(probes)
+            pruned: list[LeafProbe] = []
+        else:
+            descend = [probe for probe in probes if probe.touches()]
+            pruned = [probe for probe in probes if not probe.touches()]
+        cap = self.routing.max_fanout
+        if cap is not None and len(descend) > cap:
+            descend.sort(key=lambda probe: (-sum(probe.term_postings), probe.leaf_id))
+            descend, capped = descend[:cap], descend[cap:]
+            pruned.extend(capped)
+        return descend, pruned
+
+    def _probe_round(
+        self, terms: Sequence[str], k: int
+    ) -> tuple[list[LeafProbe], CorpusStats]:
+        probes = self._consult(
+            self._handles, lambda handle: handle.probe(terms, k)
+        )
+        return probes, _aggregate_stats(terms, probes)  # type: ignore[arg-type]
+
+    def _descend(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        k: int,
+        stats: CorpusStats,
+        probes: Sequence[LeafProbe],
+    ) -> list[tuple[str, float]]:
+        """Rounds two and three: descend, fill, merge — the exact top-k."""
+        descend, pruned = self._plan_descent(selector, terms, probes)
+        registry = get_registry()
+        selections = registry.counter(
+            "broker_leaf_selections_total",
+            "Leaf shards actually scored for a brokered selection.",
+            labels=("leaf",),
+        )
+        by_id = self._by_id
+        fragments = self._consult(
+            [by_id[probe.leaf_id] for probe in descend],
+            lambda handle: handle.select_candidates(selector, terms, k, stats),
+        )
+        pool: list[tuple[str, float]] = []
+        for probe, fragment in zip(descend, fragments):
+            selections.labels(leaf=probe.leaf_id).inc()
+            pool.extend(fragment)  # type: ignore[arg-type]
+        if pruned:
+            default = selector.sparse_default(terms, stats.n_sources)
+            for probe in pruned:
+                pool.extend(
+                    (source_id, default) for source_id in probe.fill_ids
+                )
+        registry.histogram(
+            "broker_route_depth",
+            "Leaves descended into (shards scored) per brokered selection.",
+            buckets=linear_buckets(0.0, 16.0),
+        ).observe(float(len(descend)))
+        return heapq.nsmallest(k, pool, key=order_key)
+
+    def top_candidates(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        k: int,
+    ) -> list[tuple[str, float]]:
+        """The hierarchy's exact global top-k ``(source_id, goodness)``."""
+        self._require_distributable(selector)
+        if k <= 0 or not self._handles:
+            return []
+        self._admit()
+        try:
+            self._reset_timings()
+            probes, stats = self._probe_round(terms, k)
+            return self._descend(selector, terms, k, stats, probes)
+        finally:
+            self._release()
+
+    def select(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        k: int,
+        tracer=None,
+    ) -> list[str]:
+        """The ids of the exact top-k sources, best first.
+
+        Bit-identical to ``selector.select(terms, flat_index, k)`` for
+        any distributable selector (and any routing without a fan-out
+        cap) — the flat index stays the oracle of this subsystem.
+        """
+        if tracer is None:
+            return [source_id for source_id, _ in self.top_candidates(selector, terms, k)]
+        with tracer.span(
+            "select:broker", selector=selector.name, k=k, leaves=len(self._handles)
+        ) as span:
+            merged = self.top_candidates(selector, terms, k)
+            span.annotate(
+                selected=" ".join(source_id for source_id, _ in merged),
+                parallel_ms=round(self.last_parallel_ms, 3),
+            )
+        return [source_id for source_id, _ in merged]
+
+    def rank(
+        self, selector: SourceSelector, terms: Sequence[str]
+    ) -> list[tuple[str, float]]:
+        """The full global ranking — every leaf consulted, no pruning."""
+        self._require_distributable(selector)
+        if not self._handles:
+            return []
+        self._admit()
+        try:
+            self._reset_timings()
+            probes, stats = self._probe_round(terms, 0)
+            rankings = self._consult(
+                self._handles,
+                lambda handle: handle.rank_all(selector, terms, stats),
+            )
+            merged: list[tuple[str, float]] = []
+            for ranking in rankings:
+                merged.extend(ranking)  # type: ignore[arg-type]
+            merged.sort(key=order_key)
+            return merged
+        finally:
+            self._release()
+
+    # -- the LeafHandle protocol: roots nest -------------------------------
+
+    def probe(self, terms: Sequence[str], k: int) -> LeafProbe:
+        """Aggregate the children's probes into this subtree's claim."""
+        probes = self._consult(
+            self._handles, lambda handle: handle.probe(terms, k)
+        )
+        fill: list[str] = []
+        for probe in probes:
+            fill.extend(probe.fill_ids)  # type: ignore[union-attr]
+        fill.sort()
+        n_terms = len(terms)
+        return LeafProbe(
+            leaf_id=self.leaf_id,
+            n_sources=sum(probe.n_sources for probe in probes),
+            clamped_mass_total=sum(probe.clamped_mass_total for probe in probes),
+            generation=sum(probe.generation for probe in probes),
+            term_lengths=tuple(
+                sum(probe.term_lengths[position] for probe in probes)
+                for position in range(n_terms)
+            ),
+            term_collection_frequencies=tuple(
+                sum(probe.term_collection_frequencies[position] for probe in probes)
+                for position in range(n_terms)
+            ),
+            term_postings=tuple(
+                sum(probe.term_postings[position] for probe in probes)
+                for position in range(n_terms)
+            ),
+            fill_ids=tuple(fill[:k]),
+        )
+
+    def select_candidates(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        k: int,
+        stats: CorpusStats,
+    ) -> list[tuple[str, float]]:
+        """Descend this subtree under the *caller's* global statistics."""
+        probes = self._consult(
+            self._handles, lambda handle: handle.probe(terms, k)
+        )
+        return self._descend(selector, terms, k, stats, probes)
+
+    def rank_all(
+        self,
+        selector: SourceSelector,
+        terms: Sequence[str],
+        stats: CorpusStats,
+    ) -> list[tuple[str, float]]:
+        rankings = self._consult(
+            self._handles,
+            lambda handle: handle.rank_all(selector, terms, stats),
+        )
+        merged: list[tuple[str, float]] = []
+        for ranking in rankings:
+            merged.extend(ranking)  # type: ignore[arg-type]
+        merged.sort(key=order_key)
+        return merged

@@ -16,6 +16,7 @@ from repro.federation.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    run_tasks_catching,
     submit_background,
 )
 from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
@@ -29,6 +30,7 @@ __all__ = [
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",
+    "run_tasks_catching",
     "submit_background",
     "Attempt",
     "OutcomeStatus",

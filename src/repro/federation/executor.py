@@ -19,7 +19,13 @@ from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor as _ThreadPool, wait
 from typing import Protocol, TypeVar, runtime_checkable
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "submit_background"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "run_tasks_catching",
+    "submit_background",
+]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -128,6 +134,30 @@ class ParallelExecutor:
         executor stateless.
         """
         threading.Thread(target=fn, daemon=True).start()
+
+
+def run_tasks_catching(
+    executor: Executor,
+    tasks: Sequence[TaskT],
+    fn: Callable[[TaskT], ResultT],
+) -> "list[tuple[ResultT | None, Exception | None]]":
+    """Run ``fn`` over ``tasks``; per-task exceptions become values.
+
+    Returns one ``(result, None)`` or ``(None, exception)`` pair per
+    task, in task order, whatever the executor.  A fan-out caller (the
+    broker root consulting its leaves) can then apply per-task fallback
+    — retry after a failover, degrade, re-raise — without one failing
+    task poisoning the whole batch, which is exactly what a bare
+    ``executor.run`` would do.
+    """
+
+    def guarded(task: TaskT) -> "tuple[ResultT | None, Exception | None]":
+        try:
+            return fn(task), None
+        except Exception as error:  # noqa: BLE001 — the caller decides
+            return None, error
+
+    return executor.run(tasks, guarded)
 
 
 def submit_background(

@@ -36,6 +36,7 @@ from repro.metasearch.merging import (
     TfIdfRecomputeMerge,
 )
 from repro.metasearch.selection import (
+    SELECTOR_REGISTRY,
     BGloss,
     BySize,
     Cori,
@@ -45,6 +46,7 @@ from repro.metasearch.selection import (
     SourceSelector,
     VGlossMax,
     VGlossSum,
+    order_key,
 )
 from repro.metasearch.summary_index import SummaryIndex, TermColumns
 from repro.metasearch.rewriting import PredicateRewriter, RewriteReport
@@ -84,6 +86,7 @@ __all__ = [
     "StreamingMerge",
     "TermFrequencyMerge",
     "TfIdfRecomputeMerge",
+    "SELECTOR_REGISTRY",
     "BGloss",
     "BySize",
     "Cori",
@@ -91,6 +94,7 @@ __all__ = [
     "RandomSelector",
     "SelectAll",
     "SourceSelector",
+    "order_key",
     "SummaryIndex",
     "TermColumns",
     "VGlossMax",

@@ -33,11 +33,12 @@ def merge_summaries(summaries: Sequence[SContentSummary]) -> SContentSummary:
     Postings and document frequencies add per (field, language, word);
     ``NumDocs`` adds.  Header flags are taken as the *weakest* claims
     (e.g. the merged list is stemmed only if every input was), since a
-    broker can only promise what all of its children provide.
+    broker can only promise what all of its children provide — but only
+    inputs that actually make a claim participate: an *empty* summary
+    (no sections and no documents) describes nothing, so its default
+    flags must not weaken the merge.  An empty-summary-only (or empty)
+    input list yields the all-defaults empty summary.
     """
-    if not summaries:
-        return SContentSummary(num_docs=0)
-
     totals: dict[tuple[str, str], dict[str, list[int]]] = defaultdict(
         lambda: defaultdict(lambda: [0, 0])
     )
@@ -58,13 +59,28 @@ def merge_summaries(summaries: Sequence[SContentSummary]) -> SContentSummary:
         )
         sections.append(SummarySection(field_name, language, entries))
 
+    claiming = [
+        summary
+        for summary in summaries
+        if summary.sections or summary.num_docs > 0
+    ]
+    if not claiming:
+        return SContentSummary(
+            num_docs=sum(summary.num_docs for summary in summaries),
+            sections=tuple(sections),
+        )
+
     return SContentSummary(
         num_docs=sum(summary.num_docs for summary in summaries),
         sections=tuple(sections),
-        stemming=all(summary.stemming for summary in summaries),
-        stop_words=all(summary.stop_words for summary in summaries),
-        case_sensitive=all(summary.case_sensitive for summary in summaries),
-        fields=all(summary.fields for summary in summaries),
+        stemming=all(summary.stemming for summary in claiming),
+        stop_words=all(summary.stop_words for summary in claiming),
+        case_sensitive=all(summary.case_sensitive for summary in claiming),
+        fields=all(summary.fields for summary in claiming),
+        has_postings=all(summary.has_postings for summary in claiming),
+        has_document_frequencies=all(
+            summary.has_document_frequencies for summary in claiming
+        ),
     )
 
 

@@ -72,6 +72,8 @@ __all__ = [
     "CostAware",
     "INDEXED",
     "DENSE",
+    "SELECTOR_REGISTRY",
+    "order_key",
 ]
 
 #: Backend names accepted by every selector's ``backend`` argument.
@@ -80,9 +82,18 @@ DENSE = "dense"
 
 Summaries = "dict[str, SContentSummary] | SummaryIndex"
 
-#: The total order every ranking obeys: descending goodness, ties on id.
-def _order_key(pair: tuple[str, float]) -> tuple[float, str]:
+
+def order_key(pair: tuple[str, float]) -> tuple[float, str]:
+    """The total order every ranking obeys: descending goodness, ties on id.
+
+    Public because the broker root merges per-leaf candidate lists with
+    the very same key — any other order would break bit-exactness with
+    the flat oracle.
+    """
     return (-pair[1], pair[0])
+
+
+_order_key = order_key
 
 
 def _observe_selection(selector: str, backend: str, duration_ms: float) -> None:
@@ -103,6 +114,19 @@ class SourceSelector:
     """
 
     name = "base"
+
+    #: Whether per-source scores depend only on the source's own summary
+    #: plus corpus-level statistics (source count, mean word mass,
+    #: per-term collection frequencies).  Distributable selectors can be
+    #: evaluated shard-by-shard in a broker hierarchy and merged into the
+    #: exact flat ranking; selectors that need the whole id set at once
+    #: (a global permutation, a cross-source discount) cannot.
+    distributable = True
+
+    #: Whether a shard containing none of the query terms can be skipped
+    #: outright: every one of its sources then scores exactly
+    #: :meth:`sparse_default`.  Only meaningful when ``distributable``.
+    prunable = False
 
     def __init__(self, backend: str = INDEXED) -> None:
         if backend not in (INDEXED, DENSE):
@@ -147,8 +171,44 @@ class SourceSelector:
                 (time.perf_counter() - started) * 1000.0,
             )
 
+    def top_candidates(
+        self,
+        terms: Sequence[str],
+        summaries: Summaries,
+        k: int,
+    ) -> list[tuple[str, float]]:
+        """The top-k ``(source_id, goodness)`` pairs, best first.
+
+        Exactly the pairs whose ids :meth:`select` returns, with the
+        goodness riding along — what a leaf broker sends up so the root
+        can merge per-shard candidate lists into the exact global top-k
+        with :func:`order_key`.
+        """
+        started = time.perf_counter()
+        try:
+            if isinstance(summaries, SummaryIndex) and self.backend == INDEXED:
+                pool = self._candidates_indexed(terms, summaries, k)
+            else:
+                pool = self._rank_impl(terms, summaries)
+            return heapq.nsmallest(k, pool, key=order_key)
+        finally:
+            _observe_selection(
+                self.name,
+                self._backend_used(summaries),
+                (time.perf_counter() - started) * 1000.0,
+            )
+
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError
+
+    def sparse_default(self, terms: Sequence[str], n_sources: int) -> float:
+        """The goodness of a source containing none of the query terms.
+
+        Must equal the default half of :meth:`_sparse_scores` bit for
+        bit: the broker root assigns it to every source of a leaf whose
+        shards hold no query term, without descending into the leaf.
+        """
+        return 0.0
 
     def _backend_used(self, summaries: Summaries) -> str:
         if isinstance(summaries, SummaryIndex) and self.backend == INDEXED:
@@ -221,10 +281,10 @@ class SourceSelector:
         scored.sort(key=_order_key)
         return scored
 
-    def _select_indexed(
+    def _candidates_indexed(
         self, terms: Sequence[str], index: SummaryIndex, k: int
-    ) -> list[str]:
-        """Top-k via a bounded heap, never materializing the full sort.
+    ) -> list[tuple[str, float]]:
+        """An unsorted pool whose k best pairs are the exact top-k.
 
         Sources outside the touched set all carry the same default
         score, so only the first k of them (in id order — exactly how
@@ -232,11 +292,7 @@ class SourceSelector:
         """
         sparse = self._sparse_scores(terms, index)
         if sparse is None:
-            scored = self._scored_indexed(terms, index)
-            return [
-                source_id
-                for source_id, _ in heapq.nsmallest(k, scored, key=_order_key)
-            ]
+            return self._scored_indexed(terms, index)
         touched, default = sparse
         pool = [
             (index.source_id(ordinal), goodness)
@@ -251,6 +307,13 @@ class SourceSelector:
                 filled += 1
                 if filled >= k:
                     break
+        return pool
+
+    def _select_indexed(
+        self, terms: Sequence[str], index: SummaryIndex, k: int
+    ) -> list[str]:
+        """Top-k via a bounded heap, never materializing the full sort."""
+        pool = self._candidates_indexed(terms, index, k)
         return [
             source_id for source_id, _ in heapq.nsmallest(k, pool, key=_order_key)
         ]
@@ -260,6 +323,7 @@ class BGloss(SourceSelector):
     """Boolean GlOSS: expected number of documents matching ALL terms."""
 
     name = "bGlOSS"
+    prunable = True
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         n_docs = summary.num_docs
@@ -320,6 +384,7 @@ class VGlossSum(SourceSelector):
     """Vector-space GlOSS, Sum variant: total postings mass of the terms."""
 
     name = "vGlOSS-Sum"
+    prunable = True
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         return float(sum(summary.total_postings(term) for term in terms))
@@ -347,6 +412,7 @@ class VGlossMax(SourceSelector):
     """
 
     name = "vGlOSS-Max"
+    prunable = True
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         goodness = 0.0
@@ -408,6 +474,7 @@ class Cori(SourceSelector):
     """
 
     name = "CORI"
+    prunable = True
 
     def _rank_dense(
         self,
@@ -497,6 +564,17 @@ class Cori(SourceSelector):
             touched[ordinal] = belief_sum / n_terms
         return touched, default
 
+    def sparse_default(self, terms: Sequence[str], n_sources: int) -> float:
+        if not n_sources or not terms:
+            return 0.0
+        # Summed exactly as the sparse path sums a per-term list of
+        # 0.4s, so a pruned shard's sources match the flat default bit
+        # for bit.
+        default_sum = 0.0
+        for _ in terms:
+            default_sum += 0.4
+        return default_sum / len(terms)
+
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError("CORI needs the full summary set; use rank()")
 
@@ -505,8 +583,12 @@ class SelectAll(SourceSelector):
     """Baseline: every source is equally good (score 1)."""
 
     name = "all"
+    prunable = True
 
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
+        return 1.0
+
+    def sparse_default(self, terms: Sequence[str], n_sources: int) -> float:
         return 1.0
 
     def _sparse_scores(
@@ -519,6 +601,9 @@ class RandomSelector(SourceSelector):
     """Baseline: a seeded random permutation per query."""
 
     name = "random"
+    #: The permutation is over the full id set at once — per-shard
+    #: permutations merged at a root would be a different shuffle.
+    distributable = False
 
     def __init__(self, seed: int = 0, backend: str = INDEXED) -> None:
         super().__init__(backend)
@@ -588,6 +673,10 @@ class CostAware(SourceSelector):
     """
 
     name = "cost-aware"
+    #: The discount can promote a source past the inner per-shard top-k,
+    #: so a leaf cannot know its own exact candidates without the costs
+    #: of every other leaf's sources.
+    distributable = False
 
     def __init__(
         self,
@@ -630,5 +719,24 @@ class CostAware(SourceSelector):
             )
         ]
 
+    def _candidates_indexed(
+        self, terms: Sequence[str], index: SummaryIndex, k: int
+    ) -> list[tuple[str, float]]:
+        return self._rank_impl(terms, index)
+
     def score(self, terms: Sequence[str], summary: SContentSummary) -> float:
         raise NotImplementedError("CostAware wraps rank(), not score()")
+
+
+#: CLI/wire names → zero-argument selector factories.  What the
+#: ``python -m repro select``/``broker`` subcommands accept and what a
+#: network leaf endpoint resolves a requested selector name against.
+SELECTOR_REGISTRY: dict[str, type[SourceSelector]] = {
+    "cori": Cori,
+    "bgloss": BGloss,
+    "vgloss-sum": VGlossSum,
+    "vgloss-max": VGlossMax,
+    "by-size": BySize,
+    "select-all": SelectAll,
+    "random": RandomSelector,
+}

@@ -252,6 +252,15 @@ class SummaryIndex:
         """``max(1.0, total word mass)`` — CORI's per-source ``cw``."""
         return max(1.0, float(self._word_mass[ordinal]))
 
+    @property
+    def clamped_mass_total(self) -> int:
+        """The exact integer sum of ``max(1, word mass)`` over sources.
+
+        Additive across disjoint shards: a broker root sums its leaves'
+        totals and recovers the flat index's mean word mass bit for bit.
+        """
+        return self._clamped_mass_total
+
     def mean_clamped_word_mass(self) -> float:
         """Mean clamped word mass over live sources.
 

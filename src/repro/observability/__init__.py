@@ -36,6 +36,7 @@ from repro.observability.metrics import (
     MetricFamily,
     MetricsRegistry,
     get_registry,
+    linear_buckets,
     log_scale_buckets,
     set_registry,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "get_registry",
+    "linear_buckets",
     "log_scale_buckets",
     "set_registry",
     "render_cache_counters",

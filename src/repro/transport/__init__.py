@@ -16,6 +16,7 @@ from repro.transport.network import (
     TransportTimeout,
 )
 from repro.transport.server import (
+    publish_broker_leaf,
     publish_metrics,
     publish_resource,
     publish_source,
@@ -34,6 +35,7 @@ __all__ = [
     "SimulatedInternet",
     "TransportError",
     "TransportTimeout",
+    "publish_broker_leaf",
     "publish_metrics",
     "publish_resource",
     "publish_source",

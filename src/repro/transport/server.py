@@ -21,7 +21,12 @@ from repro.starts.query import SQuery
 from repro.starts.soif import parse_soif
 from repro.transport.network import FaultProfile, HostProfile, SimulatedInternet
 
-__all__ = ["publish_source", "publish_resource", "publish_metrics"]
+__all__ = [
+    "publish_source",
+    "publish_resource",
+    "publish_metrics",
+    "publish_broker_leaf",
+]
 
 
 def publish_source(
@@ -106,6 +111,90 @@ def publish_resource(
             internet, source, source_profile, resource=resource, faults=fault_profile
         )
     return f"{base_url}/resource"
+
+
+def publish_broker_leaf(
+    internet: SimulatedInternet,
+    leaf,
+    base_url: str,
+    profile: HostProfile | None = None,
+    faults: FaultProfile | None = None,
+) -> str:
+    """Publish a :class:`~repro.broker.LeafBroker` as network endpoints.
+
+    ZBroker-style: the leaf becomes a set of JSON endpoints under
+    ``base_url`` —
+
+    * ``POST {base}/probe``    — aggregate shard statistics for terms
+    * ``POST {base}/select``   — the shard's exact top-k fragment
+    * ``POST {base}/rank``     — the full locally-scored ranking
+    * ``POST {base}/delta``    — one summary delta (SOIF text or null)
+    * ``POST {base}/failover`` — promote the standby
+    * ``GET  {base}/stats``    — shard stats (sources/terms/generation)
+
+    so a :class:`~repro.broker.RootBroker` holding
+    :class:`~repro.broker.NetworkLeafHandle`\\ s drives it exactly like
+    an in-process leaf, latency and fault profiles included.  Returns
+    the base URL.
+    """
+    import json
+
+    from repro.broker.remote import parse_summary_text, probe_payload
+    from repro.metasearch.selection import SELECTOR_REGISTRY
+
+    host = base_url.split("//", 1)[-1].split("/", 1)[0]
+    internet.register_host(host, profile, faults)
+
+    def _selector(payload: dict):
+        name = payload["selector"]
+        factory = SELECTOR_REGISTRY.get(name)
+        if factory is None:
+            raise ValueError(f"unknown selector on the wire: {name!r}")
+        return factory()
+
+    def _stats(payload: dict):
+        from repro.broker.remote import stats_from_payload
+
+        return stats_from_payload(payload["stats"])
+
+    def handle_probe(body: bytes) -> bytes:
+        payload = json.loads(body)
+        probe = leaf.probe(payload["terms"], payload["k"])
+        return json.dumps(probe_payload(probe)).encode("utf-8")
+
+    def handle_select(body: bytes) -> bytes:
+        payload = json.loads(body)
+        candidates = leaf.select_candidates(
+            _selector(payload), payload["terms"], payload["k"], _stats(payload)
+        )
+        return json.dumps({"candidates": candidates}).encode("utf-8")
+
+    def handle_rank(body: bytes) -> bytes:
+        payload = json.loads(body)
+        ranking = leaf.rank_all(
+            _selector(payload), payload["terms"], _stats(payload)
+        )
+        return json.dumps({"ranking": ranking}).encode("utf-8")
+
+    def handle_delta(body: bytes) -> bytes:
+        payload = json.loads(body)
+        leaf.apply_delta(payload["source"], parse_summary_text(payload["summary"]))
+        return json.dumps({"generation": leaf.index.generation}).encode("utf-8")
+
+    def handle_failover(body: bytes) -> bytes:
+        leaf.fail_over()
+        return json.dumps({"generation": leaf.index.generation}).encode("utf-8")
+
+    internet.register_post(f"{base_url}/probe", handle_probe)
+    internet.register_post(f"{base_url}/select", handle_select)
+    internet.register_post(f"{base_url}/rank", handle_rank)
+    internet.register_post(f"{base_url}/delta", handle_delta)
+    internet.register_post(f"{base_url}/failover", handle_failover)
+    internet.register_get(
+        f"{base_url}/stats",
+        lambda: json.dumps(leaf.shard_stats()).encode("utf-8"),
+    )
+    return base_url
 
 
 def publish_metrics(

@@ -1,0 +1,85 @@
+"""Broker metrics: Prometheus export and metrics-disabled neutrality."""
+
+import pytest
+
+from repro.broker import AdmissionPolicy
+from repro.metasearch.selection import Cori
+from repro.observability import (
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    set_registry,
+)
+
+from tests.broker.util import demo_population, populated
+
+
+@pytest.fixture
+def registry():
+    previous = get_registry()
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class TestPrometheusExport:
+    def test_broker_families_render(self, registry):
+        root = populated(3, demo_population())
+        root.select(Cori(), ["databases"], 2)
+        text = render_prometheus(registry)
+        assert "# TYPE broker_leaf_selections_total counter" in text
+        assert 'broker_leaf_selections_total{leaf="leaf-00"}' in text
+        assert "# TYPE broker_route_depth histogram" in text
+        assert 'broker_route_depth_bucket{le="16"' in text or "broker_route_depth_bucket" in text
+        assert "broker_route_depth_count 1" in text
+
+    def test_shed_counter_renders_with_reason(self, registry):
+        from repro.broker import BrokerOverloadedError
+
+        root = populated(
+            2, demo_population(), admission=AdmissionPolicy(max_inflight=0)
+        )
+        with pytest.raises(BrokerOverloadedError):
+            root.select(Cori(), ["databases"], 1)
+        text = render_prometheus(registry)
+        assert 'broker_shed_total{reason="inflight"} 1' in text
+
+    def test_failover_counter_renders(self, registry):
+        root = populated(2, demo_population())
+        root.handles()[0].fail()
+        root.select(Cori(), ["databases"], 1)
+        text = render_prometheus(registry)
+        assert 'broker_failovers_total{leaf="leaf-00"} 1' in text
+
+
+class TestDisabledNeutrality:
+    def test_disabled_registry_changes_nothing_but_the_export(self):
+        population = demo_population()
+
+        previous = get_registry()
+        try:
+            set_registry(MetricsRegistry())
+            root = populated(3, population)
+            enabled_result = root.select(Cori(), ["databases", "query"], 4)
+            assert render_prometheus(get_registry()) != ""
+
+            disabled = MetricsRegistry.disabled()
+            set_registry(disabled)
+            root = populated(3, population)
+            disabled_result = root.select(Cori(), ["databases", "query"], 4)
+            assert render_prometheus(disabled) == ""
+        finally:
+            set_registry(previous)
+
+        assert disabled_result == enabled_result
+
+    def test_disabled_registry_keeps_failover_and_shed_paths_working(self):
+        previous = get_registry()
+        try:
+            set_registry(MetricsRegistry.disabled())
+            root = populated(2, demo_population())
+            root.handles()[1].fail()
+            assert root.select(Cori(), ["databases"], 2)
+        finally:
+            set_registry(previous)

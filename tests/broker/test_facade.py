@@ -1,0 +1,112 @@
+"""BrokeredMetasearcher: the one-line swap keeps results bit-identical."""
+
+import pytest
+
+from repro import BrokeredMetasearcher, Metasearcher, SQuery, parse_expression
+from repro import quick_federation
+from repro.broker import build_hierarchy
+from repro.metasearch.selection import Cori, RandomSelector
+
+
+def _query(text="databases"):
+    return SQuery(
+        ranking_expression=parse_expression(f'(body-of-text "{text}")'),
+        max_number_documents=8,
+    )
+
+
+def _pair(**brokered_kwargs):
+    """A flat and a brokered searcher over identical federations."""
+    internet_a, url_a = quick_federation(seed=11)
+    internet_b, url_b = quick_federation(seed=11)
+    flat = Metasearcher(internet_a, [url_a])
+    brokered = BrokeredMetasearcher(internet_b, [url_b], **brokered_kwargs)
+    flat.refresh()
+    brokered.refresh()
+    return flat, brokered
+
+
+def _rows(result):
+    return [
+        (doc.score, doc.source_id, doc.linkage) for doc in result.documents
+    ]
+
+
+class TestSearchParity:
+    @pytest.mark.parametrize("n_leaves", [1, 2, 4])
+    def test_search_is_bit_identical(self, n_leaves):
+        flat, brokered = _pair(n_leaves=n_leaves)
+        for text in ("databases", "retrieval systems", "medicine"):
+            a = flat.search(_query(text), k_sources=2)
+            b = brokered.search(_query(text), k_sources=2)
+            assert b.selected_sources == a.selected_sources
+            assert _rows(b) == _rows(a)
+
+    def test_search_stream_is_bit_identical(self):
+        flat, brokered = _pair(n_leaves=3)
+        final_flat = list(flat.search_stream(_query(), k_sources=3))[-1]
+        final_brokered = list(brokered.search_stream(_query(), k_sources=3))[-1]
+        assert final_brokered.is_final and final_flat.is_final
+        assert _rows(final_brokered) == _rows(final_flat)
+
+    def test_explicit_selector_is_honoured(self):
+        flat, brokered = _pair(n_leaves=3)
+        flat.selector = Cori()
+        brokered.selector = Cori()
+        a = flat.search(_query("distributed databases"), k_sources=3)
+        b = brokered.search(_query("distributed databases"), k_sources=3)
+        assert b.selected_sources == a.selected_sources
+
+
+class TestDeltaCoherence:
+    def test_forget_keeps_hierarchy_and_flat_in_step(self):
+        flat, brokered = _pair(n_leaves=3)
+        flat.discovery.forget("Source-DB")
+        brokered.discovery.forget("Source-DB")
+        a = flat.search(_query(), k_sources=3)
+        b = brokered.search(_query(), k_sources=3)
+        assert "Source-DB" not in b.selected_sources
+        assert b.selected_sources == a.selected_sources
+        assert _rows(b) == _rows(a)
+
+    def test_hierarchy_holds_every_harvested_source(self):
+        _, brokered = _pair(n_leaves=4)
+        sharded = {
+            source_id
+            for leaf in brokered.broker.handles()
+            for source_id in leaf.index.source_ids()
+        }
+        assert sharded == set(brokered.discovery.summaries())
+
+
+class TestFallbacks:
+    def test_non_distributable_selector_falls_back_to_flat(self):
+        internet_a, url_a = quick_federation(seed=11)
+        internet_b, url_b = quick_federation(seed=11)
+        flat = Metasearcher(internet_a, [url_a], selector=RandomSelector(seed=4))
+        brokered = BrokeredMetasearcher(
+            internet_b, [url_b], selector=RandomSelector(seed=4), n_leaves=3
+        )
+        flat.refresh()
+        brokered.refresh()
+        a = flat.search(_query(), k_sources=2)
+        b = brokered.search(_query(), k_sources=2)
+        assert b.selected_sources == a.selected_sources
+
+    def test_prebuilt_broker_excludes_policy_kwargs(self):
+        internet, url = quick_federation(seed=11)
+        with pytest.raises(ValueError):
+            BrokeredMetasearcher(
+                internet, [url], broker=build_hierarchy(2), n_leaves=2,
+                broker_executor=object(),
+            )
+
+    def test_prebuilt_broker_accepted(self):
+        internet, url = quick_federation(seed=11)
+        root = build_hierarchy(2)
+        searcher = BrokeredMetasearcher(internet, [url], broker=root)
+        searcher.refresh()
+        assert searcher.broker is root
+        assert sum(len(leaf.index) for leaf in root.handles()) == len(
+            searcher.discovery.summaries()
+        )

@@ -1,0 +1,167 @@
+"""Property suite: hierarchical selection is a bit-exact twin of flat.
+
+For every distributable selector, over randomized summary populations,
+partition widths (leaf fan-outs) and queries — with and without
+mid-stream re-harvest and ``forget`` deltas — the hierarchy's top-k and
+full ranking must equal the flat index's *floats in the same order*,
+ties included.  The flat single-broker index stays the oracle of the
+subsystem.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import RootBroker, build_hierarchy
+from repro.metasearch.selection import (
+    BGloss,
+    BySize,
+    Cori,
+    SelectAll,
+    VGlossMax,
+    VGlossSum,
+)
+from repro.metasearch.summary_index import SummaryIndex
+from repro.starts.metadata import SContentSummary, SummaryEntryLine, SummarySection
+
+WORD_POOL = ["alpha", "beta", "Gamma", "delta", "epsilon", "Zeta"]
+QUERY_POOL = WORD_POOL + ["absent", "Missing"]
+
+
+def _selectors():
+    return [BGloss(), VGlossSum(), VGlossMax(), Cori(), SelectAll(), BySize()]
+
+
+@st.composite
+def summary_sets(draw):
+    n_sources = draw(st.integers(0, 10))
+    summaries = {}
+    for s in range(n_sources):
+        n_words = draw(st.integers(0, len(WORD_POOL)))
+        words = draw(
+            st.lists(
+                st.sampled_from(WORD_POOL),
+                min_size=n_words,
+                max_size=n_words,
+                unique=True,
+            )
+        )
+        entries = tuple(
+            SummaryEntryLine(
+                word,
+                draw(st.integers(-1, 30)),
+                draw(st.integers(-1, 25)),
+            )
+            for word in words
+        )
+        summaries[f"S{s}"] = SContentSummary(
+            num_docs=draw(st.sampled_from([0, 1, 5, 40, 300])),
+            case_sensitive=draw(st.booleans()),
+            sections=(SummarySection("body-of-text", "en", entries),),
+        )
+    return summaries
+
+
+@st.composite
+def queries(draw):
+    n_terms = draw(st.integers(0, 4))
+    return draw(
+        st.lists(
+            st.sampled_from(QUERY_POOL), min_size=n_terms, max_size=n_terms
+        )
+    )
+
+
+def _build(n_leaves, summaries):
+    root = build_hierarchy(n_leaves)
+    for source_id in sorted(summaries):
+        root.apply_delta(source_id, summaries[source_id])
+    return root
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    summaries=summary_sets(),
+    terms=queries(),
+    k=st.integers(0, 12),
+    n_leaves=st.integers(1, 5),
+)
+def test_hierarchical_equals_flat(summaries, terms, k, n_leaves):
+    index = SummaryIndex.from_summaries(summaries)
+    root = _build(n_leaves, summaries)
+    for selector in _selectors():
+        assert root.select(selector, terms, k) == selector.select(terms, index, k)
+        assert root.rank(selector, terms) == selector.rank(terms, index)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    initial=summary_sets(),
+    replacement=summary_sets(),
+    terms=queries(),
+    n_leaves=st.integers(1, 4),
+    data=st.data(),
+)
+def test_equivalence_survives_delta_streams(
+    initial, replacement, terms, n_leaves, data
+):
+    """Re-harvest and forget deltas, applied mid-stream through the
+    ring, leave the hierarchy equal to the flat index over the same
+    surviving population."""
+    index = SummaryIndex.from_summaries(initial)
+    root = _build(n_leaves, initial)
+    live = dict(initial)
+    for source_id, summary in replacement.items():
+        if data.draw(st.booleans(), label=f"replace {source_id}"):
+            index.add(source_id, summary)
+            root.apply_delta(source_id, summary)
+            live[source_id] = summary
+    for source_id in list(live):
+        if data.draw(st.booleans(), label=f"forget {source_id}"):
+            index.remove(source_id)
+            root.apply_delta(source_id, None)
+            del live[source_id]
+
+    sharded = {
+        source_id
+        for leaf in root.handles()
+        for source_id in leaf.index.source_ids()
+    }
+    assert sharded == set(live)
+    for selector in _selectors():
+        assert root.select(selector, terms, 3) == selector.select(terms, index, 3)
+        assert root.rank(selector, terms) == selector.rank(terms, index)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    summaries=summary_sets(),
+    terms=queries(),
+    k=st.integers(0, 8),
+    split=st.integers(1, 3),
+)
+def test_nested_hierarchy_equals_flat(summaries, terms, k, split):
+    """Two sub-roots under a top root: exactness survives nesting."""
+    index = SummaryIndex.from_summaries(summaries)
+    sub_a = build_hierarchy(split, leaf_prefix="a", broker_id="sub-a")
+    sub_b = build_hierarchy(4 - split, leaf_prefix="b", broker_id="sub-b")
+    top = RootBroker([sub_a, sub_b])
+    for source_id in sorted(summaries):
+        top.apply_delta(source_id, summaries[source_id])
+    for selector in _selectors():
+        assert top.select(selector, terms, k) == selector.select(terms, index, k)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    summaries=summary_sets(),
+    terms=queries(),
+    k=st.integers(0, 8),
+    n_leaves=st.integers(2, 5),
+    failing=st.integers(0, 4),
+)
+def test_equivalence_survives_failover(summaries, terms, k, n_leaves, failing):
+    """A failed leaf is promoted mid-selection without losing exactness."""
+    index = SummaryIndex.from_summaries(summaries)
+    root = _build(n_leaves, summaries)
+    root.handles()[failing % n_leaves].fail()
+    for selector in _selectors():
+        assert root.select(selector, terms, k) == selector.select(terms, index, k)

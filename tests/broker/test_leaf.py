@@ -1,0 +1,160 @@
+"""Leaf brokers: the delta log, standby replication, failover, probes."""
+
+import pytest
+
+from repro.broker import CorpusStats, GlobalStatsView, LeafBroker, LeafUnavailableError
+from repro.metasearch.selection import Cori
+
+from tests.broker.util import make_summary
+
+
+@pytest.fixture
+def leaf():
+    broker = LeafBroker("leaf-00")
+    broker.apply_delta("S0", make_summary(10, {"databases": (30, 8)}))
+    broker.apply_delta("S1", make_summary(20, {"retrieval": (12, 6)}))
+    return broker
+
+
+class TestDeltaStream:
+    def test_deltas_build_the_primary(self, leaf):
+        assert len(leaf.index) == 2
+        assert leaf.index.collection_frequency("databases") == 1
+
+    def test_none_delta_removes(self, leaf):
+        leaf.apply_delta("S0", None)
+        assert "S0" not in leaf.index
+        assert leaf.index.collection_frequency("databases") == 0
+
+    def test_reharvest_replaces(self, leaf):
+        leaf.apply_delta("S0", make_summary(5, {"networks": (4, 2)}))
+        assert leaf.index.collection_frequency("databases") == 0
+        assert leaf.index.collection_frequency("networks") == 1
+
+
+class TestReplication:
+    def test_lag_counts_unreplayed_deltas(self, leaf):
+        assert leaf.replication_lag == 2
+        assert not leaf.in_sync
+        assert leaf.replicate() == 2
+        assert leaf.in_sync
+
+    def test_replicate_converges_generations(self, leaf):
+        leaf.replicate()
+        assert leaf._standby.generation == leaf.index.generation
+        assert leaf._standby.summaries() == leaf.index.summaries()
+
+    def test_eager_replication_never_lags(self):
+        broker = LeafBroker("leaf-00", eager_replication=True)
+        for index in range(5):
+            broker.apply_delta(f"S{index}", make_summary(1, {"query": (1, 1)}))
+            assert broker.in_sync
+
+    def test_replicate_is_incremental(self, leaf):
+        leaf.replicate()
+        leaf.apply_delta("S2", make_summary(3, {"systems": (2, 1)}))
+        assert leaf.replication_lag == 1
+        assert leaf.replicate() == 1
+
+
+class TestFailover:
+    def test_down_leaf_refuses_to_serve(self, leaf):
+        leaf.fail()
+        assert leaf.is_down
+        with pytest.raises(LeafUnavailableError):
+            leaf.probe(["databases"], 1)
+        with pytest.raises(LeafUnavailableError):
+            leaf.select_candidates(Cori(), ["databases"], 1, _stats(leaf))
+        with pytest.raises(LeafUnavailableError):
+            leaf.aggregate_summary()
+
+    def test_deltas_accepted_while_down(self, leaf):
+        leaf.fail()
+        leaf.apply_delta("S2", make_summary(3, {"systems": (2, 1)}))
+        leaf.fail_over()
+        assert "S2" in leaf.index
+
+    def test_failover_promotes_an_identical_index(self, leaf):
+        before = leaf.index.summaries()
+        generation = leaf.index.generation
+        leaf.fail()
+        leaf.fail_over()
+        assert not leaf.is_down
+        assert leaf.index.summaries() == before
+        assert leaf.index.generation == generation
+
+    def test_fresh_standby_rebuilds_from_the_full_log(self, leaf):
+        leaf.fail_over()
+        assert leaf.replication_lag == len(leaf._log)
+        leaf.replicate()
+        assert leaf._standby.summaries() == leaf.index.summaries()
+
+
+class TestProbe:
+    def test_probe_reports_shard_statistics(self, leaf):
+        probe = leaf.probe(["databases", "absent"], 5)
+        assert probe.leaf_id == "leaf-00"
+        assert probe.n_sources == 2
+        assert probe.term_lengths == (1, 0)
+        assert probe.term_collection_frequencies == (1, 0)
+        assert probe.term_postings == (30, 0)
+        assert probe.touches()
+
+    def test_probe_fill_is_first_k_in_id_order(self, leaf):
+        assert leaf.probe([], 1).fill_ids == ("S0",)
+        assert leaf.probe([], 9).fill_ids == ("S0", "S1")
+
+    def test_untouched_shard_does_not_touch(self, leaf):
+        assert not leaf.probe(["absent"], 1).touches()
+
+
+class TestGlobalStatsView:
+    def test_corpus_statistics_come_from_the_root(self, leaf):
+        stats = CorpusStats(
+            n_sources=100,
+            clamped_mass_total=5000,
+            collection_frequencies={"databases": 37},
+        )
+        view = GlobalStatsView(leaf.index, stats)
+        assert len(view) == 100
+        assert view.mean_clamped_word_mass() == 50.0
+        assert view.collection_frequency("databases") == 37
+        assert view.term_columns("databases").collection_frequency == 37
+        assert view.collection_frequency("absent") == 0
+
+    def test_per_source_reads_come_from_the_shard(self, leaf):
+        view = GlobalStatsView(leaf.index, _stats(leaf))
+        assert "S0" in view and "S9" not in view
+        assert view.source_ids() == leaf.index.source_ids()
+        assert view.summaries() == leaf.index.summaries()
+        columns = view.term_columns("databases")
+        assert list(columns.postings) == [30]
+
+    def test_empty_corpus_mean_is_zero(self, leaf):
+        stats = CorpusStats(0, 0, {})
+        assert GlobalStatsView(leaf.index, stats).mean_clamped_word_mass() == 0.0
+
+
+class TestAggregateSummary:
+    def test_cached_per_generation(self, leaf):
+        first = leaf.aggregate_summary()
+        assert leaf.aggregate_summary() is first
+        leaf.apply_delta("S2", make_summary(3, {"systems": (2, 1)}))
+        second = leaf.aggregate_summary()
+        assert second is not first
+        assert second.num_docs == 33
+
+    def test_shard_stats_row(self, leaf):
+        stats = leaf.shard_stats()
+        assert stats["leaf"] == "leaf-00"
+        assert stats["sources"] == 2
+        assert stats["replication_lag"] == 2
+        assert stats["in_sync"] is False
+
+
+def _stats(leaf):
+    return CorpusStats(
+        n_sources=len(leaf.index),
+        clamped_mass_total=leaf.index.clamped_mass_total,
+        collection_frequencies={},
+    )

@@ -1,0 +1,102 @@
+"""The consistent-hash ring: determinism, coverage, minimal remapping."""
+
+import pytest
+
+from repro.broker import ConsistentHashRing
+
+KEYS = [f"Source-{index:04d}" for index in range(400)]
+
+
+class TestDeterminism:
+    def test_insertion_order_is_irrelevant(self):
+        forward = ConsistentHashRing(["alpha", "beta", "gamma"])
+        backward = ConsistentHashRing(["gamma", "beta", "alpha"])
+        for key in KEYS:
+            assert forward.locate(key) == backward.locate(key)
+
+    def test_stable_across_fresh_rings(self):
+        # crc32 (not salted hash()) keeps the routing table identical
+        # between processes; two fresh rings must agree everywhere.
+        table = {key: ConsistentHashRing(["a", "b", "c", "d"]).locate(key)
+                 for key in KEYS[:50]}
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        assert all(ring.locate(key) == owner for key, owner in table.items())
+
+    def test_locate_returns_a_member(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for key in KEYS:
+            assert ring.locate(key) in ring
+
+
+class TestAssignments:
+    def test_partition_is_an_exact_cover(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        table = ring.assignments(KEYS)
+        assert set(table) == {"a", "b", "c", "d"}
+        flattened = sorted(key for owned in table.values() for key in owned)
+        assert flattened == sorted(KEYS)
+        for member, owned in table.items():
+            assert all(ring.locate(key) == member for key in owned)
+
+    def test_members_with_no_keys_still_listed(self):
+        ring = ConsistentHashRing(["a", "b"])
+        table = ring.assignments([])
+        assert table == {"a": [], "b": []}
+
+    def test_virtual_nodes_spread_the_load(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        table = ring.assignments(KEYS)
+        shares = {member: len(owned) / len(KEYS) for member, owned in table.items()}
+        assert all(share > 0.02 for share in shares.values())
+        assert all(share < 0.60 for share in shares.values())
+
+
+class TestRemapping:
+    def test_remove_only_moves_the_removed_members_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        before = {key: ring.locate(key) for key in KEYS}
+        ring.remove("c")
+        for key in KEYS:
+            if before[key] == "c":
+                assert ring.locate(key) != "c"
+            else:
+                assert ring.locate(key) == before[key]
+
+    def test_add_only_steals_keys_for_the_new_member(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = {key: ring.locate(key) for key in KEYS}
+        ring.add("d")
+        moved = 0
+        for key in KEYS:
+            after = ring.locate(key)
+            if after != before[key]:
+                assert after == "d"
+                moved += 1
+        # Roughly 1/n of the keys move — far from a modulo reshard.
+        assert 0 < moved < len(KEYS) // 2
+
+    def test_duplicate_add_raises(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_missing_raises(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.remove("b")
+
+    def test_empty_ring_cannot_locate(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing().locate("anything")
+
+
+class TestSurface:
+    def test_len_contains_members(self):
+        ring = ConsistentHashRing(["b", "a"])
+        assert len(ring) == 2
+        assert "a" in ring and "z" not in ring
+        assert ring.members() == ["a", "b"]
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(replicas=0)

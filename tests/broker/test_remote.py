@@ -1,0 +1,120 @@
+"""Network leaves: the hierarchy spanning the simulated internet."""
+
+import pytest
+
+from repro.broker import (
+    LeafBroker,
+    NetworkLeafHandle,
+    RootBroker,
+    selector_wire_name,
+)
+from repro.metasearch.selection import Cori, CostAware, VGlossSum
+from repro.transport import SimulatedInternet, publish_broker_leaf
+
+from tests.broker.util import demo_population, flat_index
+
+
+def _network_root(population, n_leaves=3):
+    internet = SimulatedInternet(seed=3)
+    local = [LeafBroker(f"net-{index}") for index in range(n_leaves)]
+    handles = []
+    for leaf in local:
+        base = f"http://{leaf.leaf_id}.example.org/broker"
+        publish_broker_leaf(internet, leaf, base)
+        handles.append(NetworkLeafHandle(internet, base, leaf.leaf_id))
+    root = RootBroker(handles)
+    for source_id in sorted(population):
+        root.apply_delta(source_id, population[source_id])
+    return root, local, internet
+
+
+class TestWireExactness:
+    def test_select_over_the_wire_matches_flat(self):
+        population = demo_population()
+        index = flat_index(population)
+        root, local, _ = _network_root(population)
+        # Deltas crossed the wire as SOIF text: the remote shards hold
+        # every source.
+        assert sum(len(leaf.index) for leaf in local) == len(population)
+        for terms in (["databases"], ["query", "medicine"], []):
+            assert root.select(Cori(), terms, 5) == Cori().select(terms, index, 5)
+
+    def test_rank_floats_round_trip_exactly(self):
+        population = demo_population()
+        index = flat_index(population)
+        root, _, _ = _network_root(population)
+        terms = ["retrieval", "networks"]
+        assert root.rank(VGlossSum(), terms) == VGlossSum().rank(terms, index)
+
+    def test_forget_crosses_the_wire(self):
+        population = demo_population()
+        root, local, _ = _network_root(population)
+        victim = sorted(population)[0]
+        root.apply_delta(victim, None)
+        assert all(victim not in leaf.index for leaf in local)
+        remaining = {k: v for k, v in population.items() if k != victim}
+        index = flat_index(remaining)
+        assert root.select(Cori(), ["databases"], 4) == Cori().select(
+            ["databases"], index, 4
+        )
+
+
+class TestWireFailover:
+    def test_leaf_failure_crosses_the_wire_and_recovers(self):
+        population = demo_population()
+        index = flat_index(population)
+        root, local, _ = _network_root(population)
+        local[1].fail()
+        assert root.select(Cori(), ["databases"], 4) == Cori().select(
+            ["databases"], index, 4
+        )
+        assert not local[1].is_down
+
+    def test_stats_endpoint(self):
+        population = demo_population()
+        root, local, _ = _network_root(population, n_leaves=2)
+        handle = root.handles()[0]
+        stats = handle.shard_stats()
+        assert stats["leaf"] == local[0].leaf_id
+        assert stats["sources"] == len(local[0].index)
+
+
+class TestWireNames:
+    def test_registered_selectors_have_wire_names(self):
+        assert selector_wire_name(Cori()) == "cori"
+        assert selector_wire_name(VGlossSum()) == "vgloss-sum"
+
+    def test_unregistered_selector_is_rejected(self):
+        with pytest.raises(ValueError, match="no wire name"):
+            selector_wire_name(CostAware(Cori(), {}))
+
+    def test_subclass_does_not_inherit_the_parent_name(self):
+        class TweakedCori(Cori):
+            pass
+
+        with pytest.raises(ValueError):
+            selector_wire_name(TweakedCori())
+
+    def test_unknown_selector_on_the_wire_is_rejected_server_side(self):
+        internet = SimulatedInternet(seed=1)
+        leaf = LeafBroker("net-0")
+        base = "http://net-0.example.org/broker"
+        publish_broker_leaf(internet, leaf, base)
+        import json
+
+        with pytest.raises(ValueError, match="unknown selector"):
+            internet.post(
+                f"{base}/select",
+                json.dumps(
+                    {
+                        "selector": "bogus",
+                        "terms": [],
+                        "k": 1,
+                        "stats": {
+                            "n_sources": 0,
+                            "clamped_mass_total": 0,
+                            "collection_frequencies": {},
+                        },
+                    }
+                ).encode("utf-8"),
+            )

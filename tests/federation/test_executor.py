@@ -136,3 +136,47 @@ class TestWallClock:
         )
         assert serial.linkages() == parallel.linkages()
         assert serial.outcome_counts() == parallel.outcome_counts()
+
+
+class TestRunTasksCatching:
+    """Per-task exception capture over any executor."""
+
+    def _run(self, executor):
+        from repro.federation import run_tasks_catching
+
+        def fn(task):
+            if task % 3 == 0:
+                raise RuntimeError(f"task {task} failed")
+            return task * 10
+
+        return run_tasks_catching(executor, [1, 2, 3, 4, 5, 6], fn)
+
+    @pytest.mark.parametrize(
+        "executor", [SerialExecutor(), ParallelExecutor(max_workers=3)]
+    )
+    def test_results_and_errors_in_task_order(self, executor):
+        outcomes = self._run(executor)
+        assert [result for result, _ in outcomes] == [10, 20, None, 40, 50, None]
+        errors = [error for _, error in outcomes]
+        assert errors[0] is None and errors[1] is None
+        assert isinstance(errors[2], RuntimeError)
+        assert "task 3 failed" in str(errors[2])
+        assert isinstance(errors[5], RuntimeError)
+
+    def test_one_failure_does_not_poison_the_batch(self):
+        from repro.federation import run_tasks_catching
+
+        outcomes = run_tasks_catching(
+            SerialExecutor(), ["ok", "boom", "ok"],
+            lambda task: (_ for _ in ()).throw(ValueError(task))
+            if task == "boom"
+            else task.upper(),
+        )
+        assert outcomes[0] == ("OK", None)
+        assert outcomes[2] == ("OK", None)
+        assert isinstance(outcomes[1][1], ValueError)
+
+    def test_empty_tasks(self):
+        from repro.federation import run_tasks_catching
+
+        assert run_tasks_catching(SerialExecutor(), [], lambda t: t) == []

@@ -190,3 +190,23 @@ class TestPlanCommand:
 
     def test_plan_empty_expression(self, capsys):
         assert main(["plan", "  "]) == 2
+
+
+class TestBrokerCommand:
+    def test_prints_routing_table_and_shard_stats(self, capsys, fresh_registry):
+        code = main(["--seed", "3", "broker", "--sources", "60", "--leaves", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "root over 3 leaves" in out
+        assert "leaf-00" in out and "leaf-02" in out
+        assert "sources" in out
+
+    def test_demo_selection_with_terms(self, capsys, fresh_registry):
+        code = main(
+            ["--seed", "3", "broker", "--sources", "40", "--leaves", "2",
+             "--terms", "databases", "-k", "3", "--selector", "cori"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selection: cori over databases" in out
+        assert "parallel" in out

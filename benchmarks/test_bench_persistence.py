@@ -1,0 +1,165 @@
+"""Persistence benchmark: warm starts vs. cold rebuilds at 100k docs.
+
+The point of the segment store is that a restart should *not* replay
+indexing.  This benchmark builds a 100k-document segmented index once
+(the cold path: generate nothing, just tokenize/index/flush every
+document), checkpoints it, and then times how long a "new process"
+takes to serve queries from the same directory (the warm path: read
+the manifest, mmap the segments).  It also replays a mixed query
+workload over the segmented engine and the ``storage="memory"``
+oracle, asserting the answers are bit-identical and the segment QPS
+stays within 10 % of the in-memory QPS.
+
+Everything lands in ``BENCH_persistence.json``.  Acceptance: warm
+startup at least 10× faster than the cold rebuild, segment QPS within
+10 % of memory QPS, identical results.
+
+The store lives under a ``tempfile`` directory and is removed on the
+way out — a benchmark run must not leave 100k documents of segments
+in the tree (CI checks).
+"""
+
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.corpus import CollectionSpec, generate_collection
+from repro.engine import fields as F
+from repro.engine.query import BooleanQuery, ListQuery, ProxQuery, TermQuery
+from repro.engine.search import SearchEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_DOCS = 100_000
+FLUSH_EVERY = 5_000
+QUERY_PASSES = 3
+
+
+def t(text, field=F.BODY_OF_TEXT, **kwargs):
+    return TermQuery(field, text, **kwargs)
+
+
+def _workload(documents):
+    """A mixed query stream over words that actually occur."""
+    from collections import Counter
+
+    counts = Counter()
+    for document in documents[:500]:
+        counts.update(document.fields.get(F.BODY_OF_TEXT, "").lower().split())
+    common = [word for word, _ in counts.most_common(12)]
+    rare = [word for word, count in counts.items() if count <= 2][:8]
+    queries = []
+    for word in common:
+        queries.append((None, ListQuery((t(word),))))
+    for head, tail in zip(common, common[4:]):
+        queries.append((BooleanQuery("and", (t(head), t(tail))), None))
+        queries.append((None, ListQuery((t(head, weight=2.0), t(tail)))))
+    for word in rare:
+        queries.append((t(word), None))
+    queries.append((ProxQuery(t(common[0]), t(common[1]), 3, False), None))
+    queries.append((t(common[0][:4], modifiers=frozenset({"right-truncation"})), None))
+    return queries
+
+
+def _replay(engine, queries):
+    """Total wall-clock seconds for one pass over the workload."""
+    started = time.perf_counter()
+    for filter_query, ranking_query in queries:
+        engine.search(filter_query, ranking_query, top_k=10)
+    return time.perf_counter() - started
+
+
+def test_bench_persistence(write_table):
+    documents = generate_collection(
+        CollectionSpec(
+            name="persist",
+            topics={"databases": 1.0, "networking": 0.5, "retrieval": 0.25},
+            size=N_DOCS,
+            body_words=(12, 24),
+            seed=17,
+        )
+    )
+    queries = _workload(documents)
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="bench-persist-"))
+    try:
+        store_dir = scratch / "store"
+
+        # -- cold: index every document into segments, checkpoint ------
+        started = time.perf_counter()
+        segmented = SearchEngine(storage="segments", storage_dir=store_dir)
+        for index, document in enumerate(documents):
+            segmented.add(document)
+            if (index + 1) % FLUSH_EVERY == 0:
+                segmented.flush()
+        segmented.checkpoint()
+        cold_rebuild_s = time.perf_counter() - started
+        segment_count = segmented.segment_store.segment_count
+        store_bytes = segmented.segment_store.manifest.total_bytes()
+        segmented.close()
+
+        # -- warm: a "new process" opens the same directory ------------
+        started = time.perf_counter()
+        warm = SearchEngine(storage="segments", storage_dir=store_dir)
+        assert warm.document_count == N_DOCS
+        warm_startup_s = time.perf_counter() - started
+
+        # -- the in-memory oracle --------------------------------------
+        oracle = SearchEngine()
+        oracle.add_all(documents)
+
+        # bit-identical answers before any timing
+        for filter_query, ranking_query in queries:
+            assert oracle.search(filter_query, ranking_query, top_k=10) == warm.search(
+                filter_query, ranking_query, top_k=10
+            ), (filter_query, ranking_query)
+
+        # -- throughput: repeated passes over warmed engines -----------
+        memory_s = min(_replay(oracle, queries) for _ in range(QUERY_PASSES))
+        segment_s = min(_replay(warm, queries) for _ in range(QUERY_PASSES))
+        memory_qps = len(queries) / memory_s
+        segment_qps = len(queries) / segment_s
+        warm.close()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    payload = {
+        "benchmark": "persistence",
+        "n_docs": N_DOCS,
+        "flush_every": FLUSH_EVERY,
+        "segments_after_checkpoint": segment_count,
+        "store_bytes": store_bytes,
+        "n_queries": len(queries),
+        "query_passes": QUERY_PASSES,
+        "cold_rebuild_s": round(cold_rebuild_s, 3),
+        "warm_startup_s": round(warm_startup_s, 4),
+        "startup_speedup": round(cold_rebuild_s / max(warm_startup_s, 1e-9), 1),
+        "memory_qps": round(memory_qps, 1),
+        "segment_qps": round(segment_qps, 1),
+        "qps_ratio": round(segment_qps / memory_qps, 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_persistence.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    write_table(
+        "PERSIST_warm_start",
+        [
+            f"{N_DOCS:,} documents, flush every {FLUSH_EVERY:,}, "
+            f"{segment_count} segments, {store_bytes:,} bytes on disk",
+            "",
+            f"cold rebuild  {payload['cold_rebuild_s']:8.2f} s",
+            f"warm startup  {payload['warm_startup_s']:8.4f} s "
+            f"({payload['startup_speedup']:.0f}x faster)",
+            f"query rate    memory {payload['memory_qps']:.0f} q/s, "
+            f"segments {payload['segment_qps']:.0f} q/s "
+            f"(ratio {payload['qps_ratio']:.2f})",
+        ],
+    )
+
+    # The acceptance bars from the issue: a warm start must beat a cold
+    # rebuild by 10x, and mmap-backed serving must stay within 10 % of
+    # the in-memory engine.
+    assert warm_startup_s * 10 <= cold_rebuild_s
+    assert segment_qps >= 0.9 * memory_qps

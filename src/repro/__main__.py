@@ -18,6 +18,10 @@ Commands:
   PQF encoding.
 * ``metrics`` — run a few searches and print the process metrics in
   Prometheus text format.
+* ``checkpoint {save,load,inspect} DIR`` — build a segmented demo
+  index and checkpoint it, warm-start an engine from the directory,
+  or print the manifest (segments, generation, tombstones) without
+  paging in any segment data.
 * ``trace [EXPR]`` — run one traced search; print the timeline, or
   export it with ``--chrome trace.json`` / ``--ndjson events.ndjson``.
 """
@@ -340,6 +344,82 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    import pathlib
+    import time
+
+    from repro.corpus import CollectionSpec, generate_collection
+    from repro.engine import fields as F
+    from repro.engine.query import TermQuery
+    from repro.engine.search import SearchEngine
+    from repro.storage import read_manifest
+
+    directory = pathlib.Path(args.dir)
+
+    if args.action == "save":
+        documents = generate_collection(
+            CollectionSpec(
+                name="checkpoint-demo",
+                topics={"databases": 1.0, "networking": 0.4},
+                size=args.size,
+                seed=args.seed,
+            )
+        )
+        engine = SearchEngine(storage="segments", storage_dir=directory)
+        engine.add_all(documents)
+        manifest_path = engine.checkpoint(merge=args.merge)
+        store = engine.segment_store
+        print(f"checkpointed {engine.document_count} documents to {directory}")
+        print(f"  manifest:   {manifest_path}")
+        print(f"  generation: {store.generation}")
+        print(f"  segments:   {store.segment_count} "
+              f"({store.manifest.total_bytes():,} bytes)")
+        engine.close()
+        return 0
+
+    if args.action == "load":
+        if read_manifest(directory) is None:
+            print(f"cannot open {directory}: no manifest", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        try:
+            engine = SearchEngine(storage="segments", storage_dir=directory)
+        except Exception as error:  # noqa: BLE001 - CLI surface
+            print(f"cannot open {directory}: {error}", file=sys.stderr)
+            return 2
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        store = engine.segment_store
+        print(f"warm start from {directory} in {elapsed_ms:.1f} ms")
+        print(f"  documents:  {engine.document_count}")
+        print(f"  segments:   {store.segment_count} "
+              f"(generation {store.generation})")
+        hits = engine.search(TermQuery(F.BODY_OF_TEXT, "databases"))[:5]
+        print(f'  "databases" hits: {len(hits)} shown of a top-5 probe')
+        for hit in hits:
+            print(f"    {hit.score:10.4f}  {engine.store[hit.doc_id].linkage}")
+        engine.close()
+        return 0
+
+    # inspect: print the manifest without paging in any segment data.
+    manifest = read_manifest(directory)
+    if manifest is None:
+        print(f"no manifest in {directory}", file=sys.stderr)
+        return 2
+    print(f"manifest at {directory}")
+    print(f"  generation:  {manifest.generation}")
+    print(f"  analyzer:    {manifest.analyzer}")
+    print(f"  ranking:     {manifest.ranking}")
+    print(f"  tombstones:  {len(manifest.tombstones)}")
+    print(f"  segments:    {len(manifest.segments)} "
+          f"({manifest.total_bytes():,} bytes, "
+          f"ceiling {manifest.document_ceiling})")
+    print(f"  {'name':<14} {'base':>8} {'docs':>8} {'bytes':>12}")
+    for meta in manifest.segments:
+        print(f"  {meta.name:<14} {meta.doc_base:>8} {meta.doc_count:>8} "
+              f"{meta.size_bytes:>12,}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro import CollectionSpec, generate_collection
     from repro.resource import Resource
@@ -473,6 +553,19 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--chrome", metavar="PATH", help="write Chrome trace JSON")
     trace.add_argument("--ndjson", metavar="PATH", help="write NDJSON event log")
     trace.set_defaults(handler=cmd_trace)
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="save, warm-load, or inspect a segment store"
+    )
+    checkpoint.add_argument("action", choices=["save", "load", "inspect"])
+    checkpoint.add_argument("dir", help="segment store directory")
+    checkpoint.add_argument(
+        "--size", type=int, default=200, help="documents to generate for save"
+    )
+    checkpoint.add_argument(
+        "--merge", action="store_true", help="compact segments while saving"
+    )
+    checkpoint.set_defaults(handler=cmd_checkpoint)
 
     serve = commands.add_parser(
         "serve", help="serve a demo federation over real HTTP"

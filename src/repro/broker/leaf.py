@@ -177,6 +177,32 @@ class LeafBroker:
         self._standby_applied = 0
         self._down = False
         self._aggregate_cache: tuple[int, SContentSummary] | None = None
+        #: how much of the upstream delta stream a warm restore already
+        #: covers (0 for a cold broker); the caller replays only the
+        #: stream suffix past this cursor.
+        self.restored_log_position = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def save_checkpoint(self, path) -> int:
+        """Checkpoint this shard; returns the recorded log position."""
+        from repro.storage.checkpoint import save_leaf_checkpoint
+
+        return save_leaf_checkpoint(self, path)
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, eager_replication: bool = False
+    ) -> "LeafBroker":
+        """Warm a broker from a checkpoint instead of replaying history.
+
+        The returned broker's :attr:`restored_log_position` is the
+        delta-stream cursor the checkpoint covers; apply only the
+        deltas logged after it.
+        """
+        from repro.storage.checkpoint import load_leaf_checkpoint
+
+        return load_leaf_checkpoint(path, eager_replication)
 
     # -- delta stream ------------------------------------------------------
 

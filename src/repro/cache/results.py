@@ -90,6 +90,25 @@ class QueryResultCache:
     def clear(self) -> None:
         self._cache.clear()
 
+    # -- checkpointing -----------------------------------------------------
+
+    def save_checkpoint(self, path) -> int:
+        """Persist live entries (atomic write); returns the count."""
+        from repro.storage.checkpoint import save_cache
+
+        return save_cache(self._cache, path)
+
+    def load_checkpoint(self, path) -> int:
+        """Restore entries into this (empty) cache; returns the count.
+
+        Remaining TTLs survive the restart: entry ages are re-anchored
+        to this process's clock, so stale-while-revalidate behaves as
+        if the process had never died.
+        """
+        from repro.storage.checkpoint import load_cache
+
+        return load_cache(self._cache, path)
+
     # -- single-flight revalidation ---------------------------------------
 
     def begin_revalidation(self, key: str) -> bool:

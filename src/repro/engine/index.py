@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 
 from repro.text.soundex import soundex
 
-__all__ = ["Posting", "InvertedIndex", "SummaryEntry"]
+__all__ = ["Posting", "InvertedIndex", "IndexSnapshot", "SummaryEntry"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,6 +35,30 @@ class Posting:
     @property
     def term_frequency(self) -> int:
         return len(self.positions)
+
+
+@dataclass(slots=True)
+class IndexSnapshot:
+    """A self-contained copy of an index's contents.
+
+    The public interchange format between an index and anything that
+    persists one — the JSON persistence layer and the segment writer
+    both consume it, so neither reaches into the index's private
+    postings maps.  ``Posting`` objects are immutable and shared;
+    containers and summary entries are copied, so mutating the source
+    index never invalidates a snapshot already taken.
+    """
+
+    postings: dict[str, dict[str, list["Posting"]]] = dataclass_field(
+        default_factory=dict
+    )
+    summary: list[tuple[str, str, dict[str, "SummaryEntry"]]] = dataclass_field(
+        default_factory=list
+    )
+    document_count: int = 0
+
+    def is_empty(self) -> bool:
+        return not self.postings and not self.summary and not self.document_count
 
 
 @dataclass(slots=True)
@@ -197,6 +221,62 @@ class InvertedIndex:
             self._soundex[field] = dict(codes)
             self._soundex_dirty.discard(field)
         return sorted(self._soundex[field].get(soundex(word), ()))
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> IndexSnapshot:
+        """A self-contained copy of the index's postings and summaries.
+
+        This is the supported way to read an index wholesale — the
+        persistence layer and the segment writer both build on it
+        instead of touching private fields.
+        """
+        return IndexSnapshot(
+            postings={
+                field: {term: list(plist) for term, plist in terms.items()}
+                for field, terms in self._postings.items()
+            },
+            summary=[
+                (
+                    field,
+                    language,
+                    {
+                        word: SummaryEntry(entry.postings, entry.document_frequency)
+                        for word, entry in words.items()
+                    },
+                )
+                for (field, language), words in sorted(self._summary.items())
+            ],
+            document_count=self._doc_count,
+        )
+
+    def restore(self, snapshot: IndexSnapshot) -> None:
+        """Install a snapshot into this (empty) index.
+
+        The inverse of :meth:`snapshot`: the only supported way to
+        *write* an index wholesale.  Derived structures (sorted
+        vocabularies, soundex maps) are marked dirty for lazy rebuild
+        and the generation counter is bumped so downstream memos
+        (term-matcher expansions) refresh.
+
+        Raises:
+            ValueError: if the index already holds anything.
+        """
+        if self._postings or self._summary or self._doc_count:
+            raise ValueError("restore() needs an empty index")
+        for field, terms in snapshot.postings.items():
+            field_postings = self._postings[field]
+            for term, plist in terms.items():
+                field_postings[term] = list(plist)
+            self._sorted_vocab_dirty.add(field)
+            self._reversed_vocab_dirty.add(field)
+            self._soundex_dirty.add(field)
+        for field, language, words in snapshot.summary:
+            bucket = self._summary[(field, language)]
+            for word, entry in words.items():
+                bucket[word] = SummaryEntry(entry.postings, entry.document_frequency)
+        self._doc_count = snapshot.document_count
+        self._generation += 1
 
     # -- summary export ----------------------------------------------------
 

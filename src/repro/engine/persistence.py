@@ -1,4 +1,4 @@
-"""Saving and loading indexed collections.
+"""Saving and loading indexed collections (portable JSON format).
 
 A production source does not re-crawl and re-index its collection on
 every restart.  This module serializes an engine's document store and
@@ -7,7 +7,17 @@ engine.  The format is versioned and self-describing; the analyzer and
 ranking configuration are *not* serialized (they are code, chosen when
 the engine is constructed), but their identifying parameters are
 recorded and checked on load so an index built by a stemming analyzer
-is never silently served by a non-stemming one.
+is never silently served by a non-stemming one, and an index saved by
+a BM25 engine is never silently re-scored by a cosine one.
+
+Saves are atomic (same-directory temp file + ``os.replace``): a crash
+mid-save leaves the previous file intact, never a torn one.  The
+engine's contents travel through the public :class:`IndexSnapshot`
+interchange type — this module never touches index internals.
+
+For large collections prefer the segment store
+(:mod:`repro.storage`): this JSON format is the portable,
+human-inspectable interchange; segments are the production layout.
 """
 
 from __future__ import annotations
@@ -16,8 +26,9 @@ import json
 import pathlib
 
 from repro.engine.documents import Document
-from repro.engine.index import Posting, SummaryEntry
+from repro.engine.index import IndexSnapshot, Posting, SummaryEntry
 from repro.engine.search import SearchEngine
+from repro.storage.manifest import atomic_write_text
 
 __all__ = ["save_engine", "load_engine", "PersistenceError"]
 
@@ -28,20 +39,15 @@ class PersistenceError(Exception):
     """Raised on version or configuration mismatches at load time."""
 
 
-def _analyzer_signature(engine: SearchEngine) -> dict:
-    analyzer = engine.analyzer
-    return {
-        "tokenizer": analyzer.tokenizer.tokenizer_id,
-        "stem": analyzer.stem,
-        "case_sensitive": analyzer.case_sensitive,
-        "index_stop_words": analyzer.index_stop_words,
-    }
-
-
 def save_engine(engine: SearchEngine, path: str | pathlib.Path) -> None:
-    """Serialize ``engine``'s documents and index to ``path``."""
+    """Serialize ``engine``'s documents and index to ``path``.
+
+    The write is atomic: the payload lands in a temp file beside
+    ``path`` and is renamed over it only once fully written and
+    fsynced, so an interrupted save never corrupts an existing file.
+    """
     store = engine.store
-    index = engine.index
+    snapshot = engine.index.snapshot()
 
     documents = [
         {
@@ -56,9 +62,9 @@ def save_engine(engine: SearchEngine, path: str | pathlib.Path) -> None:
     postings = {
         field: {
             term: [[posting.doc_id, list(posting.positions)] for posting in plist]
-            for term, plist in index._postings[field].items()
+            for term, plist in terms.items()
         }
-        for field in index._postings
+        for field, terms in snapshot.postings.items()
     }
 
     summary = [
@@ -70,29 +76,30 @@ def save_engine(engine: SearchEngine, path: str | pathlib.Path) -> None:
                 for word, stats in words.items()
             },
         }
-        for field, language, words in index.summary_sections()
+        for field, language, words in snapshot.summary
     ]
 
     payload = {
         "version": _FORMAT_VERSION,
-        "analyzer": _analyzer_signature(engine),
+        "analyzer": engine.analyzer.signature(),
         "ranking": engine.ranking.algorithm_id if engine.ranking else None,
         "documents": documents,
         "postings": postings,
         "summary": summary,
     }
-    pathlib.Path(path).write_text(json.dumps(payload))
+    atomic_write_text(pathlib.Path(path), json.dumps(payload))
 
 
 def load_engine(engine: SearchEngine, path: str | pathlib.Path) -> SearchEngine:
     """Restore a saved collection into a *fresh, empty* ``engine``.
 
-    The engine must be configured with the same analyzer parameters the
-    index was built with.
+    The engine must be configured with the same analyzer parameters
+    and the same ranking algorithm the index was saved with — scores
+    and exported metadata would silently differ otherwise.
 
     Raises:
         PersistenceError: on version mismatch, non-empty engine, or
-            analyzer configuration mismatch.
+            analyzer/ranking configuration mismatch.
     """
     payload = json.loads(pathlib.Path(path).read_text())
 
@@ -101,10 +108,17 @@ def load_engine(engine: SearchEngine, path: str | pathlib.Path) -> SearchEngine:
     if engine.document_count != 0:
         raise PersistenceError("load_engine needs an empty engine")
     saved_signature = payload["analyzer"]
-    if saved_signature != _analyzer_signature(engine):
+    if saved_signature != engine.analyzer.signature():
         raise PersistenceError(
             f"analyzer mismatch: index built with {saved_signature}, "
-            f"engine configured as {_analyzer_signature(engine)}"
+            f"engine configured as {engine.analyzer.signature()}"
+        )
+    saved_ranking = payload.get("ranking")
+    engine_ranking = engine.ranking.algorithm_id if engine.ranking else None
+    if saved_ranking != engine_ranking:
+        raise PersistenceError(
+            f"ranking mismatch: index saved by a {saved_ranking!r} engine, "
+            f"this engine is configured as {engine_ranking!r}"
         )
 
     for record in payload["documents"]:
@@ -115,20 +129,28 @@ def load_engine(engine: SearchEngine, path: str | pathlib.Path) -> SearchEngine:
         # Keep ids dense and aligned with the saved postings.
         assert doc_id == len(engine.store) - 1
 
-    index = engine.index
-    for field, terms in payload["postings"].items():
-        field_postings = index._postings[field]
-        for term, plist in terms.items():
-            field_postings[term] = [
-                Posting(doc_id, tuple(positions)) for doc_id, positions in plist
-            ]
-        index._sorted_vocab_dirty.add(field)
-        index._soundex_dirty.add(field)
-
-    for section in payload["summary"]:
-        bucket = index._summary[(section["field"], section["language"])]
-        for word, (postings, df) in section["words"].items():
-            bucket[word] = SummaryEntry(postings, df)
-
-    index._doc_count = len(engine.store)
+    snapshot = IndexSnapshot(
+        postings={
+            field: {
+                term: [
+                    Posting(doc_id, tuple(positions)) for doc_id, positions in plist
+                ]
+                for term, plist in terms.items()
+            }
+            for field, terms in payload["postings"].items()
+        },
+        summary=[
+            (
+                section["field"],
+                section["language"],
+                {
+                    word: SummaryEntry(postings, df)
+                    for word, (postings, df) in section["words"].items()
+                },
+            )
+            for section in payload["summary"]
+        ],
+        document_count=len(engine.store),
+    )
+    engine.index.restore(snapshot)
     return engine

@@ -12,6 +12,8 @@ document size and token count.
 
 from __future__ import annotations
 
+import pathlib
+import shutil
 import time
 from collections import defaultdict
 
@@ -40,10 +42,21 @@ from repro.engine.query import (
 )
 from repro.engine.ranking import CosineTfIdf, RankingAlgorithm
 from repro.observability.metrics import get_registry
+from repro.storage import (
+    SegmentedDocumentStore,
+    SegmentedIndex,
+    SegmentStore,
+    StorageError,
+    TieredMergePolicy,
+)
 from repro.text.analysis import Analyzer
 from repro.text.thesaurus import Thesaurus
 
-__all__ = ["TermHitStats", "EngineHit", "SearchEngine"]
+__all__ = ["TermHitStats", "EngineHit", "SearchEngine", "STORAGE_MODES"]
+
+#: Supported storage backends: the in-memory oracle and the
+#: segment-backed store (which must answer bit-identically).
+STORAGE_MODES = ("memory", "segments")
 
 
 class SearchEngine:
@@ -60,6 +73,16 @@ class SearchEngine:
             across scoring and TermStats) or ``"document_at_a_time"``
             (the original per-candidate recursion, kept as a bit-exact
             reference oracle).
+        storage: ``"memory"`` (the default, and the bit-exactness
+            oracle) keeps everything in dicts; ``"segments"`` backs
+            the engine with an on-disk :class:`SegmentStore` —
+            committed immutable segments plus an in-memory mutable
+            tail that :meth:`flush` turns into new segments.
+        storage_dir: the segment store directory (required — and only
+            meaningful — for ``storage="segments"``).  Opening an
+            existing store warms the engine from its segments without
+            re-indexing anything.
+        merge_policy: tiered merge policy for the segment store.
     """
 
     def __init__(
@@ -68,17 +91,46 @@ class SearchEngine:
         ranking: RankingAlgorithm | None = CosineTfIdf(),
         thesaurus: Thesaurus | None = None,
         evaluation: str = TERM_AT_A_TIME,
+        storage: str = "memory",
+        storage_dir: str | pathlib.Path | None = None,
+        merge_policy: TieredMergePolicy | None = None,
     ) -> None:
         if evaluation not in EVALUATION_MODES:
             raise ValueError(
                 f"unknown evaluation mode: {evaluation!r} (expected one of "
                 f"{', '.join(EVALUATION_MODES)})"
             )
+        if storage not in STORAGE_MODES:
+            raise ValueError(
+                f"unknown storage mode: {storage!r} (expected one of "
+                f"{', '.join(STORAGE_MODES)})"
+            )
+        if (storage == "segments") != (storage_dir is not None):
+            raise ValueError(
+                "storage_dir is required for storage='segments' "
+                "and meaningless otherwise"
+            )
         self.analyzer = analyzer or Analyzer()
         self.ranking = ranking
         self.evaluation = evaluation
-        self.store = DocumentStore()
-        self.index = InvertedIndex()
+        self.storage = storage
+        self.storage_dir = (
+            pathlib.Path(storage_dir) if storage_dir is not None else None
+        )
+        self.segment_store: SegmentStore | None = None
+        if storage == "segments":
+            assert self.storage_dir is not None
+            self.segment_store = SegmentStore(
+                self.storage_dir,
+                analyzer=self.analyzer.signature(),
+                ranking=ranking.algorithm_id if ranking is not None else None,
+                merge_policy=merge_policy,
+            )
+            self.store: DocumentStore = SegmentedDocumentStore(self.segment_store)
+            self.index: InvertedIndex = SegmentedIndex(self.segment_store)
+        else:
+            self.store = DocumentStore()
+            self.index = InvertedIndex()
         self.matcher = TermMatcher(self.index, self.analyzer, thesaurus)
 
     # -- indexing ---------------------------------------------------------
@@ -128,11 +180,94 @@ class SearchEngine:
         self.remove(document.linkage)
         return self.add(document)
 
+    def tombstone(self, linkage: str) -> bool:
+        """Delete by tombstone instead of rebuilding (segments only).
+
+        The document stops matching queries immediately and its bytes
+        are reclaimed by the next merge covering its segment.  Unlike
+        :meth:`remove`, doc ids stay stable and summary statistics
+        keep the deleted document's contribution until a rebuild —
+        the standard log-structured-store approximation.  The tail is
+        flushed first so the target is always in a segment.
+        """
+        if self.segment_store is None:
+            raise StorageError("tombstone() requires storage='segments'")
+        doc_id = self.store.by_linkage(linkage)
+        if doc_id is None:
+            return False
+        self.flush()
+        self.segment_store.add_tombstones([doc_id])
+        self.store.note_tombstones([doc_id])
+        return True
+
     def _rebuild(self, documents: list[Document]) -> None:
-        self.store = DocumentStore()
-        self.index = InvertedIndex()
+        if self.segment_store is not None:
+            # Exact semantics on segments too: wipe the store and
+            # re-index the survivors (ids reassigned, like in memory).
+            assert self.storage_dir is not None
+            self.segment_store.close()
+            shutil.rmtree(self.storage_dir, ignore_errors=True)
+            self.segment_store = SegmentStore(
+                self.storage_dir,
+                analyzer=self.analyzer.signature(),
+                ranking=self.ranking.algorithm_id if self.ranking else None,
+                merge_policy=self.segment_store.merge_policy,
+            )
+            self.store = SegmentedDocumentStore(self.segment_store)
+            self.index = SegmentedIndex(self.segment_store)
+        else:
+            self.store = DocumentStore()
+            self.index = InvertedIndex()
         self.matcher = TermMatcher(self.index, self.analyzer, self.matcher._thesaurus)
         self.add_all(documents)
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def flush(self) -> bool:
+        """Commit the mutable tail as one immutable segment.
+
+        Returns whether anything was flushed.  A no-op (and False) on
+        ``storage="memory"`` engines and when the tail is empty.
+        """
+        if self.segment_store is None:
+            return False
+        store = self.store
+        index = self.index
+        assert isinstance(store, SegmentedDocumentStore)
+        assert isinstance(index, SegmentedIndex)
+        rows = store.tail_rows()
+        if not rows:
+            return False
+        snapshot = index.tail_snapshot()
+        self.segment_store.commit_segment(rows, snapshot.postings, snapshot.summary)
+        index.absorb_flush()
+        store.absorb_flush()
+        return True
+
+    def checkpoint(self, merge: bool = False) -> pathlib.Path:
+        """Flush (and optionally compact); returns the manifest path.
+
+        After a checkpoint every indexed document is on disk under a
+        committed manifest — a new engine opened on ``storage_dir``
+        serves the same answers without re-indexing.
+        """
+        if self.segment_store is None:
+            raise StorageError("checkpoint() requires storage='segments'")
+        self.flush()
+        if merge:
+            self.segment_store.merge_all()
+        return self.segment_store.manifest_path()
+
+    def maybe_merge(self, executor: object | None = None) -> bool:
+        """Run (or schedule, given an executor) due segment merges."""
+        if self.segment_store is None:
+            return False
+        return self.segment_store.maybe_merge(executor)
+
+    def close(self) -> None:
+        """Release segment mmaps (no-op for in-memory engines)."""
+        if self.segment_store is not None:
+            self.segment_store.close()
 
     @property
     def document_count(self) -> int:

@@ -22,6 +22,7 @@ from repro.engine.ranking import RANKING_ALGORITHMS
 from repro.engine.search import SearchEngine
 from repro.source.capabilities import SourceCapabilities
 from repro.source.source import StartsSource
+from repro.storage.manifest import atomic_write_text
 from repro.text.analysis import Analyzer
 from repro.text.tokenize import get_tokenizer
 from repro.vendors.native import NATIVE_SYNTAXES
@@ -101,7 +102,7 @@ def save_source(source: StartsSource, directory: str | pathlib.Path) -> pathlib.
         },
         "ranking": source.engine.ranking.algorithm_id if source.engine.ranking else None,
     }
-    (path / _SOURCE_FILE).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path / _SOURCE_FILE, json.dumps(payload, indent=1))
     return path
 
 

@@ -1,0 +1,59 @@
+"""Immutable segment storage for engines, summaries, and caches.
+
+The on-disk counterpart of the in-memory engine: write-once segments
+of packed columns (delta-encoded postings, term dictionaries, stored
+fields) published under an atomically swapped manifest, read back
+zero-copy through ``mmap``, and folded together by tiered background
+merges.  :class:`SegmentedIndex` / :class:`SegmentedDocumentStore`
+serve the exact in-memory contracts over (segments + mutable tail),
+so a ``SearchEngine`` runs unchanged — and bit-identically — on
+either backend.
+"""
+
+from repro.storage.format import (
+    FORMAT_VERSION,
+    StorageError,
+    decode_posting_list,
+    decode_string,
+    decode_varint,
+    encode_posting_list,
+    encode_string,
+    encode_varint,
+)
+from repro.storage.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    SegmentMeta,
+    atomic_write_bytes,
+    atomic_write_text,
+    commit_manifest,
+    read_manifest,
+)
+from repro.storage.merge import TieredMergePolicy
+from repro.storage.segment import SegmentReader, SegmentWriter
+from repro.storage.segmented import SegmentedDocumentStore, SegmentedIndex
+from repro.storage.store import SegmentStore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "Manifest",
+    "SegmentMeta",
+    "SegmentReader",
+    "SegmentStore",
+    "SegmentWriter",
+    "SegmentedDocumentStore",
+    "SegmentedIndex",
+    "StorageError",
+    "TieredMergePolicy",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "commit_manifest",
+    "decode_posting_list",
+    "decode_string",
+    "decode_varint",
+    "encode_posting_list",
+    "encode_string",
+    "encode_varint",
+    "read_manifest",
+]

@@ -1,0 +1,162 @@
+"""Byte-level codecs for the immutable segment format.
+
+Everything a segment persists — posting lists, term dictionaries,
+summary columns, stored documents — is built from three primitives:
+
+* **varints** — LEB128 unsigned integers, the universal length and
+  delta encoding;
+* **delta-encoded monotone sequences** — document ids within a posting
+  list and positions within a posting are strictly/weakly increasing,
+  so consecutive differences stay small and varint-friendly;
+* **length-prefixed UTF-8 strings** — terms, field names, linkages,
+  stored field values.
+
+Encoders append into a caller-supplied ``bytearray`` (one allocation
+per file, not per value); decoders read from any buffer supporting
+``__getitem__`` — including an ``mmap.mmap``, which is how segment
+readers decode straight from the page cache without copying the file
+into the heap first.
+"""
+
+from __future__ import annotations
+
+from repro.engine.index import Posting
+
+__all__ = [
+    "FORMAT_VERSION",
+    "StorageError",
+    "encode_varint",
+    "decode_varint",
+    "encode_string",
+    "decode_string",
+    "encode_posting_list",
+    "decode_posting_list",
+    "count_posting_list",
+]
+
+#: Version stamped into every segment header and manifest.
+FORMAT_VERSION = 1
+
+
+class StorageError(Exception):
+    """Raised on corrupt, incompatible, or misused on-disk state."""
+
+
+# -- varints ---------------------------------------------------------------
+
+
+def encode_varint(out: bytearray, value: int) -> None:
+    """Append ``value`` (>= 0) to ``out`` as a LEB128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(buf, pos: int) -> tuple[int, int]:
+    """Decode one varint at ``pos``; returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+# -- strings ---------------------------------------------------------------
+
+
+def encode_string(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    encode_varint(out, len(raw))
+    out += raw
+
+
+def decode_string(buf, pos: int) -> tuple[str, int]:
+    length, pos = decode_varint(buf, pos)
+    raw = bytes(buf[pos : pos + length])
+    return raw.decode("utf-8"), pos + length
+
+
+# -- posting lists ---------------------------------------------------------
+#
+# One term's postings in one segment:
+#
+#   varint n_docs
+#   n_docs × [ varint doc_delta, varint n_positions,
+#              varint pos_0, varint pos_delta... ]
+#
+# ``doc_delta`` is the gap to the previous document id (the first is
+# absolute); positions are weakly increasing so their deltas are >= 0.
+
+
+def encode_posting_list(out: bytearray, postings: list[Posting]) -> None:
+    """Append one term's postings (doc-id ascending) to ``out``."""
+    encode_varint(out, len(postings))
+    previous_doc = 0
+    first = True
+    for posting in postings:
+        doc_id = posting.doc_id
+        encode_varint(out, doc_id if first else doc_id - previous_doc)
+        first = False
+        previous_doc = doc_id
+        positions = posting.positions
+        encode_varint(out, len(positions))
+        previous_pos = 0
+        for position in positions:
+            encode_varint(out, position - previous_pos)
+            previous_pos = position
+
+
+def decode_posting_list(buf, pos: int, live=None) -> list[Posting]:
+    """Decode one posting block starting at ``pos``.
+
+    Args:
+        buf: any byte buffer (typically the segment's postings mmap).
+        pos: offset of the block's ``n_docs`` varint.
+        live: optional ``doc_id -> bool`` predicate; postings of
+            documents it rejects (tombstoned ids) are skipped.
+    """
+    n_docs, pos = decode_varint(buf, pos)
+    postings: list[Posting] = []
+    doc_id = 0
+    for _ in range(n_docs):
+        delta, pos = decode_varint(buf, pos)
+        doc_id += delta
+        n_positions, pos = decode_varint(buf, pos)
+        position = 0
+        positions: list[int] = []
+        for _ in range(n_positions):
+            step, pos = decode_varint(buf, pos)
+            position += step
+            positions.append(position)
+        if live is None or live(doc_id):
+            postings.append(Posting(doc_id, tuple(positions)))
+    return postings
+
+
+def count_posting_list(buf, pos: int, live=None) -> int:
+    """Document count of a posting block without materializing it."""
+    n_docs, pos = decode_varint(buf, pos)
+    if live is None:
+        return n_docs
+    count = 0
+    doc_id = 0
+    for _ in range(n_docs):
+        delta, pos = decode_varint(buf, pos)
+        doc_id += delta
+        n_positions, pos = decode_varint(buf, pos)
+        for _ in range(n_positions):
+            _, pos = decode_varint(buf, pos)
+        if live(doc_id):
+            count += 1
+    return count

@@ -1,0 +1,406 @@
+"""Segment-backed views satisfying the in-memory engine contracts.
+
+:class:`SegmentedIndex` subclasses :class:`InvertedIndex` and keeps
+the inherited dict-of-postings structures as its **mutable tail**:
+``add_field_tokens`` lands there unchanged, while every read composes
+(committed segments, in doc-base order) + (tail).  Because segments
+cover disjoint ascending doc-id ranges and the tail sits above them
+all, concatenating per-segment posting lists reproduces exactly the
+doc-id-ordered lists the in-memory index serves — term-at-a-time
+evaluation, the term matcher, prox merging and summary export all run
+bit-identically on either backend (``storage="memory"`` stays the
+oracle).
+
+:class:`SegmentedDocumentStore` is the same composition for stored
+fields: token counts and linkages are loaded eagerly (two small
+columns), documents decode lazily from the docs mmap with a bounded
+memo, so a warmed engine answers its first query without ever reading
+the bulk of the store.
+
+Reads memoize against two counters: the index's own mutation
+generation (the tail moved) and the store's commit ``epoch`` (the
+segment layout moved).  Flushes and merges change the layout but not
+the content, so only layout-keyed memos (decoded postings,
+vocabularies) refresh; tombstone commits bump the *content* epoch,
+which feeds the inherited ``generation`` so term-matcher expansion
+memos invalidate exactly as they do for in-memory mutation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, bisect_right
+
+from repro.engine.documents import Document, DocumentStore
+from repro.engine.index import (
+    IndexSnapshot,
+    InvertedIndex,
+    Posting,
+    SummaryEntry,
+)
+from repro.storage.format import StorageError
+from repro.storage.store import SegmentStore
+from repro.text.soundex import soundex as soundex_code
+
+__all__ = ["SegmentedIndex", "SegmentedDocumentStore"]
+
+#: Decoded-document memo bound (entries, not bytes); cleared wholesale
+#: when full, like the term-matcher's expansion memo.
+_DOC_MEMO_LIMIT = 4096
+
+
+class SegmentedIndex(InvertedIndex):
+    """segments + mutable tail, behind the ``InvertedIndex`` surface."""
+
+    def __init__(self, store: SegmentStore) -> None:
+        super().__init__()
+        self._segment_store = store
+        # doc ids continue above everything already committed.
+        self._doc_count = store.document_ceiling
+        # (field, term) -> merged postings; keyed by (generation, epoch).
+        self._merged_postings: dict[tuple[str, str], list[Posting]] = {}
+        self._merged_key: tuple[int, int] | None = None
+        self._vocab_memo: dict[str, list[str]] = {}
+        self._vocab_key: tuple[int, int] | None = None
+        self._suffix_memo: dict[str, list[str]] = {}
+        self._soundex_memo: dict[str, dict[str, set[str]]] = {}
+        self._summary_memo: (
+            tuple[tuple[int, int], list[tuple[str, str, dict[str, SummaryEntry]]]]
+            | None
+        ) = None
+
+    # -- generations -------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter covering the tail *and* committed content."""
+        return self._generation + self._segment_store.content_epoch
+
+    def _layout_key(self) -> tuple[int, int]:
+        return (self.generation, self._segment_store.epoch)
+
+    # -- tail flushing -----------------------------------------------------
+
+    def tail_snapshot(self) -> IndexSnapshot:
+        """The mutable tail alone, in snapshot form (for the writer)."""
+        return InvertedIndex.snapshot(self)
+
+    def absorb_flush(self) -> None:
+        """Drop the tail after the store committed it as a segment.
+
+        The committed segment now serves exactly what the tail held,
+        so observable content is unchanged; only layout memos refresh
+        (via the store epoch bumped by the commit).
+        """
+        self._postings.clear()
+        self._summary.clear()
+        self._summary_last_doc.clear()
+        self._sorted_vocab.clear()
+        self._sorted_vocab_dirty.clear()
+        self._reversed_vocab.clear()
+        self._reversed_vocab_dirty.clear()
+        self._soundex.clear()
+        self._soundex_dirty.clear()
+
+    # -- reads: postings ---------------------------------------------------
+
+    def _memo_postings(self) -> dict[tuple[str, str], list[Posting]]:
+        key = self._layout_key()
+        if self._merged_key != key:
+            self._merged_postings = {}
+            self._merged_key = key
+        return self._merged_postings
+
+    def postings(self, field: str, term: str) -> list[Posting]:
+        memo = self._memo_postings()
+        cache_key = (field, term)
+        merged = memo.get(cache_key)
+        if merged is None:
+            store = self._segment_store
+            live = store.live if store.tombstones else None
+            merged = []
+            for reader in store.readers:
+                merged.extend(reader.postings(field, term, live))
+            merged.extend(self._postings.get(field, {}).get(term, ()))
+            if len(memo) >= 65536:
+                memo.clear()
+            memo[cache_key] = merged
+        return merged
+
+    # -- reads: vocabulary and fields --------------------------------------
+
+    def fields(self) -> list[str]:
+        names: set[str] = set(self._postings)
+        for reader in self._segment_store.readers:
+            names.update(reader.fields())
+        return sorted(names)
+
+    def vocabulary(self, field: str) -> list[str]:
+        key = self._layout_key()
+        if self._vocab_key != key:
+            self._vocab_memo = {}
+            self._suffix_memo = {}
+            self._soundex_memo = {}
+            self._vocab_key = key
+        vocab = self._vocab_memo.get(field)
+        if vocab is None:
+            tail = sorted(self._postings.get(field, {}))
+            lists = [
+                reader.vocabulary(field) for reader in self._segment_store.readers
+            ]
+            lists.append(tail)
+            vocab = []
+            previous = None
+            for term in heapq.merge(*lists):
+                if term != previous:
+                    vocab.append(term)
+                    previous = term
+            self._vocab_memo[field] = vocab
+        return vocab
+
+    def terms_with_suffix(self, field: str, suffix: str) -> list[str]:
+        reversed_vocab = self._suffix_memo.get(field)
+        if reversed_vocab is None or self._vocab_key != self._layout_key():
+            reversed_vocab = sorted(term[::-1] for term in self.vocabulary(field))
+            self._suffix_memo[field] = reversed_vocab
+        target = suffix[::-1]
+        matches: list[str] = []
+        start = bisect_left(reversed_vocab, target)
+        for reversed_term in reversed_vocab[start:]:
+            if not reversed_term.startswith(target):
+                break
+            matches.append(reversed_term[::-1])
+        matches.sort()
+        return matches
+
+    def terms_with_soundex(self, field: str, word: str) -> list[str]:
+        codes = self._soundex_memo.get(field)
+        if codes is None or self._vocab_key != self._layout_key():
+            codes = {}
+            for term in self.vocabulary(field):
+                codes.setdefault(soundex_code(term), set()).add(term)
+            self._soundex_memo[field] = codes
+        return sorted(codes.get(soundex_code(word), ()))
+
+    # -- reads: counts and summaries ---------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return max(self._doc_count, self._segment_store.document_ceiling)
+
+    def summary_sections(self) -> list[tuple[str, str, dict[str, SummaryEntry]]]:
+        key = self._layout_key()
+        memo = self._summary_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        merged: dict[tuple[str, str], dict[str, SummaryEntry]] = {}
+        for reader in self._segment_store.readers:
+            for field, language, words in reader.summary_sections():
+                bucket = merged.setdefault((field, language), {})
+                for word, entry in words.items():
+                    aggregate = bucket.setdefault(word, SummaryEntry())
+                    aggregate.postings += entry.postings
+                    aggregate.document_frequency += entry.document_frequency
+        for (field, language), words in self._summary.items():
+            bucket = merged.setdefault((field, language), {})
+            for word, entry in words.items():
+                aggregate = bucket.setdefault(word, SummaryEntry())
+                aggregate.postings += entry.postings
+                aggregate.document_frequency += entry.document_frequency
+        sections = [
+            (field, language, words)
+            for (field, language), words in sorted(merged.items())
+        ]
+        self._summary_memo = (key, sections)
+        return sections
+
+    def summary_vocabulary_size(self) -> int:
+        return sum(len(words) for _, _, words in self.summary_sections())
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> IndexSnapshot:
+        """The *merged* view (segments + tail), materialized."""
+        postings: dict[str, dict[str, list[Posting]]] = {}
+        for field in self.fields():
+            terms: dict[str, list[Posting]] = {}
+            for term in self.vocabulary(field):
+                plist = self.postings(field, term)
+                if plist:
+                    terms[term] = list(plist)
+            if terms:
+                postings[field] = terms
+        return IndexSnapshot(
+            postings=postings,
+            summary=[
+                (
+                    field,
+                    language,
+                    {
+                        word: SummaryEntry(entry.postings, entry.document_frequency)
+                        for word, entry in words.items()
+                    },
+                )
+                for field, language, words in self.summary_sections()
+            ],
+            document_count=self.document_count,
+        )
+
+    def restore(self, snapshot: IndexSnapshot) -> None:
+        if self._segment_store.readers:
+            raise StorageError(
+                "restore() into a segmented index requires an empty store"
+            )
+        super().restore(snapshot)
+
+
+class SegmentedDocumentStore(DocumentStore):
+    """segments + mutable tail, behind the ``DocumentStore`` surface."""
+
+    def __init__(self, store: SegmentStore) -> None:
+        super().__init__()
+        self._segment_store = store
+        self._tail_base = store.document_ceiling
+        self._doc_memo: dict[int, Document] = {}
+        # Eager small columns: linkage -> id and token counts across
+        # every segment.  Token counts sit on the ranking hot path (one
+        # lookup per scored posting), so they must not pay a per-call
+        # segment bisect.
+        self._segment_counts: dict[int, int] = {}
+        total = 0
+        for reader in store.readers:
+            for slot, (doc_id, linkage) in enumerate(
+                zip(reader.doc_ids(), reader.linkages())
+            ):
+                if store.live(doc_id):
+                    self._by_linkage.setdefault(linkage, doc_id)
+                    count = reader.token_count_at(slot)
+                    self._segment_counts[doc_id] = count
+                    total += count
+        self._segment_token_total = total
+
+    # -- tail flushing -----------------------------------------------------
+
+    def tail_rows(self) -> list[tuple[int, Document, int]]:
+        """(global id, document, token count) rows awaiting a flush."""
+        return [
+            (self._tail_base + offset, document, self._token_counts[offset])
+            for offset, document in enumerate(self._documents)
+        ]
+
+    def absorb_flush(self) -> None:
+        """Drop the tail after the store committed it as a segment."""
+        for offset, count in enumerate(self._token_counts):
+            self._segment_counts[self._tail_base + offset] = count
+        self._segment_token_total += self._token_total
+        self._token_total = 0
+        self._tail_base += len(self._documents)
+        self._documents.clear()
+        self._token_counts.clear()
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, document: Document, token_count: int = 0) -> int:
+        doc_id = self._tail_base + len(self._documents)
+        self._documents.append(document)
+        self._token_counts.append(token_count)
+        self._token_total += token_count
+        self._by_linkage.setdefault(document.linkage, doc_id)
+        return doc_id
+
+    def set_token_count(self, doc_id: int, token_count: int) -> None:
+        offset = doc_id - self._tail_base
+        if offset < 0:
+            raise StorageError("cannot reset the token count of a committed document")
+        self._token_total += token_count - self._token_counts[offset]
+        self._token_counts[offset] = token_count
+
+    def note_tombstones(self, doc_ids) -> None:
+        """Adjust linkage/statistics for freshly tombstoned doc ids."""
+        for doc_id in doc_ids:
+            reader, slot = self._locate(doc_id)
+            if reader is None:
+                continue
+            self._segment_token_total -= reader.token_count_at(slot)
+            self._segment_counts.pop(doc_id, None)
+            document = self._doc_memo.get(doc_id)
+            if document is None:
+                document = reader.document_at(slot)
+            if self._by_linkage.get(document.linkage) == doc_id:
+                del self._by_linkage[document.linkage]
+            self._doc_memo.pop(doc_id, None)
+
+    # -- reads -------------------------------------------------------------
+
+    def _locate(self, doc_id: int):
+        readers = self._segment_store.readers
+        bases = [reader.doc_base for reader in readers]
+        position = bisect_right(bases, doc_id) - 1
+        if position < 0:
+            return None, None
+        reader = readers[position]
+        slot = reader.slot_of(doc_id)
+        if slot is None:
+            return None, None
+        return reader, slot
+
+    def __len__(self) -> int:
+        return self._segment_store.live_doc_count() + len(self._documents)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        offset = doc_id - self._tail_base
+        if offset >= 0:
+            return self._documents[offset]
+        memo = self._doc_memo
+        document = memo.get(doc_id)
+        if document is None:
+            reader, slot = self._locate(doc_id)
+            if reader is None or not self._segment_store.live(doc_id):
+                raise IndexError(f"no live document with id {doc_id}")
+            document = reader.document_at(slot)
+            if len(memo) >= _DOC_MEMO_LIMIT:
+                memo.clear()
+            memo[doc_id] = document
+        return document
+
+    def __iter__(self):
+        for doc_id in self.ids():
+            yield self[doc_id]
+
+    def ids(self) -> list[int]:  # type: ignore[override]
+        store = self._segment_store
+        live: list[int] = []
+        for reader in store.readers:
+            if store.tombstones:
+                live.extend(
+                    doc_id for doc_id in reader.doc_ids() if store.live(doc_id)
+                )
+            else:
+                live.extend(reader.doc_ids())
+        live.extend(range(self._tail_base, self._tail_base + len(self._documents)))
+        return live
+
+    def token_count(self, doc_id: int) -> int:
+        offset = doc_id - self._tail_base
+        if offset >= 0:
+            return self._token_counts[offset]
+        count = self._segment_counts.get(doc_id)
+        if count is not None:
+            return count
+        # not in the eager column: tombstoned, or not covered at all
+        reader, slot = self._locate(doc_id)
+        if reader is None:
+            raise IndexError(f"no live document with id {doc_id}")
+        return reader.token_count_at(slot)
+
+    def by_linkage(self, linkage: str) -> int | None:
+        return self._by_linkage.get(linkage)
+
+    def linkages(self):
+        return self._by_linkage.keys()
+
+    def average_token_count(self) -> float:
+        live = len(self)
+        if not live:
+            return 0.0
+        return (self._segment_token_total + self._token_total) / live

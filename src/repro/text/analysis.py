@@ -65,6 +65,20 @@ class Analyzer:
     can_disable_stop_words: bool = True
     index_stop_words: bool = False
 
+    def signature(self) -> dict[str, object]:
+        """The pipeline settings that define index compatibility.
+
+        Two engines can serve the same saved index exactly when their
+        signatures match — persistence (JSON and segment manifests
+        alike) records this and refuses to load across a mismatch.
+        """
+        return {
+            "tokenizer": self.tokenizer.tokenizer_id,
+            "stem": self.stem,
+            "case_sensitive": self.case_sensitive,
+            "index_stop_words": self.index_stop_words,
+        }
+
     def stemmer_for(self, language: LanguageTag) -> Stemmer:
         """The stemming function for ``language`` (identity if unknown)."""
         return _STEMMERS.get(language.language, lambda word: word)

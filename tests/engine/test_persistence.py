@@ -76,6 +76,51 @@ class TestRoundTrip:
         assert restored.evaluate_filter(query) == original.evaluate_filter(query)
 
 
+class TestAtomicSaves:
+    def test_interrupted_save_leaves_previous_file_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash between writing the temp file and publishing it must
+        leave the previously saved index untouched and loadable."""
+        import os as os_module
+
+        import repro.storage.manifest as manifest_module
+
+        path = tmp_path / "index.json"
+        original = build_engine()
+        save_engine(original, path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(manifest_module.os, "replace", exploding_replace)
+        bigger = build_engine()
+        bigger.add_all(source1_documents())
+        with pytest.raises(OSError, match="simulated crash"):
+            save_engine(bigger, path)
+        monkeypatch.setattr(manifest_module.os, "replace", os_module.replace)
+
+        assert path.read_bytes() == before
+        restored = load_engine(SearchEngine(), path)
+        assert restored.document_count == original.document_count
+
+    def test_save_never_writes_target_directly(self, tmp_path, monkeypatch):
+        """Even with no prior file, an interrupted save leaves no torn
+        file under the target name — only a temp beside it."""
+        import repro.storage.manifest as manifest_module
+
+        path = tmp_path / "index.json"
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(manifest_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_engine(build_engine(), path)
+        assert not path.exists()
+
+
 class TestGuards:
     def test_analyzer_mismatch_rejected(self, tmp_path):
         path = tmp_path / "index.json"
@@ -101,11 +146,21 @@ class TestGuards:
         with pytest.raises(PersistenceError, match="version"):
             load_engine(SearchEngine(), path)
 
-    def test_ranking_config_is_not_serialized(self, tmp_path):
-        """Ranking is code: a BM25 engine can serve a saved index as
-        long as the analyzer matches."""
+    def test_ranking_mismatch_rejected(self, tmp_path):
+        """A BM25 engine must not silently re-score a cosine-saved
+        index — exported scores and metadata would differ."""
         path = tmp_path / "index.json"
         save_engine(build_engine(), path)
+        with pytest.raises(PersistenceError, match="ranking mismatch"):
+            load_engine(SearchEngine(ranking=Bm25()), path)
+
+    def test_matching_ranking_accepted(self, tmp_path):
+        path = tmp_path / "index.json"
+        original = SearchEngine(ranking=Bm25())
+        original.add_all(source1_documents())
+        save_engine(original, path)
         restored = load_engine(SearchEngine(ranking=Bm25()), path)
-        hits = restored.search(ranking_query=ListQuery((t("databases"),)))
-        assert hits
+        query = ListQuery((t("databases"),))
+        assert restored.search(ranking_query=query) == original.search(
+            ranking_query=query
+        )

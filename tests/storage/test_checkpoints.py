@@ -1,0 +1,268 @@
+"""Checkpoint/restore: summary indexes, leaf brokers, cache tiers.
+
+Restoration must be *bit-identical*: the same packed columns, the same
+corpus statistics, the same selector scores (sparse and dense-oracle),
+the same remaining TTLs.  Leaf checkpoints additionally carry the
+delta-log cursor, so a warm restart replays only the log tail.
+"""
+
+import pytest
+
+from repro.broker import LeafBroker
+from repro.cache import FRESH, MISS, STALE, QueryResultCache
+from repro.metasearch.selection import Cori
+from repro.metasearch.summary_index import SummaryIndex
+from repro.observability.metrics import MetricsRegistry, get_registry, set_registry
+from repro.storage import StorageError
+from repro.storage.checkpoint import (
+    load_cache,
+    load_leaf_checkpoint,
+    load_summary_index,
+    save_cache,
+    save_leaf_checkpoint,
+    save_summary_index,
+)
+
+from tests.broker.util import demo_population, make_summary
+
+TERMS = ["databases", "retrieval", "medicine", "systems"]
+
+
+def churned_index():
+    """An index whose free list has seen some action."""
+    population = demo_population(n_sources=16, seed=9)
+    index = SummaryIndex.from_summaries(population)
+    for source_id in list(population)[::4]:
+        index.remove(source_id)
+    index.add("Late-0", make_summary(40, {"databases": (9, 4), "systems": (3, 2)}))
+    index.add("Late-1", make_summary(7, {"medicine": (2, 1)}))
+    index.remove("Late-0")
+    return index
+
+
+def assert_bit_identical(original, restored):
+    assert restored.generation == original.generation
+    assert restored._clamped_mass_total == original._clamped_mass_total
+    assert restored._source_ids == original._source_ids
+    assert restored._num_docs == original._num_docs
+    assert restored._word_mass == original._word_mass
+    assert restored._free == original._free
+    assert restored.mean_clamped_word_mass() == original.mean_clamped_word_mass()
+    assert restored.summaries() == original.summaries()
+    assert set(restored._shards) == set(original._shards)
+    for term in original._shards:
+        ours, theirs = original.term_columns(term), restored.term_columns(term)
+        assert ours.ordinals == theirs.ordinals
+        assert ours.document_frequencies == theirs.document_frequencies
+        assert ours.postings == theirs.postings
+
+
+class TestSummaryIndexCheckpoint:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        index = churned_index()
+        generation = save_summary_index(index, tmp_path / "summary.ckpt")
+        assert generation == index.generation
+        restored = load_summary_index(tmp_path / "summary.ckpt")
+        assert_bit_identical(index, restored)
+
+    def test_restored_selector_scores_match_dense_oracle(self, tmp_path):
+        index = churned_index()
+        save_summary_index(index, tmp_path / "summary.ckpt")
+        restored = load_summary_index(tmp_path / "summary.ckpt")
+        sparse = Cori().rank(TERMS, restored)
+        assert sparse == Cori().rank(TERMS, index)
+        assert sparse == Cori(backend="dense").rank(TERMS, restored.summaries())
+
+    def test_restored_index_keeps_evolving(self, tmp_path):
+        index = churned_index()
+        save_summary_index(index, tmp_path / "summary.ckpt")
+        restored = load_summary_index(tmp_path / "summary.ckpt")
+        # mutations after restore reuse freed ordinals the same way
+        for target in (index, restored):
+            target.add("Post", make_summary(5, {"retrieval": (4, 2)}))
+            target.remove("Late-1")
+        assert_bit_identical(index, restored)
+
+    def test_empty_index_round_trips(self, tmp_path):
+        save_summary_index(SummaryIndex(), tmp_path / "empty.ckpt")
+        restored = load_summary_index(tmp_path / "empty.ckpt")
+        assert len(restored) == 0
+        assert restored.generation == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"NOPE rest of file")
+        with pytest.raises(StorageError, match="not a summary-index checkpoint"):
+            load_summary_index(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        from repro.storage.checkpoint import _SUMMARY_MAGIC
+        from repro.storage.format import encode_varint
+
+        blob = bytearray(_SUMMARY_MAGIC)
+        encode_varint(blob, 999)
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="version"):
+            load_summary_index(path)
+
+
+class TestLeafCheckpoint:
+    def deltas(self):
+        population = demo_population(n_sources=12, seed=3)
+        return [(source_id, population[source_id]) for source_id in sorted(population)]
+
+    def test_warm_restart_replays_only_the_tail(self, tmp_path):
+        deltas = self.deltas()
+        live = LeafBroker("leaf-07")
+        for source_id, summary in deltas[:8]:
+            live.apply_delta(source_id, summary)
+        position = live.save_checkpoint(tmp_path / "leaf.ckpt")
+        assert position == 8
+        for source_id, summary in deltas[8:]:
+            live.apply_delta(source_id, summary)
+
+        warmed = LeafBroker.from_checkpoint(tmp_path / "leaf.ckpt")
+        assert warmed.leaf_id == "leaf-07"
+        assert warmed.restored_log_position == 8
+        assert len(warmed._log) == 0  # the checkpoint compacted the log away
+        for source_id, summary in deltas[warmed.restored_log_position :]:
+            warmed.apply_delta(source_id, summary)
+        assert warmed.index.generation == live.index.generation
+        assert warmed.index.summaries() == live.index.summaries()
+        assert Cori().rank(TERMS, warmed.index) == Cori().rank(TERMS, live.index)
+
+    def test_standby_restored_independently(self, tmp_path):
+        live = LeafBroker("leaf-00")
+        for source_id, summary in self.deltas():
+            live.apply_delta(source_id, summary)
+        live.save_checkpoint(tmp_path / "leaf.ckpt")
+
+        warmed = LeafBroker.from_checkpoint(tmp_path / "leaf.ckpt")
+        assert warmed._standby is not warmed.index
+        assert warmed._standby.generation == warmed.index.generation
+        assert warmed.in_sync
+        # failover right after a warm restart serves the same shard
+        warmed.fail()
+        warmed.fail_over()
+        assert warmed.index.summaries() == live.index.summaries()
+
+    def test_eager_replication_flag_propagates(self, tmp_path):
+        live = LeafBroker("leaf-00")
+        live.apply_delta("S0", make_summary(3, {"query": (2, 1)}))
+        live.save_checkpoint(tmp_path / "leaf.ckpt")
+        warmed = LeafBroker.from_checkpoint(
+            tmp_path / "leaf.ckpt", eager_replication=True
+        )
+        warmed.apply_delta("S1", make_summary(1, {"query": (1, 1)}))
+        assert warmed.in_sync
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"XXXX")
+        with pytest.raises(StorageError, match="not a leaf checkpoint"):
+            load_leaf_checkpoint(path)
+
+    def test_leaf_and_summary_checkpoints_are_distinct(self, tmp_path):
+        live = LeafBroker("leaf-00")
+        live.apply_delta("S0", make_summary(3, {"query": (2, 1)}))
+        save_leaf_checkpoint(live, tmp_path / "leaf.ckpt")
+        with pytest.raises(StorageError, match="not a summary-index checkpoint"):
+            load_summary_index(tmp_path / "leaf.ckpt")
+
+
+class FakeClock:
+    def __init__(self, now_ms=0.0):
+        self.now_ms = now_ms
+
+    def __call__(self):
+        return self.now_ms
+
+
+class TestCacheCheckpoint:
+    def make(self, now_ms=0.0, **kwargs):
+        clock = FakeClock(now_ms)
+        defaults = dict(ttl_ms=100.0, stale_grace_ms=100.0, clock=clock)
+        defaults.update(kwargs)
+        return QueryResultCache(**defaults), clock
+
+    def test_remaining_ttl_survives_clock_restart(self, tmp_path):
+        cache, clock = self.make()
+        cache.store("q1", {"docs": 3}, source_ids=("s1",))
+        clock.now_ms = 60.0  # 40ms of freshness left
+        assert cache.save_checkpoint(tmp_path / "cache.ckpt") == 1
+
+        # "new process": the monotonic clock restarts at an unrelated epoch
+        warmed, warmed_clock = self.make(now_ms=5000.0)
+        assert warmed.load_checkpoint(tmp_path / "cache.ckpt") == 1
+        assert warmed.lookup("q1") == ({"docs": 3}, FRESH)
+        warmed_clock.now_ms = 5041.0  # past the 40ms that remained
+        assert warmed.lookup("q1") == ({"docs": 3}, STALE)
+        warmed_clock.now_ms = 5141.0  # past the stale grace too
+        assert warmed.lookup("q1") == (None, MISS)
+
+    def test_tags_survive_for_invalidation(self, tmp_path):
+        cache, _ = self.make()
+        cache.store("a", 1, source_ids=("s1",))
+        cache.store("b", 2, source_ids=("s2",))
+        cache.save_checkpoint(tmp_path / "cache.ckpt")
+        warmed, _ = self.make()
+        warmed.load_checkpoint(tmp_path / "cache.ckpt")
+        assert warmed.invalidate_source("s1") == 1
+        assert warmed.lookup("a") == (None, MISS)
+        assert warmed.lookup("b") == (2, FRESH)
+
+    def test_lru_order_survives(self, tmp_path):
+        from repro.cache.core import LruTtlCache
+
+        clock = FakeClock()
+        cache = LruTtlCache(capacity=3, clock=clock)
+        for key in ("a", "b", "c"):
+            cache.put(key, key.upper())
+        cache.get("a")  # "b" is now least recently used
+        save_cache(cache, tmp_path / "lru.ckpt")
+
+        warmed = LruTtlCache(capacity=3, clock=FakeClock())
+        load_cache(warmed, tmp_path / "lru.ckpt")
+        warmed.put("d", "D")  # one over capacity: evicts the LRU entry
+        assert "b" not in warmed
+        assert all(key in warmed for key in ("a", "c", "d"))
+
+    def test_restore_requires_empty_cache(self, tmp_path):
+        cache, _ = self.make()
+        cache.store("k", 1)
+        cache.save_checkpoint(tmp_path / "cache.ckpt")
+        with pytest.raises(StorageError, match="empty"):
+            cache.load_checkpoint(tmp_path / "cache.ckpt")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"ELF\x7f")
+        cache, _ = self.make()
+        with pytest.raises(StorageError, match="not a cache checkpoint"):
+            cache.load_checkpoint(path)
+
+
+class TestCheckpointMetrics:
+    def test_saves_and_loads_are_observed_by_kind(self, tmp_path):
+        previous = get_registry()
+        set_registry(MetricsRegistry())
+        try:
+            save_summary_index(churned_index(), tmp_path / "s.ckpt")
+            load_summary_index(tmp_path / "s.ckpt")
+            leaf = LeafBroker("leaf-00")
+            leaf.apply_delta("S0", make_summary(1, {"query": (1, 1)}))
+            leaf.save_checkpoint(tmp_path / "l.ckpt")
+            LeafBroker.from_checkpoint(tmp_path / "l.ckpt")
+            cache = QueryResultCache(ttl_ms=10.0)
+            cache.store("k", 1)
+            cache.save_checkpoint(tmp_path / "c.ckpt")
+
+            def kinds(name):
+                family = get_registry().family(name)
+                return {labels[0] for labels, _ in family.children()}
+
+            assert kinds("checkpoint_save_ms") == {"summary_index", "leaf", "cache"}
+            assert kinds("checkpoint_load_ms") == {"summary_index", "leaf"}
+        finally:
+            set_registry(previous)

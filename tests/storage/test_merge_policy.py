@@ -1,0 +1,76 @@
+"""The tiered merge policy: pure planning invariants."""
+
+import pytest
+
+from repro.storage.manifest import SegmentMeta
+from repro.storage.merge import TieredMergePolicy
+
+
+def meta(name, base, count):
+    return SegmentMeta(name=name, doc_base=base, doc_count=count, size_bytes=count)
+
+
+def run(counts, start=0):
+    """Adjacent segments with the given doc counts."""
+    segments = []
+    base = start
+    for i, count in enumerate(counts):
+        segments.append(meta(f"seg-{i:06d}", base, count))
+        base += count
+    return segments
+
+
+class TestTiers:
+    def test_tier_of_powers(self):
+        policy = TieredMergePolicy(merge_factor=4)
+        assert policy.tier_of(meta("a", 0, 1)) == 0
+        assert policy.tier_of(meta("a", 0, 3)) == 0
+        assert policy.tier_of(meta("a", 0, 4)) == 1
+        assert policy.tier_of(meta("a", 0, 15)) == 1
+        assert policy.tier_of(meta("a", 0, 16)) == 2
+
+    def test_merge_factor_must_be_sane(self):
+        with pytest.raises(ValueError):
+            TieredMergePolicy(merge_factor=1)
+
+
+class TestPlanning:
+    def test_no_plan_below_factor(self):
+        policy = TieredMergePolicy(merge_factor=4)
+        assert policy.plan(run([1, 1, 1])) is None
+
+    def test_plans_full_same_tier_run(self):
+        policy = TieredMergePolicy(merge_factor=4)
+        segments = run([1, 1, 1, 1])
+        assert policy.plan(segments) == segments
+
+    def test_takes_first_factor_of_longer_run(self):
+        policy = TieredMergePolicy(merge_factor=2)
+        segments = run([1, 1, 1])
+        assert policy.plan(segments) == segments[:2]
+
+    def test_run_broken_by_other_tier(self):
+        policy = TieredMergePolicy(merge_factor=2)
+        # tier 0, tier 2, tier 0: not adjacent, no tier-0 run of 2.
+        segments = run([1, 5, 1])
+        plan = policy.plan(segments)
+        assert plan is None
+
+    def test_lowest_tier_wins(self):
+        policy = TieredMergePolicy(merge_factor=2)
+        # Two eligible runs: tier-2 [4,4] first, then tier-0 [1,1].
+        segments = run([4, 4, 1, 1])
+        plan = policy.plan(segments)
+        assert [m.doc_count for m in plan] == [1, 1]
+
+    def test_max_merge_docs_caps_output(self):
+        policy = TieredMergePolicy(merge_factor=2, max_merge_docs=5)
+        assert policy.plan(run([4, 4])) is None
+        assert policy.plan(run([2, 2])) is not None
+
+    def test_plan_is_adjacent(self):
+        policy = TieredMergePolicy(merge_factor=2)
+        segments = run([1, 1, 1, 1])
+        plan = policy.plan(segments)
+        assert plan == segments[:2]
+        assert plan[0].doc_base + plan[0].doc_count == plan[1].doc_base

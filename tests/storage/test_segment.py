@@ -1,0 +1,179 @@
+"""Segment writer/reader round trips and the store's commit protocol."""
+
+import pytest
+
+from repro.engine.documents import Document
+from repro.engine.index import Posting, SummaryEntry
+from repro.storage.format import StorageError
+from repro.storage.merge import TieredMergePolicy
+from repro.storage.segment import SegmentReader, SegmentWriter
+from repro.storage.store import SegmentStore
+
+
+def doc(i, body="hello world"):
+    return Document(f"http://d/{i}", {"title": f"doc {i}", "body-of-text": body})
+
+
+def simple_batch(ids):
+    documents = [(i, doc(i), 2) for i in ids]
+    postings = {
+        "title": {"doc": [Posting(i, (0,)) for i in ids]},
+        "body-of-text": {
+            "hello": [Posting(i, (0,)) for i in ids],
+            "world": [Posting(i, (1,)) for i in ids],
+        },
+    }
+    summary = [
+        ("body-of-text", "en", {"hello": SummaryEntry(len(ids), len(ids))}),
+    ]
+    return documents, postings, summary
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        documents, postings, summary = simple_batch([0, 1, 2])
+        writer = SegmentWriter(tmp_path / "seg-000000", "seg-000000")
+        meta = writer.write(documents, postings, summary)
+        assert meta.doc_base == 0
+        assert meta.doc_count == 3
+
+        reader = SegmentReader(tmp_path / "seg-000000")
+        assert reader.fields() == ["body-of-text", "title"]
+        assert reader.vocabulary("body-of-text") == ["hello", "world"]
+        assert reader.postings("body-of-text", "hello") == [
+            Posting(0, (0,)), Posting(1, (0,)), Posting(2, (0,)),
+        ]
+        assert reader.postings("body-of-text", "absent") == []
+        assert reader.slot_of(1) == 1
+        assert reader.slot_of(99) is None
+        assert reader.document_at(0) == doc(0)
+        assert reader.token_count_at(2) == 2
+        assert reader.linkages() == ["http://d/0", "http://d/1", "http://d/2"]
+        assert reader.summary_sections() == summary
+        reader.close()
+
+    def test_write_once(self, tmp_path):
+        documents, postings, summary = simple_batch([0])
+        SegmentWriter(tmp_path / "seg", "seg").write(documents, postings, summary)
+        with pytest.raises(StorageError, match="already exists"):
+            SegmentWriter(tmp_path / "seg", "seg")
+
+    def test_empty_segment_refused(self, tmp_path):
+        with pytest.raises(StorageError, match="empty"):
+            SegmentWriter(tmp_path / "seg", "seg").write([], {}, [])
+
+    def test_unsorted_ids_refused(self, tmp_path):
+        documents = [(1, doc(1), 2), (0, doc(0), 2)]
+        with pytest.raises(StorageError, match="ascend"):
+            SegmentWriter(tmp_path / "seg", "seg").write(documents, {}, [])
+
+    def test_missing_file_detected(self, tmp_path):
+        documents, postings, summary = simple_batch([0])
+        SegmentWriter(tmp_path / "seg", "seg").write(documents, postings, summary)
+        (tmp_path / "seg" / "counts.bin").unlink()
+        with pytest.raises(StorageError, match="missing"):
+            SegmentReader(tmp_path / "seg")
+
+    def test_tombstone_filter(self, tmp_path):
+        documents, postings, summary = simple_batch([0, 1, 2])
+        SegmentWriter(tmp_path / "seg", "seg").write(documents, postings, summary)
+        reader = SegmentReader(tmp_path / "seg")
+        live = lambda doc_id: doc_id != 1  # noqa: E731
+        assert reader.postings("body-of-text", "hello", live) == [
+            Posting(0, (0,)), Posting(2, (0,)),
+        ]
+        reader.close()
+
+
+class TestSegmentStore:
+    def test_commit_and_reopen(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.commit_segment(*simple_batch([0, 1]))
+        store.commit_segment(*simple_batch([2, 3]))
+        assert store.segment_count == 2
+        assert store.document_ceiling == 4
+        assert store.generation == 2
+        store.close()
+
+        reopened = SegmentStore(tmp_path)
+        assert reopened.segment_count == 2
+        assert reopened.generation == 2
+        assert [p.doc_id for p in reopened.readers[1].postings("title", "doc")] == [2, 3]
+        reopened.close()
+
+    def test_overlapping_segment_refused(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.commit_segment(*simple_batch([0, 1]))
+        with pytest.raises(StorageError, match="overlaps"):
+            store.commit_segment(*simple_batch([1, 2]))
+        store.close()
+
+    def test_analyzer_mismatch_rejected(self, tmp_path):
+        store = SegmentStore(tmp_path, analyzer={"stem": False})
+        store.close()
+        with pytest.raises(StorageError, match="analyzer mismatch"):
+            SegmentStore(tmp_path, analyzer={"stem": True})
+
+    def test_ranking_mismatch_rejected(self, tmp_path):
+        store = SegmentStore(tmp_path, ranking="Salton-2")
+        store.close()
+        with pytest.raises(StorageError, match="ranking mismatch"):
+            SegmentStore(tmp_path, ranking="Okapi-1")
+
+    def test_tombstones_commit_and_filter(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.commit_segment(*simple_batch([0, 1, 2]))
+        assert store.add_tombstones([1, 99]) == 1  # 99 not covered
+        assert store.add_tombstones([1]) == 0  # already dead
+        assert store.live_doc_count() == 2
+        store.close()
+
+        reopened = SegmentStore(tmp_path)  # tombstones survive restart
+        assert reopened.tombstones == {1}
+        reopened.close()
+
+    def test_merge_folds_and_drops_tombstones(self, tmp_path):
+        store = SegmentStore(tmp_path, merge_policy=TieredMergePolicy(merge_factor=2))
+        store.commit_segment(*simple_batch([0, 1]))
+        store.commit_segment(*simple_batch([2, 3]))
+        store.add_tombstones([1])
+        assert store.merge_once() is not None
+        assert store.segment_count == 1
+        assert store.tombstones == set()  # consumed by the merge
+        assert [p.doc_id for p in store.readers[0].postings("title", "doc")] == [0, 2, 3]
+        # summary statistics were summed across the group
+        sections = store.readers[0].summary_sections()
+        assert sections[0][2]["hello"].postings == 4
+        store.close()
+
+    def test_merge_all_compacts_and_sweeps_directories(self, tmp_path):
+        store = SegmentStore(tmp_path, merge_policy=TieredMergePolicy(merge_factor=2))
+        for i in range(4):
+            store.commit_segment(*simple_batch([i]))
+        assert store.merge_all() >= 2
+        assert store.segment_count == 1
+        live_names = {meta.name for meta in store.manifest.segments}
+        on_disk = {p.name for p in tmp_path.iterdir() if p.is_dir()}
+        assert on_disk == live_names
+        store.close()
+
+    def test_orphan_sweep_on_open(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.commit_segment(*simple_batch([0]))
+        store.close()
+        orphan = tmp_path / "seg-000999"
+        orphan.mkdir()
+        (orphan / "junk.bin").write_bytes(b"x")
+        reopened = SegmentStore(tmp_path)
+        assert not orphan.exists()
+        reopened.close()
+
+    def test_all_tombstoned_group_vanishes(self, tmp_path):
+        store = SegmentStore(tmp_path, merge_policy=TieredMergePolicy(merge_factor=2))
+        store.commit_segment(*simple_batch([0]))
+        store.commit_segment(*simple_batch([1]))
+        store.add_tombstones([0, 1])
+        assert store.merge_once() is None  # group merged away entirely
+        assert store.segment_count == 0
+        assert store.live_doc_count() == 0
+        store.close()

@@ -210,3 +210,38 @@ class TestBrokerCommand:
         out = capsys.readouterr().out
         assert "selection: cori over databases" in out
         assert "parallel" in out
+
+
+class TestCheckpointCommand:
+    def test_save_inspect_load_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["--seed", "3", "checkpoint", "save", store, "--size", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed 30 documents" in out
+        assert "MANIFEST.json" in out
+
+        assert main(["checkpoint", "inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "generation:  1" in out
+        assert "seg-000000" in out
+
+        assert main(["checkpoint", "load", store]) == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+        assert "documents:  30" in out
+
+    def test_save_with_merge_compacts(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            ["--seed", "3", "checkpoint", "save", store, "--size", "20", "--merge"]
+        )
+        assert code == 0
+        assert main(["checkpoint", "inspect", store]) == 0
+
+    def test_inspect_missing_manifest_fails(self, tmp_path, capsys):
+        assert main(["checkpoint", "inspect", str(tmp_path)]) == 2
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_load_missing_store_fails(self, tmp_path, capsys):
+        assert main(["checkpoint", "load", str(tmp_path / "absent")]) == 2
+        assert "cannot open" in capsys.readouterr().err

@@ -5,9 +5,16 @@ one source turns flaky mid-flight.  The process-wide metrics registry
 records every layer — wire requests, cache tiers, engine evaluation,
 pipeline phases — and the health scorer folds the flaky source's track
 record into a score that hedges it, deprioritizes it, and extends its
-negative-cache hold.  At the end the script scrapes its own published
-``/metrics`` endpoint and prints the per-source health table: the
-dashboard a metasearch operator would actually watch.
+negative-cache hold.  An :class:`SloMonitor` snapshots the same
+registry after every replay round and turns the raw counters into the
+numbers an on-call reads first: per-objective compliance and how much
+error budget is left.  Finally a broker hierarchy published over the
+same simulated internet serves one traced source selection, and the
+server-side span fragments are stitched back under the client's trace
+id — the single cross-process tree an operator would pull up to
+explain a slow consultation.  At the end the script scrapes its own
+published ``/metrics`` endpoint and prints the per-source health
+table: the dashboard a metasearch operator would actually watch.
 
 Run:  python examples/telemetry_dashboard.py
 """
@@ -21,15 +28,21 @@ from repro import (
     generate_collection,
     publish_resource,
 )
+from repro.broker import LeafBroker, NetworkLeafHandle, RootBroker
 from repro.cache import CachePolicy
 from repro.corpus import build_workload, zipf_replay
+from repro.metasearch.selection import Cori
 from repro.observability import (
     MetricsRegistry,
+    SloMonitor,
     SourceHealth,
+    TraceCollector,
+    Tracer,
     get_registry,
     set_registry,
+    stitch_traces,
 )
-from repro.transport import StartsClient, publish_metrics
+from repro.transport import StartsClient, publish_broker_leaf, publish_metrics
 from repro.vendors import build_vendor_source
 
 FLAKY = "Dash-Db"
@@ -41,6 +54,7 @@ INTERESTING = (
     "negative_cache_ttl_ms",
     "cache_reads_total",
     "metasearch_searches_total",
+    "slo_error_budget_remaining",
 )
 
 
@@ -61,6 +75,45 @@ def build_federation():
         resource.add_source(build_vendor_source(vendor, source_id, documents))
     publish_resource(internet, resource, "http://dash.example.org")
     return internet, "http://dash.example.org/resource", collections
+
+
+def print_stitched_trace(internet, summaries):
+    """One traced consultation of a network broker root, stitched."""
+    collector = TraceCollector()
+    handles = []
+    for index in range(2):
+        leaf = LeafBroker(f"dash-leaf-{index}")
+        base = f"http://broker-{index}.example.org/broker"
+        publish_broker_leaf(internet, leaf, base, trace_sink=collector)
+        handles.append(NetworkLeafHandle(internet, base, leaf.leaf_id))
+    root = RootBroker(handles)
+    for source_id in sorted(summaries):
+        root.apply_delta(source_id, summaries[source_id])
+
+    tracer = Tracer()
+    chosen = root.select(Cori(), ["databases", "medicine"], 2, tracer=tracer)
+    rows = [
+        row
+        for row in stitch_traces(tracer.trace(), collector.traces())
+        if row["kind"] == "span"
+    ]
+    print(f"\nstitched cross-process trace {tracer.trace_id} "
+          f"(selected {', '.join(chosen)}):")
+    children = {}
+    for row in rows:
+        children.setdefault(row["parent_id"], []).append(row)
+    known = {row["span_id"] for row in rows}
+
+    def show(row, depth):
+        where = "leaf server" if row["name"].startswith("leaf:") else "client"
+        print(f"  {'  ' * depth}{row['name']:<{30 - 2 * depth}} "
+              f"{row['duration_ms']:7.2f} ms  [{where}]")
+        for child in children.get(row["span_id"], []):
+            show(child, depth + 1)
+
+    for row in rows:
+        if row["parent_id"] is None or row["parent_id"] not in known:
+            show(row, 0)
 
 
 def main() -> None:
@@ -89,8 +142,12 @@ def main() -> None:
         print(f"replaying {len(replay)} requests over "
               f"{len(workload.queries)} distinct queries "
               f"(zipf skew=1.1, {FLAKY} dropping every request)\n")
+        monitor = SloMonitor()
+        monitor.snapshot()
         for query in replay:
             searcher.search(query.to_squery(max_documents=5), k_sources=3)
+            monitor.snapshot()
+        monitor.export_gauges()
 
         print("per-source health (SourceHealth.snapshot):")
         print(f"  {'source':<10} {'score':>6} {'samples':>8} "
@@ -100,6 +157,12 @@ def main() -> None:
             print(f"  {source_id:<10} {snap.score:6.2f} {snap.samples:8d} "
                   f"{snap.error_rate * 100:6.1f} {snap.timeout_rate * 100:6.1f} "
                   f"{snap.latency_ewma_ms:8.1f}{flag}")
+
+        print("\nerror budgets (SloMonitor.describe):")
+        for line in monitor.describe().splitlines():
+            print(f"  {line}")
+
+        print_stitched_trace(internet, searcher.discovery.summaries())
 
         text = StartsClient(internet).fetch_metrics(metrics_url)
         print(f"\nscraped {metrics_url}: "

@@ -18,6 +18,10 @@ Commands:
   PQF encoding.
 * ``metrics`` — run a few searches and print the process metrics in
   Prometheus text format.
+* ``querylog`` — run a zipf-skewed search replay and print the wide
+  query-log events (one flat record per search; ``--ndjson`` exports).
+* ``slo`` — run a zipf-skewed replay under the default SLO policy and
+  print per-objective compliance, error budgets, and burn alerts.
 * ``checkpoint {save,load,inspect} DIR`` — build a segmented demo
   index and checkpoint it, warm-start an engine from the directory,
   or print the manifest (segments, generation, tombstones) without
@@ -308,6 +312,96 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The replayed query pool for the querylog/slo commands: a small head
+#: of topics whose zipf-skewed repetition exercises the result cache.
+_REPLAY_TOPICS = (
+    "databases",
+    "medicine",
+    "distributed systems",
+    "networking",
+    "compilers",
+)
+
+
+def _zipf_search_replay(searcher: Metasearcher, n_requests: int, seed: int):
+    """Run a zipf-skewed replay; yields after each search completes."""
+    from repro.corpus import zipf_replay
+
+    for topic in zipf_replay(list(_REPLAY_TOPICS), n_requests, seed=seed):
+        expression = parse_expression(f'(body-of-text "{topic}")')
+        searcher.search(
+            SQuery(ranking_expression=expression, max_number_documents=5),
+            k_sources=2,
+        )
+        yield topic
+
+
+def cmd_querylog(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        QueryLog,
+        get_query_log,
+        set_query_log,
+    )
+
+    previous = get_query_log()
+    log = set_query_log(QueryLog(slow_ms=args.slow_ms))
+    try:
+        searcher = _build_searcher(args.seed)
+        for _ in _zipf_search_replay(searcher, args.requests, args.seed):
+            pass
+        records = log.records()
+        print(
+            f"{len(records)} searches logged "
+            f"({len(log.records('hit')) + len(log.records('stale'))} cache-served, "
+            f"{log.total_slow} slow at >= {args.slow_ms:.0f} ms)"
+        )
+        print(f"{'outcome':<8} {'ms':>8} {'src':>4} {'docs':>5}  terms")
+        for record in records:
+            print(
+                f"{record.outcome:<8} {record.total_ms:>8.2f} "
+                f"{len(record.selected_sources):>4} {record.n_results:>5}  "
+                f"{record.terms}"
+            )
+        if args.ndjson:
+            count = log.write_ndjson(args.ndjson)
+            print(f"{count} records written to {args.ndjson}")
+    finally:
+        set_query_log(previous)
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        MetricsRegistry,
+        SloMonitor,
+        get_registry,
+        render_prometheus,
+        set_registry,
+    )
+
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        searcher = _build_searcher(args.seed)
+        monitor = SloMonitor()
+        monitor.snapshot()
+        for index, _ in enumerate(
+            _zipf_search_replay(searcher, args.requests, args.seed), 1
+        ):
+            if index % 10 == 0:
+                monitor.snapshot()
+        monitor.snapshot()
+        monitor.export_gauges()
+        print(f"SLO readout after a {args.requests}-request zipf replay:")
+        print(monitor.describe())
+        if args.metrics:
+            print()
+            print(render_prometheus(get_registry()), end="")
+    finally:
+        set_registry(previous)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.observability import Tracer, render_chrome_trace, render_ndjson
 
@@ -546,6 +640,25 @@ def main(argv: list[str] | None = None) -> int:
         "metrics", help="run a few searches and print Prometheus metrics"
     )
     metrics.set_defaults(handler=cmd_metrics)
+
+    querylog = commands.add_parser(
+        "querylog", help="replay searches and print the wide query log"
+    )
+    querylog.add_argument("--requests", type=int, default=25)
+    querylog.add_argument(
+        "--slow-ms", type=float, default=50.0, help="slow-query threshold"
+    )
+    querylog.add_argument("--ndjson", metavar="PATH", help="write NDJSON log")
+    querylog.set_defaults(handler=cmd_querylog)
+
+    slo = commands.add_parser(
+        "slo", help="replay searches and print SLO error budgets"
+    )
+    slo.add_argument("--requests", type=int, default=40)
+    slo.add_argument(
+        "--metrics", action="store_true", help="also print the gauge exposition"
+    )
+    slo.set_defaults(handler=cmd_slo)
 
     trace = commands.add_parser("trace", help="run one traced search")
     trace.add_argument("expression", nargs="?", default=None)

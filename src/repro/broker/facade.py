@@ -34,6 +34,7 @@ def build_hierarchy(
     health_policy: HealthPolicy | None = None,
     leaf_prefix: str = "leaf",
     broker_id: str = "root",
+    slo_monitor=None,
 ) -> RootBroker:
     """A root over ``n_leaves`` fresh in-process leaf brokers.
 
@@ -53,6 +54,7 @@ def build_hierarchy(
         routing=routing,
         health_policy=health_policy,
         broker_id=broker_id,
+        slo_monitor=slo_monitor,
     )
 
 

@@ -99,8 +99,14 @@ class NetworkLeafHandle:
         self.leaf_id = leaf_id
 
     def _post(self, endpoint: str, payload: dict) -> dict:
+        from repro.transport.client import trace_headers
+
         body = json.dumps(payload).encode("utf-8")
-        return json.loads(self.internet.post(f"{self.base_url}/{endpoint}", body))
+        return json.loads(
+            self.internet.post(
+                f"{self.base_url}/{endpoint}", body, headers=trace_headers()
+            )
+        )
 
     def probe(self, terms: Sequence[str], k: int) -> LeafProbe:
         return _probe_from_payload(
@@ -156,7 +162,11 @@ class NetworkLeafHandle:
         self._post("failover", {})
 
     def shard_stats(self) -> dict:
-        return json.loads(self.internet.fetch(f"{self.base_url}/stats"))
+        from repro.transport.client import trace_headers
+
+        return json.loads(
+            self.internet.fetch(f"{self.base_url}/stats", headers=trace_headers())
+        )
 
 
 def parse_summary_text(text: str | None) -> SContentSummary | None:

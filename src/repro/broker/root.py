@@ -46,6 +46,11 @@ from repro.federation.executor import Executor, SerialExecutor, run_tasks_catchi
 from repro.metasearch.selection import SourceSelector, order_key
 from repro.observability.health import HealthPolicy, SourceHealth
 from repro.observability.metrics import get_registry, linear_buckets
+from repro.observability.tracing import (
+    ambient_span,
+    current_ambient_span,
+    trace_context,
+)
 from repro.starts.metadata import SContentSummary
 
 __all__ = [
@@ -61,8 +66,8 @@ class BrokerOverloadedError(RuntimeError):
     """The root shed this query instead of admitting it.
 
     Attributes:
-        reason: the shed counter label — ``"inflight"`` or
-            ``"unhealthy"``.
+        reason: the shed counter label — ``"inflight"``,
+            ``"unhealthy"``, or ``"budget"``.
     """
 
     def __init__(self, message: str, reason: str) -> None:
@@ -108,14 +113,24 @@ class AdmissionPolicy:
         min_mean_leaf_health: shed while the mean 0-1 health score of
             the leaf fleet is below this — queries that would mostly
             hit failing shards are better refused than half-answered.
+        min_budget_remaining: shed while the tightest SLO error budget
+            (per the broker's :class:`~repro.observability.SloMonitor`)
+            is below this 0-1 floor — spend latency slack on fewer
+            queries rather than miss the promise for all of them.
+            Ignored when the broker has no monitor.
     """
 
     max_inflight: int | None = None
     min_mean_leaf_health: float | None = None
+    min_budget_remaining: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_inflight is not None and self.max_inflight < 0:
             raise ValueError("max_inflight must be >= 0")
+        if self.min_budget_remaining is not None and not (
+            0.0 <= self.min_budget_remaining <= 1.0
+        ):
+            raise ValueError("min_budget_remaining must be within [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -167,6 +182,9 @@ class RootBroker:
         ring_replicas: virtual nodes per leaf on the routing ring; more
             replicas tighten the shard-size spread, which directly caps
             the slowest leaf in a parallel fan-out.
+        slo_monitor: optional :class:`~repro.observability.SloMonitor`;
+            with it (and ``admission.min_budget_remaining``) the broker
+            sheds while the tightest error budget is burning low.
     """
 
     def __init__(
@@ -179,6 +197,7 @@ class RootBroker:
         health_policy: HealthPolicy | None = None,
         broker_id: str = "root",
         ring_replicas: int = 128,
+        slo_monitor=None,
     ) -> None:
         seen: set[str] = set()
         for handle in handles:
@@ -192,6 +211,7 @@ class RootBroker:
         self.admission = admission or AdmissionPolicy()
         self.routing = routing or RoutingPolicy()
         self.health = health or SourceHealth(policy=health_policy)
+        self.slo_monitor = slo_monitor
         self.ring = ConsistentHashRing(self._by_id, replicas=ring_replicas)
         self._inflight = 0
         self._inflight_lock = Lock()
@@ -255,6 +275,17 @@ class RootBroker:
                     "unhealthy",
                     f"mean leaf health {mean:.2f} below {floor:.2f}",
                 )
+        budget_floor = self.admission.min_budget_remaining
+        if budget_floor is not None and self.slo_monitor is not None:
+            remaining = self.slo_monitor.min_budget_remaining()
+            if remaining < budget_floor:
+                if limit is not None:
+                    self._release()
+                self._shed(
+                    "budget",
+                    f"SLO error budget {remaining:.2f} below "
+                    f"{budget_floor:.2f}",
+                )
 
     def _release(self) -> None:
         if self.admission.max_inflight is not None:
@@ -267,17 +298,43 @@ class RootBroker:
         self,
         handles: Sequence[LeafHandle],
         fn: Callable[[LeafHandle], object],
+        op: str = "consult",
     ) -> list[object]:
         """Fan out ``fn`` with per-leaf timing, health, and failover.
 
         A failing leaf gets one failover-and-retry (standby promotion)
         before its error surfaces; every attempt feeds the health
         tracker either way.
+
+        When an ambient span is active in the *calling* thread, each
+        per-leaf call gets its own ``rpc:{op}:{leaf}`` child span, with
+        the matching trace context activated inside the worker — that
+        context is what a :class:`~repro.broker.NetworkLeafHandle`
+        injects on the wire, so server-side fragments stitch under the
+        exact RPC span that issued them.  Contextvars do not cross the
+        executor's thread pool, hence the explicit capture here.
         """
+        ambient = current_ambient_span()
+
+        def traced(handle: LeafHandle) -> object:
+            if ambient is None:
+                return fn(handle)
+            tracer, parent = ambient
+            rpc = tracer.open_span(f"rpc:{op}:{handle.leaf_id}", parent=parent)
+            try:
+                with ambient_span(tracer, rpc), trace_context(
+                    tracer.context_for(rpc)
+                ):
+                    return fn(handle)
+            except Exception as error:
+                rpc.annotate(error=repr(error))
+                raise
+            finally:
+                tracer.close_span(rpc)
 
         def timed(handle: LeafHandle) -> tuple[object, float]:
             started = time.perf_counter()
-            result = fn(handle)
+            result = traced(handle)
             return result, (time.perf_counter() - started) * 1000.0
 
         outcomes = run_tasks_catching(self.executor, handles, timed)
@@ -297,7 +354,7 @@ class RootBroker:
             ).labels(leaf=handle.leaf_id).inc()
             handle.fail_over()
             started = time.perf_counter()
-            result = fn(handle)  # a second failure surfaces to the caller
+            result = traced(handle)  # a second failure surfaces to the caller
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             self.health.record_attempt(handle.leaf_id, "ok", elapsed_ms)
             self._note_elapsed(handle.leaf_id, elapsed_ms)
@@ -356,7 +413,7 @@ class RootBroker:
         self, terms: Sequence[str], k: int
     ) -> tuple[list[LeafProbe], CorpusStats]:
         probes = self._consult(
-            self._handles, lambda handle: handle.probe(terms, k)
+            self._handles, lambda handle: handle.probe(terms, k), op="probe"
         )
         return probes, _aggregate_stats(terms, probes)  # type: ignore[arg-type]
 
@@ -380,6 +437,7 @@ class RootBroker:
         fragments = self._consult(
             [by_id[probe.leaf_id] for probe in descend],
             lambda handle: handle.select_candidates(selector, terms, k, stats),
+            op="select",
         )
         pool: list[tuple[str, float]] = []
         for probe, fragment in zip(descend, fragments):
@@ -434,7 +492,10 @@ class RootBroker:
         with tracer.span(
             "select:broker", selector=selector.name, k=k, leaves=len(self._handles)
         ) as span:
-            merged = self.top_candidates(selector, terms, k)
+            with ambient_span(tracer, span), trace_context(
+                tracer.context_for(span)
+            ):
+                merged = self.top_candidates(selector, terms, k)
             span.annotate(
                 selected=" ".join(source_id for source_id, _ in merged),
                 parallel_ms=round(self.last_parallel_ms, 3),
@@ -455,6 +516,7 @@ class RootBroker:
             rankings = self._consult(
                 self._handles,
                 lambda handle: handle.rank_all(selector, terms, stats),
+                op="rank",
             )
             merged: list[tuple[str, float]] = []
             for ranking in rankings:
@@ -469,7 +531,7 @@ class RootBroker:
     def probe(self, terms: Sequence[str], k: int) -> LeafProbe:
         """Aggregate the children's probes into this subtree's claim."""
         probes = self._consult(
-            self._handles, lambda handle: handle.probe(terms, k)
+            self._handles, lambda handle: handle.probe(terms, k), op="probe"
         )
         fill: list[str] = []
         for probe in probes:
@@ -505,7 +567,7 @@ class RootBroker:
     ) -> list[tuple[str, float]]:
         """Descend this subtree under the *caller's* global statistics."""
         probes = self._consult(
-            self._handles, lambda handle: handle.probe(terms, k)
+            self._handles, lambda handle: handle.probe(terms, k), op="probe"
         )
         return self._descend(selector, terms, k, stats, probes)
 
@@ -518,6 +580,7 @@ class RootBroker:
         rankings = self._consult(
             self._handles,
             lambda handle: handle.rank_all(selector, terms, stats),
+            op="rank",
         )
         merged: list[tuple[str, float]] = []
         for ranking in rankings:

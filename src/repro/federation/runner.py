@@ -23,7 +23,7 @@ from repro.federation.executor import Executor, SerialExecutor
 from repro.federation.outcomes import Attempt, OutcomeStatus, SourceOutcome
 from repro.federation.policy import QueryPolicy
 from repro.observability.metrics import get_registry
-from repro.observability.tracing import Span, Tracer
+from repro.observability.tracing import Span, Tracer, trace_context
 from repro.starts.errors import ProtocolError
 from repro.starts.query import SQuery
 from repro.starts.results import SQResults
@@ -147,7 +147,10 @@ class QueryDispatcher:
         with self.tracer.span(
             f"query:{request.source_id}", parent=parent, url=request.query_url
         ) as span:
-            outcome = self._run_with_policy(request, policy)
+            # Activate this span's trace context so the transport layer
+            # injects a traceparent header on every wire request below.
+            with trace_context(self.tracer.context_for(span)):
+                outcome = self._run_with_policy(request, policy)
             self._annotate_outcome(span, request, outcome)
         return outcome
 
@@ -166,7 +169,8 @@ class QueryDispatcher:
             f"query:{request.source_id}", parent=parent, url=request.query_url
         )
         try:
-            outcome = await self._run_with_policy_async(request, policy, span)
+            with trace_context(self.tracer.context_for(span)):
+                outcome = await self._run_with_policy_async(request, policy, span)
             self._annotate_outcome(span, request, outcome)
         finally:
             self.tracer.close_span(span)
@@ -499,7 +503,7 @@ class QueryDispatcher:
         hedges = 0
         for record in attempt.records:
             requests.labels(source_id=source_id, outcome=record.status.value).inc()
-            latency.observe(record.latency_ms)
+            latency.observe(record.latency_ms, exemplar=self.tracer.trace_id)
             hedges += 1 if record.hedged else 0
         if number > 1:
             registry.counter(

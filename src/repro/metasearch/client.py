@@ -17,7 +17,7 @@ merging proceeds over the survivors.  Every phase is traced;
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.cache.core import FRESH, STALE
@@ -40,6 +40,7 @@ from repro.metasearch.selection import SourceSelector, VGlossMax
 from repro.metasearch.translation import ClientTranslator, TranslationReport
 from repro.observability.health import HealthPolicy, SourceHealth
 from repro.observability.metrics import get_registry
+from repro.observability.querylog import QueryLogRecord, get_query_log
 from repro.observability.render import render_trace
 from repro.observability.tracing import Trace, Tracer
 from repro.starts.errors import ProtocolError
@@ -65,6 +66,91 @@ def _count_search(result: str) -> None:
         "Completed searches by how the answer was produced.",
         labels=("result",),
     ).labels(result=result).inc()
+
+
+#: Pipeline phase names folded into the wide event's ``phase_ms``.
+_LOGGED_PHASES = ("discover", "select", "translate", "query", "merge")
+
+
+def _log_search(
+    tracer: Tracer,
+    terms: list[str],
+    outcome: str,
+    started_ms: float,
+    selected_ids: Sequence[str] = (),
+    result: "MetasearchResult | None" = None,
+    error: str = "",
+    terminated_early: bool = False,
+) -> None:
+    """Emit the one wide event a finished (or failed) search owes.
+
+    Every exit path of ``search``/``search_stream`` funnels here: the
+    whole-search histogram gets the wall-clock observation (with the
+    trace id as its exemplar), and the process query log gets the flat
+    record — query shape, per-phase times folded from the trace's
+    spans, wire/cache tallies from the tracer's counters.
+    """
+    elapsed_ms = tracer.now_ms() - started_ms
+    get_registry().histogram(
+        "metasearch_search_ms",
+        "Whole-search wall-clock milliseconds, every exit path included.",
+    ).observe(elapsed_ms, exemplar=tracer.trace_id)
+    log = get_query_log()
+    if not log.enabled:
+        return
+    phase_ms: dict[str, float] = {}
+    for span in tracer.trace().walk():
+        phase = span.name.split(":", 1)[0]
+        if phase in _LOGGED_PHASES:
+            phase_ms[phase] = phase_ms.get(phase, 0.0) + span.duration_ms
+    requests = retries = hedges = timeouts = failures = 0
+    cost = 0.0
+    for counters in tracer.counters.values():
+        requests += counters.requests
+        retries += counters.retries
+        hedges += counters.hedges
+        timeouts += counters.timeouts
+        failures += counters.failures
+        cost += counters.cost
+    cache = tracer.cache
+    log.record(
+        QueryLogRecord(
+            terms=" ".join(terms),
+            outcome=outcome,
+            total_ms=elapsed_ms,
+            trace_id=tracer.trace_id,
+            selected_sources=tuple(selected_ids),
+            phase_ms=phase_ms,
+            n_results=len(result.documents) if result is not None else 0,
+            sources_ok=len(result.ok_sources()) if result is not None else 0,
+            sources_failed=(
+                len(result.failed_sources()) if result is not None else 0
+            ),
+            sources_skipped=(
+                len(result.skipped_sources()) if result is not None else 0
+            ),
+            requests=requests,
+            retries=retries,
+            hedges=hedges,
+            timeouts=timeouts,
+            failures=failures,
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_stale_hits=cache.stale_hits if cache is not None else 0,
+            negative_skips=cache.negative_skips if cache is not None else 0,
+            cost=cost,
+            terminated_early=terminated_early,
+            error=error,
+        )
+    )
+
+
+def _failure_outcome(error: BaseException) -> str:
+    """``shed`` for admission-control refusals, ``error`` otherwise."""
+    return (
+        "shed"
+        if type(error).__name__ == "BrokerOverloadedError"
+        else "error"
+    )
 
 
 @dataclass
@@ -330,50 +416,71 @@ class Metasearcher:
         self.client.tracer = tracer
         terms = self._selection_terms(query)
 
-        with tracer.span("search", terms=" ".join(terms)):
-            selected_ids, summaries = self._select(
-                tracer, selector, terms, k_sources, known
-            )
-            key: str | None = None
-            if self.result_cache is not None:
-                key = self._cache_key(query, selected_ids, group_by_resource, merger)
-                cached, state = self.result_cache.lookup(key)
-                if state == FRESH:
-                    tracer.count_cache(hits=1, cost_saved=cached.cost)
-                    tracer.event("cache", status="hit", saved_cost=cached.cost)
-                    _count_search("hit")
-                    return self._serve_cached(cached.result, tracer, "hit")
-                if state == STALE:
-                    tracer.count_cache(stale_hits=1)
-                    tracer.event("cache", status="stale")
-                    self._schedule_revalidation(
-                        key,
-                        query,
-                        list(selected_ids),
-                        dict(summaries),
-                        merger,
-                        executor,
-                        group_by_resource,
-                        terms,
+        started_ms = tracer.now_ms()
+        selected_ids: list[str] = []
+        try:
+            with tracer.span("search", terms=" ".join(terms)):
+                selected_ids, summaries = self._select(
+                    tracer, selector, terms, k_sources, known
+                )
+                key: str | None = None
+                if self.result_cache is not None:
+                    key = self._cache_key(
+                        query, selected_ids, group_by_resource, merger
                     )
-                    _count_search("stale")
-                    return self._serve_cached(cached.result, tracer, "stale")
-                tracer.count_cache(misses=1)
-            result = self._query_round(
-                self.client,
-                tracer,
-                query,
-                selected_ids,
-                summaries,
-                merger,
-                executor,
-                group_by_resource,
-                terms,
+                    cached, state = self.result_cache.lookup(key)
+                    if state == FRESH:
+                        tracer.count_cache(hits=1, cost_saved=cached.cost)
+                        tracer.event("cache", status="hit", saved_cost=cached.cost)
+                        _count_search("hit")
+                        served = self._serve_cached(cached.result, tracer, "hit")
+                        _log_search(
+                            tracer, terms, "hit", started_ms, selected_ids, served
+                        )
+                        return served
+                    if state == STALE:
+                        tracer.count_cache(stale_hits=1)
+                        tracer.event("cache", status="stale")
+                        self._schedule_revalidation(
+                            key,
+                            query,
+                            list(selected_ids),
+                            dict(summaries),
+                            merger,
+                            executor,
+                            group_by_resource,
+                            terms,
+                        )
+                        _count_search("stale")
+                        served = self._serve_cached(cached.result, tracer, "stale")
+                        _log_search(
+                            tracer, terms, "stale", started_ms, selected_ids, served
+                        )
+                        return served
+                    tracer.count_cache(misses=1)
+                result = self._query_round(
+                    self.client,
+                    tracer,
+                    query,
+                    selected_ids,
+                    summaries,
+                    merger,
+                    executor,
+                    group_by_resource,
+                    terms,
+                )
+        except Exception as error:
+            outcome = _failure_outcome(error)
+            _count_search(outcome)
+            _log_search(
+                tracer, terms, outcome, started_ms, selected_ids, error=repr(error)
             )
+            raise
         if key is not None:
             self._store_result(key, result, selected_ids, tracer)
         _count_search("wire")
         result.trace = tracer.trace()
+        _log_search(tracer, terms, "wire", started_ms, selected_ids, result)
         return result
 
     def search_stream(
@@ -426,6 +533,7 @@ class Metasearcher:
         self.client.tracer = tracer
         terms = self._selection_terms(query)
         started_ms = tracer.now_ms()
+        selected_ids: list[str] = []
 
         search_span = tracer.open_span("search", terms=" ".join(terms))
         try:
@@ -456,6 +564,9 @@ class Metasearcher:
                     _count_search(status)
                     tracer.close_span(search_span)
                     served = self._serve_cached(cached.result, tracer, status)
+                    _log_search(
+                        tracer, terms, status, started_ms, selected_ids, served
+                    )
                     yield StreamEmission(
                         sequence=0,
                         outcome=None,
@@ -584,9 +695,25 @@ class Metasearcher:
                 # key promises; only complete rounds are cacheable.
                 self._store_result(key, result, selected_ids, tracer)
             _count_search("stream")
+        except Exception as error:
+            outcome = _failure_outcome(error)
+            _count_search(outcome)
+            _log_search(
+                tracer, terms, outcome, started_ms, selected_ids, error=repr(error)
+            )
+            raise
         finally:
             tracer.close_span(search_span)
         result.trace = tracer.trace()
+        _log_search(
+            tracer,
+            terms,
+            "stream",
+            started_ms,
+            selected_ids,
+            result,
+            terminated_early=terminated_early,
+        )
         yield StreamEmission(
             sequence=sequence,
             outcome=None,

@@ -1,12 +1,21 @@
 """Observability: traces, process-wide metrics, exporters, health.
 
-Three layers, from one operation outward:
+Layers, from one operation outward:
 
 * tracing (:class:`Tracer` / :class:`Trace`) — one operation's span
   tree and per-source counters, rendered by :func:`render_trace`;
+  :class:`TraceContext` carries the operation across processes (W3C
+  ``traceparent`` on the wire) and :class:`TraceCollector` gathers the
+  server-side fragments :func:`stitch_traces` merges back into one
+  cross-process tree;
 * metrics (:class:`MetricsRegistry`) — longitudinal counters, gauges
   and histograms accumulated across every operation, exported as
-  Prometheus text by :func:`render_prometheus`;
+  Prometheus text by :func:`render_prometheus` (histogram buckets can
+  carry trace-id exemplars);
+* the query log (:class:`QueryLog`) — one wide, flat
+  :class:`QueryLogRecord` per search, ring-buffered and NDJSON-ready;
+* SLOs (:class:`SloMonitor`) — declarative objectives evaluated from
+  the live registry into error budgets and burn-rate alerts;
 * health (:class:`SourceHealth`) — per-source 0–1 scores folded from
   the observed windows, feeding back into federation policy and
   negative-cache TTLs.
@@ -21,6 +30,9 @@ from repro.observability.export import (
     render_chrome_trace,
     render_ndjson,
     render_prometheus,
+    render_stitched_ndjson,
+    stitch_traces,
+    stitched_chrome_trace,
     trace_events,
 )
 from repro.observability.health import (
@@ -40,17 +52,37 @@ from repro.observability.metrics import (
     log_scale_buckets,
     set_registry,
 )
+from repro.observability.querylog import (
+    QueryLog,
+    QueryLogRecord,
+    get_query_log,
+    set_query_log,
+)
 from repro.observability.render import (
     render_cache_counters,
     render_counters,
     render_trace,
+)
+from repro.observability.slo import (
+    BurnAlert,
+    BurnWindow,
+    SloMonitor,
+    SloObjective,
+    SloPolicy,
+    SloReport,
 )
 from repro.observability.tracing import (
     CacheCounters,
     SourceCounters,
     Span,
     Trace,
+    TraceCollector,
+    TraceContext,
     Tracer,
+    ambient_span,
+    current_ambient_span,
+    current_trace_context,
+    trace_context,
 )
 
 __all__ = [
@@ -58,6 +90,9 @@ __all__ = [
     "render_chrome_trace",
     "render_ndjson",
     "render_prometheus",
+    "render_stitched_ndjson",
+    "stitch_traces",
+    "stitched_chrome_trace",
     "trace_events",
     "HealthPolicy",
     "SourceHealth",
@@ -72,12 +107,28 @@ __all__ = [
     "linear_buckets",
     "log_scale_buckets",
     "set_registry",
+    "QueryLog",
+    "QueryLogRecord",
+    "get_query_log",
+    "set_query_log",
     "render_cache_counters",
     "render_counters",
     "render_trace",
+    "BurnAlert",
+    "BurnWindow",
+    "SloMonitor",
+    "SloObjective",
+    "SloPolicy",
+    "SloReport",
     "CacheCounters",
     "SourceCounters",
     "Span",
     "Trace",
+    "TraceCollector",
+    "TraceContext",
     "Tracer",
+    "ambient_span",
+    "current_ambient_span",
+    "current_trace_context",
+    "trace_context",
 ]

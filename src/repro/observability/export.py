@@ -13,11 +13,20 @@ Three renderings of the telemetry layer, one per audience:
   structured NDJSON event log: one JSON object per span, with the
   operation's trace id and parent/child span ids threaded through, the
   shape a log pipeline ingests.
+
+Cross-process traces stitch here too: :func:`stitch_traces` merges a
+client-side trace with the server-side fragments a
+:class:`~repro.observability.TraceCollector` gathered (matched by trace
+id, nested by the fragments' remote parent span ids) into one flat
+NDJSON event list; :func:`stitched_chrome_trace` renders the same
+merge as a multi-process Perfetto file.
 """
 
 from __future__ import annotations
 
 import json
+import math
+from collections.abc import Iterable
 
 from repro.observability.metrics import Histogram, MetricsRegistry
 from repro.observability.tracing import Span, Trace
@@ -28,6 +37,9 @@ __all__ = [
     "render_chrome_trace",
     "trace_events",
     "render_ndjson",
+    "stitch_traces",
+    "render_stitched_ndjson",
+    "stitched_chrome_trace",
 ]
 
 
@@ -43,6 +55,13 @@ def _escape_help(text: str) -> str:
 
 
 def _format_value(value: float) -> str:
+    # Non-finite values are legal sample values (a histogram that
+    # observed +inf has sum=inf) and must render as the exposition
+    # format's spellings, not crash int().
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
@@ -58,21 +77,44 @@ def _label_text(names: tuple[str, ...], values: tuple[str, ...]) -> str:
     return "{" + pairs + "}"
 
 
+def _exemplar_text(histogram: Histogram, index: int) -> str:
+    """OpenMetrics-style exemplar suffix for bucket ``index`` (or '')."""
+    exemplar = histogram.exemplars.get(index)
+    if exemplar is None:
+        return ""
+    trace_id, observed = exemplar
+    return (
+        f' # {{trace_id="{_escape_label_value(trace_id)}"}} '
+        f"{_format_value(observed)}"
+    )
+
+
 def _histogram_lines(
-    name: str, names: tuple[str, ...], values: tuple[str, ...], histogram: Histogram
+    name: str,
+    names: tuple[str, ...],
+    values: tuple[str, ...],
+    histogram: Histogram,
+    exemplars: bool = False,
 ) -> list[str]:
     lines: list[str] = []
     cumulative = 0
-    for bound, bucket_count in zip(histogram.bounds, histogram.bucket_counts):
+    for index, (bound, bucket_count) in enumerate(
+        zip(histogram.bounds, histogram.bucket_counts)
+    ):
         cumulative += bucket_count
         le_names = names + ("le",)
         le_values = values + (_format_value(bound),)
+        suffix = _exemplar_text(histogram, index) if exemplars else ""
         lines.append(
             f"{name}_bucket{_label_text(le_names, le_values)} {cumulative}"
+            f"{suffix}"
         )
+    suffix = (
+        _exemplar_text(histogram, len(histogram.bounds)) if exemplars else ""
+    )
     lines.append(
         f'{name}_bucket{_label_text(names + ("le",), values + ("+Inf",))} '
-        f"{histogram.count}"
+        f"{histogram.count}{suffix}"
     )
     lines.append(f"{name}_sum{_label_text(names, values)} "
                  f"{_format_value(histogram.sum)}")
@@ -80,12 +122,15 @@ def _histogram_lines(
     return lines
 
 
-def render_prometheus(registry: MetricsRegistry) -> str:
+def render_prometheus(registry: MetricsRegistry, exemplars: bool = False) -> str:
     """The registry as Prometheus text exposition (version 0.0.4).
 
     Families sort by name and children by label values, so two renders
     of the same state are byte-identical — golden tests and diff-based
-    scrapers both rely on that.
+    scrapers both rely on that.  ``exemplars=True`` appends
+    OpenMetrics-style ``# {trace_id="..."} value`` exemplar suffixes to
+    histogram bucket lines that have one; the default stays plain
+    text-format 0.0.4 for scrapers that reject the extension.
     """
     lines: list[str] = []
     for family in registry.families():
@@ -99,7 +144,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             if family.kind == "histogram":
                 lines.extend(
                     _histogram_lines(
-                        family.name, family.label_names, label_values, instrument
+                        family.name,
+                        family.label_names,
+                        label_values,
+                        instrument,
+                        exemplars=exemplars,
                     )
                 )
             else:
@@ -163,20 +212,34 @@ def render_chrome_trace(trace: Trace, indent: int | None = None) -> str:
 # -- NDJSON structured event log -------------------------------------------
 
 
-def trace_events(trace: Trace) -> list[dict]:
+def trace_events(trace: Trace, stable_ids: bool = False) -> list[dict]:
     """The trace as a flat list of structured span events.
 
-    Span ids are assigned depth-first at export time (1-based);
-    ``parent_id`` is ``None`` for roots.  Per-source counters follow
-    the spans as ``kind="source_counters"`` rows so one NDJSON stream
-    carries the whole operation.
+    By default span ids are assigned depth-first at export time
+    (1-based integers); ``parent_id`` is ``None`` for roots.  With
+    ``stable_ids=True`` the rows carry the spans' tracer-assigned hex
+    ids instead — the ids that cross the wire in ``traceparent``
+    headers — and a root span continuing a remote trace reports that
+    caller's span id as its ``parent_id``, which is what lets
+    :func:`stitch_traces` splice fragments from different processes
+    into one tree.  (Hand-built spans without an id get a synthesized
+    ``local-N`` id.)  Per-source counters follow the spans as
+    ``kind="source_counters"`` rows so one NDJSON stream carries the
+    whole operation.
     """
     rows: list[dict] = []
     next_id = [0]
 
-    def visit(span: Span, parent_id: int | None) -> None:
+    def span_key(span: Span):
         next_id[0] += 1
-        span_id = next_id[0]
+        if not stable_ids:
+            return next_id[0]
+        return span.span_id or f"local-{next_id[0]}"
+
+    def visit(span: Span, parent_id) -> None:
+        span_id = span_key(span)
+        if parent_id is None and stable_ids and span.remote_parent_id:
+            parent_id = span.remote_parent_id
         rows.append(
             {
                 "kind": "span",
@@ -221,3 +284,64 @@ def render_ndjson(trace: Trace) -> str:
     return "\n".join(json.dumps(row, sort_keys=True) for row in rows) + (
         "\n" if rows else ""
     )
+
+
+# -- cross-process stitching -----------------------------------------------
+
+
+def stitch_traces(root: Trace, fragments: Iterable[Trace]) -> list[dict]:
+    """Merge a client trace with its server-side fragments into one log.
+
+    ``fragments`` is typically ``collector.traces()`` from one or more
+    :class:`~repro.observability.TraceCollector` sinks; only fragments
+    sharing the root's trace id are taken.  Every row uses stable hex
+    span ids, so a fragment's root span — whose ``parent_id`` is the
+    caller's span id carried in the ``traceparent`` header — hangs off
+    the exact client-side span that issued the request.  The result is
+    one flat NDJSON-ready event list forming a single cross-process
+    tree under one trace id.
+    """
+    rows = trace_events(root, stable_ids=True)
+    for fragment in fragments:
+        if fragment.trace_id != root.trace_id:
+            continue
+        rows.extend(trace_events(fragment, stable_ids=True))
+    return rows
+
+
+def render_stitched_ndjson(root: Trace, fragments: Iterable[Trace]) -> str:
+    """:func:`stitch_traces` as NDJSON text."""
+    rows = stitch_traces(root, fragments)
+    return "\n".join(json.dumps(row, sort_keys=True) for row in rows) + (
+        "\n" if rows else ""
+    )
+
+
+def stitched_chrome_trace(root: Trace, fragments: Iterable[Trace]) -> dict:
+    """A multi-process Perfetto file: the client trace plus fragments.
+
+    The client's spans render as pid 1; each matching fragment gets its
+    own pid (2, 3, …) since its timestamps come from the serving
+    process's own clock and only nest logically, not temporally.  Each
+    fragment root carries ``args.remote_parent`` — the client-side span
+    id it hangs under — so the cross-process link survives visually.
+    """
+    doc = chrome_trace(root)
+    events = doc["traceEvents"]
+    pid = 1
+    for fragment in fragments:
+        if fragment.trace_id != root.trace_id:
+            continue
+        pid += 1
+        fragment_events: list[dict] = []
+        for span in fragment.spans:
+            root_index = len(fragment_events)
+            _chrome_events(span, None, fragment.trace_id, fragment_events)
+            if span.remote_parent_id:
+                fragment_events[root_index]["args"]["remote_parent"] = (
+                    span.remote_parent_id
+                )
+        for event in fragment_events:
+            event["pid"] = pid
+        events.extend(fragment_events)
+    return doc

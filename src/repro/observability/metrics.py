@@ -30,6 +30,7 @@ renderings live in :mod:`repro.observability.export`.
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 
 __all__ = [
@@ -143,9 +144,15 @@ class Histogram:
     Percentiles interpolate linearly inside the winning bucket, which
     is the standard Prometheus-style estimate: cheap, streaming, and
     accurate to within one bucket's width.
+
+    ``observe`` optionally takes an *exemplar* — a trace id to pin to
+    the bucket the observation lands in (last write wins), so a scrape
+    can jump from a latency bucket straight to a representative trace.
+    NaN observations raise: they would poison ``sum`` and land in an
+    arbitrary bucket.  ``+inf`` is accepted (overflow bucket).
     """
 
-    __slots__ = ("_lock", "bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("_lock", "bounds", "bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS) -> None:
         if not bounds or list(bounds) != sorted(bounds):
@@ -155,13 +162,19 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> (exemplar trace id, observed value)
+        self.exemplars: dict[int, tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
         index = bisect.bisect_left(self.bounds, value)
         with self._lock:
             self.bucket_counts[index] += 1
             self.sum += value
             self.count += 1
+            if exemplar is not None:
+                self.exemplars[index] = (exemplar, value)
 
     def percentile(self, quantile: float) -> float:
         """Streaming percentile estimate (0 <= quantile <= 1).
@@ -225,7 +238,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         pass
 
 
@@ -307,8 +320,8 @@ class MetricFamily:
     def set(self, value: float) -> None:
         self._default_child().set(value)
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self._default_child().observe(value, exemplar=exemplar)
 
 
 class MetricsRegistry:

@@ -25,9 +25,123 @@ import time
 import uuid
 from collections.abc import Iterator
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field as dataclass_field
 
-__all__ = ["CacheCounters", "Span", "SourceCounters", "Trace", "Tracer"]
+__all__ = [
+    "CacheCounters",
+    "Span",
+    "SourceCounters",
+    "Trace",
+    "TraceCollector",
+    "TraceContext",
+    "Tracer",
+    "ambient_span",
+    "current_ambient_span",
+    "current_trace_context",
+    "trace_context",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """W3C-traceparent-style context a request carries across processes.
+
+    ``trace_id`` names the whole distributed operation; ``span_id`` is
+    the *caller's* span — the one the receiving process parents its own
+    root span under, which is what stitches per-process trace fragments
+    into one tree.  ``sampled`` rides along as the standard flag byte.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_traceparent(self) -> str:
+        """``00-{trace_id}-{span_id}-{flags}``, ids zero-padded to spec."""
+        return (
+            f"00-{self.trace_id:0>32}-{self.span_id:0>16}-"
+            f"{'01' if self.sampled else '00'}"
+        )
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        """Parse a traceparent header; ``None`` for absent or malformed.
+
+        A malformed header is dropped rather than raised on — tracing
+        must never fail a request that would otherwise succeed.
+        """
+        if not header:
+            return None
+        parts = header.strip().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, flags = parts
+        if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16:
+            return None
+        try:
+            int(trace_id, 16), int(span_id, 16), int(flags, 16)
+        except ValueError:
+            return None
+        # Undo the padding to_traceparent applied to this module's
+        # 16-hex trace ids, so a round trip compares equal.  Span ids
+        # are generated at exactly 16 hex chars and pass through whole.
+        if trace_id.startswith("0" * 16):
+            trace_id = trace_id[16:]
+        return cls(trace_id, span_id, sampled=bool(int(flags, 16) & 1))
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context a sub-request carries: same trace, new parent."""
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+
+#: The trace context ambient to the current thread/task, injected into
+#: outbound requests by the transports.  Contextvars copy per asyncio
+#: task, so interleaved coroutines never see each other's context;
+#: thread pools do NOT inherit it — fan-out code captures the context
+#: before dispatch and re-activates it inside each worker.
+_ACTIVE_CONTEXT: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+#: The (tracer, span) pair in-process subsystems attach child spans to
+#: without explicit plumbing through every call signature.
+_ACTIVE_SPAN: ContextVar["tuple[Tracer, Span] | None"] = ContextVar(
+    "repro_ambient_span", default=None
+)
+
+
+def current_trace_context() -> TraceContext | None:
+    """The ambient :class:`TraceContext`, if one is active."""
+    return _ACTIVE_CONTEXT.get()
+
+
+@contextmanager
+def trace_context(context: TraceContext | None):
+    """Activate ``context`` for the duration of the block (``None`` is a no-op)."""
+    if context is None:
+        yield
+        return
+    token = _ACTIVE_CONTEXT.set(context)
+    try:
+        yield
+    finally:
+        _ACTIVE_CONTEXT.reset(token)
+
+
+def current_ambient_span() -> "tuple[Tracer, Span] | None":
+    """The ambient ``(tracer, span)`` pair, if one is active."""
+    return _ACTIVE_SPAN.get()
+
+
+@contextmanager
+def ambient_span(tracer: "Tracer", span: "Span"):
+    """Make ``span`` the ambient parent for nested subsystems."""
+    token = _ACTIVE_SPAN.set((tracer, span))
+    try:
+        yield
+    finally:
+        _ACTIVE_SPAN.reset(token)
 
 
 @dataclass
@@ -39,6 +153,12 @@ class Span:
     end_ms: float | None = None
     attributes: dict[str, object] = dataclass_field(default_factory=dict)
     children: list["Span"] = dataclass_field(default_factory=list)
+    #: Stable 16-hex id assigned at creation by the tracer; hand-built
+    #: spans may leave it empty (exporters then synthesize local ids).
+    span_id: str = ""
+    #: For a root span continuing a remote trace: the caller's span id
+    #: from the wire context, so stitched exports nest across processes.
+    remote_parent_id: str = ""
     #: The owning tracer's clock (ms), so an open span can report its
     #: elapsed-so-far duration; spans built by hand leave it None.
     clock_ms: object = dataclass_field(default=None, repr=False, compare=False)
@@ -151,15 +271,35 @@ class Tracer:
     since thread-local context does not cross the pool boundary.
     """
 
-    def __init__(self, clock=None, trace_id: str | None = None) -> None:
+    def __init__(
+        self,
+        clock=None,
+        trace_id: str | None = None,
+        context: TraceContext | None = None,
+    ) -> None:
         self._clock = clock or time.perf_counter
         self._origin = self._clock()
         self._lock = threading.Lock()
         self._local = threading.local()
+        if context is not None and trace_id is None:
+            trace_id = context.trace_id
         self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        #: The wire context this tracer continues, if any: root spans
+        #: record its span id as their remote parent.
+        self.context = context
+        # Span ids: a per-tracer random prefix plus a sequence number is
+        # unique across processes w.h.p. and far cheaper than a uuid per
+        # span on the hot path.
+        self._span_prefix = uuid.uuid4().hex[:8]
+        self._span_seq = 0
         self.spans: list[Span] = []
         self.counters: dict[str, SourceCounters] = {}
         self.cache: CacheCounters | None = None
+
+    def _new_span_id(self) -> str:
+        """A 16-hex span id (caller must hold ``self._lock``)."""
+        self._span_seq += 1
+        return f"{self._span_prefix}{self._span_seq:08x}"
 
     def now_ms(self) -> float:
         """Milliseconds since this tracer was created (wall clock)."""
@@ -172,6 +312,21 @@ class Tracer:
             self._local.stack = stack
         return stack
 
+    def _adopt(self, span: Span, owner: Span | None) -> None:
+        """Assign the span's id, attach it, and link remote parentage.
+
+        Caller must hold ``self._lock``.  A root span of a tracer that
+        continues a wire context records the caller's span id, so the
+        stitched cross-process export nests it correctly.
+        """
+        span.span_id = self._new_span_id()
+        if owner is not None:
+            owner.children.append(span)
+        else:
+            if self.context is not None:
+                span.remote_parent_id = self.context.span_id
+            self.spans.append(span)
+
     @contextmanager
     def span(self, name: str, parent: Span | None = None, **attributes: object):
         """Open a span; nests under the current span unless ``parent`` is given."""
@@ -179,7 +334,7 @@ class Tracer:
         stack = self._stack()
         owner = parent if parent is not None else (stack[-1] if stack else None)
         with self._lock:
-            (owner.children if owner is not None else self.spans).append(span)
+            self._adopt(span, owner)
         stack.append(span)
         try:
             yield span
@@ -202,7 +357,7 @@ class Tracer:
             name, self.now_ms(), attributes=dict(attributes), clock_ms=self.now_ms
         )
         with self._lock:
-            (parent.children if parent is not None else self.spans).append(span)
+            self._adopt(span, parent)
         return span
 
     def close_span(self, span: Span) -> None:
@@ -219,7 +374,7 @@ class Tracer:
         stack = self._stack()
         owner = parent if parent is not None else (stack[-1] if stack else None)
         with self._lock:
-            (owner.children if owner is not None else self.spans).append(span)
+            self._adopt(span, owner)
         return span
 
     def count(self, source_id: str, **deltas: float) -> SourceCounters:
@@ -257,6 +412,50 @@ class Tracer:
                 )
             return self.cache
 
+    def context_for(self, span: Span) -> TraceContext:
+        """The :class:`TraceContext` an outbound request under ``span`` carries."""
+        return TraceContext(self.trace_id, span.span_id)
+
     def trace(self) -> Trace:
         """The collected spans and counters as a :class:`Trace`."""
         return Trace(self.spans, self.counters, self.cache, trace_id=self.trace_id)
+
+
+class TraceCollector:
+    """A ring-buffered sink for finished server-side trace fragments.
+
+    A published endpoint (source or broker leaf) that handles a request
+    carrying a :class:`TraceContext` records its server-side span into a
+    per-request :class:`Tracer` and hands the finished :class:`Trace`
+    here.  :func:`repro.observability.stitch_traces` merges these
+    fragments with the client's own trace into one cross-process tree.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: list[Trace] = []
+
+    def add(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+            if len(self._traces) > self.capacity:
+                del self._traces[: len(self._traces) - self.capacity]
+
+    def traces(self, trace_id: str | None = None) -> list[Trace]:
+        """Collected fragments, optionally only those of one trace."""
+        with self._lock:
+            snapshot = list(self._traces)
+        if trace_id is None:
+            return snapshot
+        return [trace for trace in snapshot if trace.trace_id == trace_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

@@ -10,6 +10,7 @@ runner, which sees retries and hedges the client alone cannot.
 
 from __future__ import annotations
 
+from repro.observability.tracing import current_trace_context
 from repro.source.sample import SampleResults
 from repro.starts.metadata import SContentSummary, SMetaAttributes, SResource
 from repro.starts.query import SQuery
@@ -17,7 +18,19 @@ from repro.starts.results import SQResults
 from repro.starts.soif import parse_soif
 from repro.transport.network import AccessRecord, SimulatedInternet
 
-__all__ = ["StartsClient"]
+__all__ = ["StartsClient", "trace_headers"]
+
+
+def trace_headers() -> dict[str, str] | None:
+    """The outbound headers the ambient trace context implies.
+
+    ``None`` when no context is active, so untraced traffic crosses the
+    wire exactly as before.
+    """
+    context = current_trace_context()
+    if context is None:
+        return None
+    return {"traceparent": context.to_traceparent()}
 
 
 class StartsClient:
@@ -54,7 +67,7 @@ class StartsClient:
         """
         body = query.to_soif().dump().encode("utf-8")
         response, record = self._internet.perform(
-            query_url, "POST", body, deadline_ms=deadline_ms
+            query_url, "POST", body, deadline_ms=deadline_ms, headers=trace_headers()
         )
         return SQResults.from_soif_stream(response), record
 
@@ -70,7 +83,7 @@ class StartsClient:
         """
         body = query.to_soif().dump().encode("utf-8")
         response, record = await self._internet.perform_async(
-            query_url, "POST", body, deadline_ms=deadline_ms
+            query_url, "POST", body, deadline_ms=deadline_ms, headers=trace_headers()
         )
         return SQResults.from_soif_stream(response), record
 
@@ -97,7 +110,7 @@ class StartsClient:
         return self._fetch(metrics_url, "metrics").decode("utf-8")
 
     def _fetch(self, url: str, kind: str) -> bytes:
-        payload, record = self._internet.perform(url, "GET")
+        payload, record = self._internet.perform(url, "GET", headers=trace_headers())
         if self.tracer is not None:
             self.tracer.event(
                 f"fetch:{kind}",

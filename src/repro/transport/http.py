@@ -44,9 +44,14 @@ class StartsHttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         registry=None,
+        trace_sink=None,
     ) -> None:
         self._resource = resource
         self._registry = registry
+        #: Optional :class:`~repro.observability.TraceCollector`: query
+        #: POSTs carrying a ``traceparent`` header record a server-side
+        #: span fragment here, stitched under the caller's trace.
+        self.trace_sink = trace_sink
         self._server = http.server.ThreadingHTTPServer(
             (host, port), self._make_handler()
         )
@@ -90,6 +95,7 @@ class StartsHttpServer:
         resource = self._resource
         base_url = lambda: self.base_url  # noqa: E731 - resolved per request
         registry_now = lambda: self._registry  # noqa: E731 - resolved per request
+        sink_now = lambda: self.trace_sink  # noqa: E731 - resolved per request
 
         class Handler(http.server.BaseHTTPRequestHandler):
             def log_message(self, *args) -> None:  # quiet test output
@@ -169,6 +175,31 @@ class StartsHttpServer:
                     return source.sample_results().to_soif().dump().encode("utf-8")
                 return None
 
+            def _serve_query(self, source: StartsSource, query: SQuery):
+                sink = sink_now()
+                handle = lambda: resource.search(  # noqa: E731
+                    source.source_id, query
+                )
+                if sink is None:
+                    return handle()
+                from repro.observability.tracing import TraceContext, Tracer
+
+                context = TraceContext.from_traceparent(
+                    self.headers.get("traceparent")
+                )
+                if context is None or not context.sampled:
+                    return handle()
+                tracer = Tracer(context=context)
+                span = tracer.open_span(f"serve:query:{source.source_id}")
+                try:
+                    return handle()
+                except Exception as error:
+                    span.annotate(error=repr(error))
+                    raise
+                finally:
+                    tracer.close_span(span)
+                    sink.add(tracer.trace())
+
             def do_POST(self) -> None:
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length)
@@ -183,7 +214,7 @@ class StartsHttpServer:
                 try:
                     if parts[1] == "query":
                         query = SQuery.from_soif(parse_soif(body))
-                        results = resource.search(source.source_id, query)
+                        results = self._serve_query(source, query)
                         self._send(200, results.to_soif_stream().encode("utf-8"))
                         return
                     if parts[1] == "scan":
@@ -223,9 +254,14 @@ class HttpTransport:
         method: str = "GET",
         body: bytes | None = None,
         deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[bytes, AccessRecord]:
         """One measured request; ``deadline_ms`` maps to the socket timeout."""
         request = urllib.request.Request(url, data=body, method=method)
+        from repro.transport.client import trace_headers
+
+        for name, value in {**(trace_headers() or {}), **(headers or {})}.items():
+            request.add_header(name, value)
         timeout = self._timeout
         if deadline_ms is not None:
             timeout = min(timeout, deadline_ms / 1000.0)

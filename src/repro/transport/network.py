@@ -33,6 +33,7 @@ import random
 import threading
 import time
 import zlib
+from contextvars import ContextVar
 from dataclasses import dataclass
 from urllib.parse import urlparse
 
@@ -43,7 +44,22 @@ __all__ = [
     "SimulatedInternet",
     "TransportError",
     "TransportTimeout",
+    "current_request_headers",
 ]
+
+
+#: The headers of the request currently being handled.  The simulated
+#: internet sets this around each handler invocation, so server-side
+#: code (published sources, broker leaves) reads its inbound headers —
+#: e.g. ``traceparent`` — without the handler signature changing.
+_REQUEST_HEADERS: ContextVar[dict[str, str] | None] = ContextVar(
+    "repro_request_headers", default=None
+)
+
+
+def current_request_headers() -> dict[str, str]:
+    """The inbound headers of the request being handled (may be empty)."""
+    return dict(_REQUEST_HEADERS.get() or {})
 
 
 class TransportError(Exception):
@@ -246,14 +262,16 @@ class SimulatedInternet:
 
     # -- traffic ------------------------------------------------------------
 
-    def fetch(self, url: str) -> bytes:
+    def fetch(self, url: str, headers: dict[str, str] | None = None) -> bytes:
         """GET a URL; raises :class:`TransportError` if unregistered."""
-        payload, _ = self.perform(url, "GET")
+        payload, _ = self.perform(url, "GET", headers=headers)
         return payload
 
-    def post(self, url: str, body: bytes) -> bytes:
+    def post(
+        self, url: str, body: bytes, headers: dict[str, str] | None = None
+    ) -> bytes:
         """POST a body to a URL; raises :class:`TransportError`."""
-        payload, _ = self.perform(url, "POST", body)
+        payload, _ = self.perform(url, "POST", body, headers=headers)
         return payload
 
     def perform(
@@ -262,6 +280,7 @@ class SimulatedInternet:
         method: str = "GET",
         body: bytes | None = None,
         deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[bytes, AccessRecord]:
         """One accounted request; returns ``(payload, record)``.
 
@@ -277,7 +296,7 @@ class SimulatedInternet:
             url, method, deadline_ms
         )
         self._sleep(latency)
-        return self._finish(handler, method, body, status, detail, record)
+        return self._finish(handler, method, body, status, detail, record, headers)
 
     async def perform_async(
         self,
@@ -285,6 +304,7 @@ class SimulatedInternet:
         method: str = "GET",
         body: bytes | None = None,
         deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[bytes, AccessRecord]:
         """:meth:`perform`, awaiting instead of blocking the thread.
 
@@ -300,7 +320,7 @@ class SimulatedInternet:
         )
         if self.realtime and latency > 0.0:
             await asyncio.sleep(latency * self.time_scale / 1000.0)
-        return self._finish(handler, method, body, status, detail, record)
+        return self._finish(handler, method, body, status, detail, record, headers)
 
     def _begin(
         self, url: str, method: str, deadline_ms: float | None
@@ -338,13 +358,20 @@ class SimulatedInternet:
         status: str,
         detail: str,
         record: AccessRecord,
+        headers: dict[str, str] | None = None,
     ) -> tuple[bytes, AccessRecord]:
         """The post-wait half: raise injected failures or run the handler."""
         if status == "timeout":
             raise TransportTimeout(f"{method} {record.url} timed out: {detail}", record)
         if status == "error":
             raise TransportError(f"{method} {record.url} failed: {detail}", record)
-        payload = handler(body) if method == "POST" else handler()
+        # The handler is the "server side": it sees exactly the headers
+        # the request carried, never the caller's ambient context.
+        token = _REQUEST_HEADERS.set(dict(headers) if headers else None)
+        try:
+            payload = handler(body) if method == "POST" else handler()
+        finally:
+            _REQUEST_HEADERS.reset(token)
         return payload, record
 
     def _sleep(self, latency_ms: float) -> None:

@@ -15,11 +15,17 @@ through resource-side duplicate elimination.
 
 from __future__ import annotations
 
+from repro.observability.tracing import TraceCollector, TraceContext, Tracer
 from repro.resource.resource import Resource
 from repro.source.source import StartsSource
 from repro.starts.query import SQuery
 from repro.starts.soif import parse_soif
-from repro.transport.network import FaultProfile, HostProfile, SimulatedInternet
+from repro.transport.network import (
+    FaultProfile,
+    HostProfile,
+    SimulatedInternet,
+    current_request_headers,
+)
 
 __all__ = [
     "publish_source",
@@ -29,12 +35,45 @@ __all__ = [
 ]
 
 
+def _traced(span_name: str, handler, sink: TraceCollector | None):
+    """Wrap a POST handler with server-side span recording.
+
+    When the inbound request carries a ``traceparent`` header and a
+    ``sink`` is configured, the handler runs under a fresh per-request
+    :class:`Tracer` continuing the wire context; the finished fragment
+    lands in the sink for cross-process stitching.  Untraced requests
+    (or ``sink=None``) run the bare handler — zero overhead.
+    """
+    if sink is None:
+        return handler
+
+    def wrapped(body: bytes) -> bytes:
+        context = TraceContext.from_traceparent(
+            current_request_headers().get("traceparent")
+        )
+        if context is None or not context.sampled:
+            return handler(body)
+        tracer = Tracer(context=context)
+        span = tracer.open_span(span_name)
+        try:
+            return handler(body)
+        except Exception as error:
+            span.annotate(error=repr(error))
+            raise
+        finally:
+            tracer.close_span(span)
+            sink.add(tracer.trace())
+
+    return wrapped
+
+
 def publish_source(
     internet: SimulatedInternet,
     source: StartsSource,
     profile: HostProfile | None = None,
     resource: Resource | None = None,
     faults: FaultProfile | None = None,
+    trace_sink: TraceCollector | None = None,
 ) -> str:
     """Register a source's endpoints; returns its query URL.
 
@@ -42,6 +81,9 @@ def publish_source(
     through the resource so the ``Sources`` attribute works.  An
     optional ``faults`` profile makes the source's host misbehave
     deterministically (see :class:`~repro.transport.FaultProfile`).
+    With ``trace_sink``, query requests carrying a ``traceparent``
+    header record a server-side span into the sink, stitched under the
+    caller's trace.
     """
     base = source.base_url
     host = base.split("//", 1)[-1].split("/", 1)[0]
@@ -55,7 +97,10 @@ def publish_source(
             results = source.search(query)
         return results.to_soif_stream().encode("utf-8")
 
-    internet.register_post(f"{base}/query", handle_query)
+    internet.register_post(
+        f"{base}/query",
+        _traced(f"serve:query:{source.source_id}", handle_query, trace_sink),
+    )
     internet.register_get(
         f"{base}/meta", lambda: source.metadata().to_soif().dump().encode("utf-8")
     )
@@ -119,6 +164,7 @@ def publish_broker_leaf(
     base_url: str,
     profile: HostProfile | None = None,
     faults: FaultProfile | None = None,
+    trace_sink: TraceCollector | None = None,
 ) -> str:
     """Publish a :class:`~repro.broker.LeafBroker` as network endpoints.
 
@@ -185,11 +231,18 @@ def publish_broker_leaf(
         leaf.fail_over()
         return json.dumps({"generation": leaf.index.generation}).encode("utf-8")
 
-    internet.register_post(f"{base_url}/probe", handle_probe)
-    internet.register_post(f"{base_url}/select", handle_select)
-    internet.register_post(f"{base_url}/rank", handle_rank)
-    internet.register_post(f"{base_url}/delta", handle_delta)
-    internet.register_post(f"{base_url}/failover", handle_failover)
+    leaf_id = getattr(leaf, "leaf_id", "leaf")
+    for endpoint, handler in (
+        ("probe", handle_probe),
+        ("select", handle_select),
+        ("rank", handle_rank),
+        ("delta", handle_delta),
+        ("failover", handle_failover),
+    ):
+        internet.register_post(
+            f"{base_url}/{endpoint}",
+            _traced(f"leaf:{leaf_id}:{endpoint}", handler, trace_sink),
+        )
     internet.register_get(
         f"{base_url}/stats",
         lambda: json.dumps(leaf.shard_stats()).encode("utf-8"),

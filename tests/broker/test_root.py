@@ -172,6 +172,67 @@ class TestAdmission:
     def test_admission_validated(self):
         with pytest.raises(ValueError):
             AdmissionPolicy(max_inflight=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(min_budget_remaining=1.5)
+
+    def _budget_root(self, registry, bad, admission):
+        from repro.observability import SloMonitor, SloObjective, SloPolicy
+
+        counter = registry.counter(
+            "metasearch_searches_total", labels=("result",)
+        )
+        for _ in range(100 - bad):
+            counter.labels(result="wire").inc()
+        for _ in range(bad):
+            counter.labels(result="error").inc()
+        monitor = SloMonitor(
+            policy=SloPolicy(
+                objectives=(
+                    SloObjective(
+                        name="search-availability",
+                        kind="availability",
+                        target=0.9,
+                        family="metasearch_searches_total",
+                        label="result",
+                        bad_values=("error", "shed"),
+                    ),
+                )
+            ),
+            registry=registry,
+        )
+        return populated(
+            2, demo_population(), admission=admission, slo_monitor=monitor
+        )
+
+    def test_burned_error_budget_sheds(self, registry):
+        admission = AdmissionPolicy(min_budget_remaining=0.2)
+        root = self._budget_root(registry, bad=10, admission=admission)  # spent
+        with pytest.raises(BrokerOverloadedError) as excinfo:
+            root.select(Cori(), ["databases"], 1)
+        assert excinfo.value.reason == "budget"
+        shed = registry.family("broker_shed_total")
+        assert dict(shed.children())[("budget",)].value == 1
+
+    def test_intact_budget_admits(self, registry):
+        admission = AdmissionPolicy(min_budget_remaining=0.2)
+        root = self._budget_root(registry, bad=0, admission=admission)
+        root.select(Cori(), ["databases"], 1)
+
+    def test_budget_floor_without_monitor_is_ignored(self, registry):
+        root = populated(
+            2,
+            demo_population(),
+            admission=AdmissionPolicy(min_budget_remaining=0.99),
+        )
+        root.select(Cori(), ["databases"], 1)
+
+    def test_budget_shed_releases_the_inflight_slot(self, registry):
+        admission = AdmissionPolicy(max_inflight=1, min_budget_remaining=0.2)
+        root = self._budget_root(registry, bad=10, admission=admission)
+        for _ in range(2):
+            with pytest.raises(BrokerOverloadedError) as excinfo:
+                root.select(Cori(), ["databases"], 1)
+            assert excinfo.value.reason == "budget"  # never "inflight"
 
 
 class TestFailover:

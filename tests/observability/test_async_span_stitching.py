@@ -1,0 +1,148 @@
+"""Stress: concurrent async rounds never tangle spans or leak them open.
+
+Several :class:`QueryDispatcher`\\ s — each with its own tracer and a
+disjoint slice of the federation — dispatch simultaneously over one
+shared simulated internet in realtime mode, so their event loops and
+worker threads genuinely interleave.  Afterward every tracer must hold
+a clean, fully-closed span forest that references only its own sources:
+a span filed under the wrong tracer, the wrong parent, or left open
+would betray ambient-context leakage across tasks or threads.
+
+Property-based via ``hypothesis`` where available; the module skips
+cleanly otherwise.
+"""
+
+import threading
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.experiments import FederationSpec, build_federation  # noqa: E402
+from repro.federation import (  # noqa: E402
+    AsyncExecutor,
+    QueryDispatcher,
+    QueryPolicy,
+    SourceRequest,
+)
+from repro.observability import Tracer  # noqa: E402
+from repro.starts import SQuery, parse_expression  # noqa: E402
+from repro.transport import StartsClient  # noqa: E402
+
+
+def _query() -> SQuery:
+    return SQuery(
+        ranking_expression=parse_expression('list((body-of-text "database"))')
+    )
+
+
+def _federation(n_sources, seed):
+    fed = build_federation(
+        FederationSpec(
+            n_sources=n_sources,
+            docs_per_source=2,
+            seed=seed,
+            slow_source_index=None,
+            charging_source_index=None,
+        )
+    )
+    fed.internet.realtime = True
+    fed.internet.time_scale = 0.05
+    return fed
+
+
+def _requests(fed, source_ids):
+    return [
+        SourceRequest(sid, f"{fed.sources[sid].base_url}/query", _query())
+        for sid in source_ids
+    ]
+
+
+def _run_concurrent_rounds(n_dispatchers, sources_per_dispatcher, seed):
+    fed = _federation(n_dispatchers * sources_per_dispatcher, seed)
+    source_ids = fed.source_ids()
+    slices = [
+        source_ids[index::n_dispatchers] for index in range(n_dispatchers)
+    ]
+    dispatchers = [
+        QueryDispatcher(
+            StartsClient(fed.internet),
+            executor=AsyncExecutor(max_concurrency=8),
+            policy=QueryPolicy(timeout_ms=500.0),
+            tracer=Tracer(),
+        )
+        for _ in range(n_dispatchers)
+    ]
+    errors = []
+
+    def round_for(dispatcher, owned):
+        requests = _requests(fed, owned)
+        try:
+            outcomes = dispatcher.dispatch(requests)
+            assert all(outcome.ok for outcome in outcomes)
+        except BaseException as error:  # surfaced on the main thread
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=round_for, args=(dispatcher, owned))
+        for dispatcher, owned in zip(dispatchers, slices)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return fed, dispatchers, slices
+
+
+def _check_span_hygiene(dispatcher, owned):
+    trace = dispatcher.tracer.trace()
+    spans = list(trace.walk())
+    # 1. Nothing leaks open once the round returns.
+    assert all(not span.is_open for span in spans)
+    # 2. Exactly one root span per owned source, and none for anyone
+    #    else's sources — ambient context never crossed dispatchers.
+    roots = trace.spans
+    assert sorted(span.name for span in roots) == sorted(
+        f"query:{sid}" for sid in owned
+    )
+    # 3. Parentage never interleaves: a query span's children (attempt
+    #    events, backoffs) were filed under exactly that span.
+    for root in roots:
+        for child in root.children:
+            assert child.name.startswith(("attempt:", "backoff"))
+    # 4. Stable span ids stay unique within the tracer.
+    ids = [span.span_id for span in spans]
+    assert len(set(ids)) == len(ids)
+
+
+class TestConcurrentRounds:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        n_dispatchers=st.integers(min_value=2, max_value=4),
+        sources_per_dispatcher=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_span_forests_stay_disjoint_and_closed(
+        self, n_dispatchers, sources_per_dispatcher, seed
+    ):
+        _, dispatchers, slices = _run_concurrent_rounds(
+            n_dispatchers, sources_per_dispatcher, seed
+        )
+        for dispatcher, owned in zip(dispatchers, slices):
+            _check_span_hygiene(dispatcher, owned)
+
+    def test_trace_ids_differ_across_dispatchers(self):
+        _, dispatchers, _ = _run_concurrent_rounds(3, 3, seed=7)
+        trace_ids = {dispatcher.tracer.trace_id for dispatcher in dispatchers}
+        assert len(trace_ids) == 3
+
+    def test_repeated_rounds_on_one_tracer_accumulate_cleanly(self):
+        fed, dispatchers, slices = _run_concurrent_rounds(2, 3, seed=11)
+        dispatcher, owned = dispatchers[0], slices[0]
+        first_round = len(dispatcher.tracer.trace().spans)
+        dispatcher.dispatch(_requests(fed, owned))
+        trace = dispatcher.tracer.trace()
+        assert len(trace.spans) == 2 * first_round
+        assert all(not span.is_open for span in trace.walk())

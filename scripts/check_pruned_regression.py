@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fail CI when dynamic pruning stops paying for itself.
+
+Reads ``benchmarks/results/BENCH_engine_qps.json`` (written by
+``benchmarks/test_bench_engine_qps.py``) and exits non-zero if the
+pruned evaluator's QPS on the truncated workload fell below the
+exhaustive term-at-a-time baseline, or if it stopped skipping postings
+altogether.  Either symptom means the MaxScore driver has regressed
+into pure overhead — rank safety makes that silent, so the guard has
+to be explicit.
+
+Usage::
+
+    python scripts/check_pruned_regression.py [path/to/BENCH_engine_qps.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+DEFAULT_RESULTS = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "results"
+    / "BENCH_engine_qps.json"
+)
+
+
+def check(payload: dict) -> list[str]:
+    """Return a list of regression messages (empty means healthy)."""
+    failures: list[str] = []
+    workload = payload.get("pruned_workload")
+    if not isinstance(workload, dict):
+        return ["results file has no 'pruned_workload' section; "
+                "re-run benchmarks/test_bench_engine_qps.py"]
+    pruned_qps = workload.get("pruned_qps", 0.0)
+    baseline_qps = workload.get("term_at_a_time_qps", 0.0)
+    skipped = workload.get("postings_skipped", 0)
+    if baseline_qps <= 0:
+        failures.append(f"term-at-a-time baseline QPS is {baseline_qps}")
+    if pruned_qps < baseline_qps:
+        failures.append(
+            f"pruned QPS regressed below exhaustive: "
+            f"{pruned_qps} < {baseline_qps} "
+            f"(speedup {payload.get('pruned_qps_speedup', '?')}x)"
+        )
+    if skipped <= 0:
+        failures.append(
+            "pruned evaluator skipped zero postings — the MaxScore "
+            "driver is walking everything"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    if not path.exists():
+        print(f"check_pruned_regression: missing results file {path}")
+        return 1
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    failures = check(payload)
+    if failures:
+        print("check_pruned_regression: FAIL")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    workload = payload["pruned_workload"]
+    print(
+        "check_pruned_regression: OK "
+        f"(pruned {workload['pruned_qps']} qps vs "
+        f"exhaustive {workload['term_at_a_time_qps']} qps, "
+        f"{workload['postings_skipped']} postings skipped)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -27,10 +27,13 @@ from repro.engine.fields import (
 from repro.engine.evaluation import (
     DOCUMENT_AT_A_TIME,
     EVALUATION_MODES,
+    PRUNED,
     TERM_AT_A_TIME,
     QueryTermContext,
+    hit_order_key,
 )
 from repro.engine.index import InvertedIndex, Posting
+from repro.engine.pruning import PrunedContext, supports_pruning
 from repro.engine.persistence import (
     PersistenceError,
     load_engine,
@@ -72,8 +75,12 @@ __all__ = [
     "TEXT_FIELDS",
     "DOCUMENT_AT_A_TIME",
     "EVALUATION_MODES",
+    "PRUNED",
     "TERM_AT_A_TIME",
     "QueryTermContext",
+    "hit_order_key",
+    "PrunedContext",
+    "supports_pruning",
     "InvertedIndex",
     "Posting",
     "PersistenceError",

@@ -84,6 +84,11 @@ class DocumentStore:
         # the per-term-weight hot path — is O(1).  Token counts are
         # integers, so the running sum is exact.
         self._token_total = 0
+        # Memoized min_token_count(); invalidated on every count write
+        # rather than maintained incrementally, because the engine adds
+        # documents with a provisional count of 0 and patches it after
+        # analysis — an incremental minimum would lock onto that 0.
+        self._min_token_memo: int | None = None
 
     def add(self, document: Document, token_count: int = 0) -> int:
         """Store ``document`` and return its id.
@@ -96,6 +101,7 @@ class DocumentStore:
         self._documents.append(document)
         self._token_counts.append(token_count)
         self._token_total += token_count
+        self._min_token_memo = None
         # First linkage wins; duplicates within one source are unusual
         # but the resource layer relies on linkage lookups being stable.
         self._by_linkage.setdefault(document.linkage, doc_id)
@@ -104,6 +110,7 @@ class DocumentStore:
     def set_token_count(self, doc_id: int, token_count: int) -> None:
         self._token_total += token_count - self._token_counts[doc_id]
         self._token_counts[doc_id] = token_count
+        self._min_token_memo = None
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -133,3 +140,14 @@ class DocumentStore:
         if not self._token_counts:
             return 0.0
         return self._token_total / len(self._token_counts)
+
+    def min_token_count(self) -> int:
+        """Smallest document length (0 for an empty store).
+
+        Length-normalizing weights grow as documents shrink, so the
+        collection-wide minimum is the doc-length input that makes
+        ``weight_upper_bound`` a true upper bound over every document.
+        """
+        if self._min_token_memo is None:
+            self._min_token_memo = min(self._token_counts, default=0)
+        return self._min_token_memo

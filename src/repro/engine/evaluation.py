@@ -54,11 +54,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with search.py
 __all__ = [
     "TERM_AT_A_TIME",
     "DOCUMENT_AT_A_TIME",
+    "PRUNED",
     "EVALUATION_MODES",
     "TermHitStats",
     "EngineHit",
     "TermPostings",
     "QueryTermContext",
+    "hit_order_key",
     "top_k_hits",
 ]
 
@@ -66,7 +68,12 @@ __all__ = [
 TERM_AT_A_TIME = "term_at_a_time"
 #: The original strategy, kept as a bit-exact reference oracle.
 DOCUMENT_AT_A_TIME = "document_at_a_time"
-EVALUATION_MODES = (TERM_AT_A_TIME, DOCUMENT_AT_A_TIME)
+#: Rank-safe MaxScore/block-max pruning for score-sorted top-k queries;
+#: query shapes it cannot prune fall back to the exhaustive path, so
+#: results are always bit-identical to the oracles (see
+#: :mod:`repro.engine.pruning`).
+PRUNED = "pruned"
+EVALUATION_MODES = (TERM_AT_A_TIME, DOCUMENT_AT_A_TIME, PRUNED)
 
 
 @dataclass(frozen=True, slots=True)
@@ -288,28 +295,52 @@ class QueryTermContext:
 
     # -- results ----------------------------------------------------------
 
-    def scores(self) -> dict[int, float]:
+    def scores(self, min_score: float = 0.0) -> dict[int, float]:
         """doc → finalized score, exactly as ``evaluate_ranking`` returns.
 
         With candidates, every candidate gets an entry (zero-score
         documents included); without, only positive-scoring documents
         appear, drawn from the union of the terms' posting supports.
+
+        ``min_score`` (the answer specification's ``MinDocumentScore``)
+        is applied **during** accumulation when the ranking algorithm's
+        ``finalize`` is the identity — the filter commutes with
+        finalize, so sub-threshold documents never take accumulator
+        entries.  Algorithms with a real finalize pass (the top-doc
+        rescaler) ignore it here; the caller filters post-hoc.
         """
         if self._root_scores is None:
             self._root_scores = self._node_scores(self._query)
             self._root_zero = self._zero_value(self._query)
         root, zero = self._root_scores, self._root_zero
+        floor = (
+            min_score
+            if min_score > 0.0 and self._ranking.finalize_is_identity
+            else None
+        )
         if self._candidates is not None:
-            raw = {doc_id: root.get(doc_id, zero) for doc_id in self._candidates}
+            if floor is None:
+                raw = {doc_id: root.get(doc_id, zero) for doc_id in self._candidates}
+            else:
+                raw = {}
+                for doc_id in self._candidates:
+                    value = root.get(doc_id, zero)
+                    if value >= floor:
+                        raw[doc_id] = value
         else:
             raw = {}
             for doc_id in self._support(
                 stats.doc_tf for stats in self._by_term.values()
             ):
                 value = root.get(doc_id, zero)
-                if value > 0.0:
+                if value > 0.0 and (floor is None or value >= floor):
                     raw[doc_id] = value
         return self._ranking.finalize(raw)
+
+    @property
+    def applied_min_score(self) -> bool:
+        """Whether :meth:`scores` honours a ``min_score`` floor itself."""
+        return self._ranking.finalize_is_identity
 
     def hit_term_stats(self, doc_id: int) -> list[TermHitStats]:
         """STARTS ``TermStats`` for one hit, straight from the context."""
@@ -326,15 +357,29 @@ class QueryTermContext:
         return stats
 
 
+def hit_order_key(item: tuple[int, float]) -> tuple[float, int]:
+    """The canonical hit order: descending score, then ascending doc id.
+
+    This key is the engine's tie contract.  Everything that orders or
+    truncates hits — :func:`top_k_hits`, the pruned evaluator's
+    candidate selection — must sort by exactly this key, so that
+    duplicate scores straddling the kth position resolve identically on
+    every evaluation path and backend.
+    """
+    return (-item[1], item[0])
+
+
 def top_k_hits(
     scores: dict[int, float], top_k: int | None
 ) -> list[tuple[int, float]]:
-    """(doc_id, score) pairs ordered by descending score then doc id.
+    """(doc_id, score) pairs in :func:`hit_order_key` order.
 
     With ``top_k`` below the result size, a heap selects the top k in
     O(n log k) without sorting — or materializing — the full result.
+    ``heapq.nsmallest`` breaks key ties by input position, but the key
+    is injective here (doc ids are unique), so the selected prefix is
+    identical to ``sorted(...)[:top_k]``.
     """
-    key = lambda item: (-item[1], item[0])  # noqa: E731
     if top_k is not None and top_k < len(scores):
-        return heapq.nsmallest(top_k, scores.items(), key=key)
-    return sorted(scores.items(), key=key)
+        return heapq.nsmallest(top_k, scores.items(), key=hit_order_key)
+    return sorted(scores.items(), key=hit_order_key)

@@ -85,6 +85,11 @@ class InvertedIndex:
     def __init__(self) -> None:
         # field -> term -> list[Posting], postings in doc-id order.
         self._postings: dict[str, dict[str, list[Posting]]] = defaultdict(dict)
+        # field -> term -> max per-document term frequency; maintained
+        # incrementally (exact under the append-only contract — removal
+        # rebuilds the index) and the source of per-term score upper
+        # bounds for the pruned evaluator.
+        self._max_tf: dict[str, dict[str, int]] = defaultdict(dict)
         # (field, language) -> surface word -> SummaryEntry.
         self._summary: dict[tuple[str, str], dict[str, SummaryEntry]] = defaultdict(dict)
         # (field, language, word) -> doc id of last df increment.
@@ -127,10 +132,13 @@ class InvertedIndex:
             by_term[term].append(position)
             self._record_summary(doc_id, field, language, surface)
         field_postings = self._postings[field]
+        field_max_tf = self._max_tf[field]
         for term, positions in by_term.items():
             field_postings.setdefault(term, []).append(
                 Posting(doc_id, tuple(sorted(positions)))
             )
+            if len(positions) > field_max_tf.get(term, 0):
+                field_max_tf[term] = len(positions)
         self._sorted_vocab_dirty.add(field)
         self._reversed_vocab_dirty.add(field)
         self._soundex_dirty.add(field)
@@ -168,6 +176,16 @@ class InvertedIndex:
 
     def collection_frequency(self, field: str, term: str) -> int:
         return sum(p.term_frequency for p in self.postings(field, term))
+
+    def max_term_frequency(self, field: str, term: str) -> int:
+        """Largest per-document tf of ``term`` (0 if absent).
+
+        An upper bound on the tf of every posting, which makes it the
+        tf input to :meth:`~repro.engine.ranking.RankingAlgorithm.
+        weight_upper_bound` for the pruned evaluator's per-term score
+        caps.
+        """
+        return self._max_tf.get(field, {}).get(term, 0)
 
     def vocabulary(self, field: str) -> list[str]:
         """Sorted index vocabulary of a field."""
@@ -266,8 +284,12 @@ class InvertedIndex:
             raise ValueError("restore() needs an empty index")
         for field, terms in snapshot.postings.items():
             field_postings = self._postings[field]
+            field_max_tf = self._max_tf[field]
             for term, plist in terms.items():
                 field_postings[term] = list(plist)
+                field_max_tf[term] = max(
+                    (posting.term_frequency for posting in plist), default=0
+                )
             self._sorted_vocab_dirty.add(field)
             self._reversed_vocab_dirty.add(field)
             self._soundex_dirty.add(field)

@@ -43,6 +43,21 @@ class RankingAlgorithm:
     algorithm_id: str = "base"
     score_range: tuple[float, float] = (0.0, 1.0)
 
+    #: Whether the pruned (MaxScore) evaluator may drive this algorithm.
+    #: The contract behind ``True``: ``term_weight`` is non-negative and
+    #: monotone (non-decreasing in tf, non-increasing in df and doc_len),
+    #: ``combine`` is monotone non-decreasing in the weighted sum of its
+    #: contributions (with ``raw_score_threshold``/``score_from_raw``
+    #: describing that monotone map), and ``finalize`` is the identity.
+    #: Algorithms that break any leg of the contract must set this False
+    #: and are evaluated exhaustively.
+    prunable: bool = True
+
+    #: Whether ``finalize`` returns its input unchanged.  When True,
+    #: ``MinDocumentScore`` filtering commutes with ``finalize`` and can
+    #: be applied during accumulation instead of post-hoc.
+    finalize_is_identity: bool = True
+
     def term_weight(
         self, tf: int, df: int, n_docs: int, doc_len: int, avg_doc_len: float
     ) -> float:
@@ -65,6 +80,50 @@ class RankingAlgorithm:
     def finalize(self, scores: dict[int, float]) -> dict[int, float]:
         """Post-process the full result's scores (e.g. rescaling)."""
         return scores
+
+    # -- dynamic-pruning contract (see ``prunable``) -----------------------
+
+    def weight_upper_bound(
+        self, max_tf: int, df: int, n_docs: int, min_doc_len: int, avg_doc_len: float
+    ) -> float:
+        """Upper bound on ``term_weight`` over a group of documents.
+
+        ``max_tf`` is the largest term frequency and ``min_doc_len`` the
+        smallest token count among the covered documents; under the
+        monotonicity contract, evaluating the weight at those extremes
+        bounds every real weight in the group from above.  Algorithms
+        whose weight is not monotone this way must override (or set
+        ``prunable`` False).
+        """
+        if max_tf <= 0:
+            return 0.0
+        return self.term_weight(max_tf, df, n_docs, min_doc_len, avg_doc_len)
+
+    def raw_score_threshold(
+        self, threshold: float, query_weights: Sequence[float]
+    ) -> float:
+        """Raw-sum cut equivalent to a combined-score cut.
+
+        Returns a value ``cut`` such that any contribution sum strictly
+        below ``cut`` combines to a score strictly below ``threshold`` —
+        the inverse of the monotone map ``combine`` applies to the
+        weighted sum, evaluated conservatively (shaded down) so float
+        noise can never prune a document that ties the threshold.
+        ``query_weights`` are the query-term weights of every child of
+        the ``list(...)`` node, in order, because some combiners (the
+        INQUERY weighted mean) normalize by them.
+        """
+        return threshold
+
+    def score_from_raw(self, raw: float, query_weights: Sequence[float]) -> float:
+        """The combined score a contribution sum of ``raw`` maps to.
+
+        The forward direction of the same monotone map: used to turn a
+        lower bound on the kth-best raw sum into a combined-score
+        pruning threshold.  Must evaluate the same float expression
+        ``combine`` applies to its summed contributions.
+        """
+        return raw
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(id={self.algorithm_id!r})"
@@ -94,6 +153,19 @@ class CosineTfIdf(RankingAlgorithm):
 
     def combine(self, contributions: Sequence[tuple[float, float]]) -> float:
         raw = sum(q * t for q, t in contributions)
+        return raw / (1.0 + raw)
+
+    def raw_score_threshold(
+        self, threshold: float, query_weights: Sequence[float]
+    ) -> float:
+        # x / (1 + x) < t  ⟺  x < t / (1 - t); scores never reach 1.0,
+        # so a threshold at or past 1.0 excludes everything.  The shade
+        # keeps the float inverse on the safe (smaller) side.
+        if threshold >= 1.0:
+            return math.inf
+        return (threshold / (1.0 - threshold)) * (1.0 - 1e-9)
+
+    def score_from_raw(self, raw: float, query_weights: Sequence[float]) -> float:
         return raw / (1.0 + raw)
 
 
@@ -155,6 +227,23 @@ class InqueryScorer(RankingAlgorithm):
             return 0.0
         return sum(q * t for q, t in contributions) / total_weight
 
+    def raw_score_threshold(
+        self, threshold: float, query_weights: Sequence[float]
+    ) -> float:
+        # The weighted mean divides by the same float sum ``combine``
+        # computes; a zero total means every score is 0.0, so any
+        # positive threshold excludes everything.
+        total_weight = sum(query_weights)
+        if total_weight <= 0:
+            return math.inf
+        return (threshold * total_weight) * (1.0 - 1e-9)
+
+    def score_from_raw(self, raw: float, query_weights: Sequence[float]) -> float:
+        total_weight = sum(query_weights)
+        if total_weight <= 0:
+            return 0.0
+        return raw / total_weight
+
 
 class ScaledCosine(CosineTfIdf):
     """Cosine scoring rescaled so the top document always scores 1,000.
@@ -168,6 +257,13 @@ class ScaledCosine(CosineTfIdf):
 
     algorithm_id = "Zeus-1000"
     score_range = (0.0, 1000.0)
+
+    # The rescale couples every score to the query-wide maximum, so
+    # neither top-k pruning nor accumulation-time MinDocumentScore
+    # filtering is rank-safe here: this algorithm always runs the
+    # exhaustive path with post-hoc filtering.
+    prunable = False
+    finalize_is_identity = False
 
     def finalize(self, scores: dict[int, float]) -> dict[int, float]:
         if not scores:

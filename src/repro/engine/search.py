@@ -22,6 +22,7 @@ from repro.engine.documents import Document, DocumentStore
 from repro.engine.evaluation import (
     DOCUMENT_AT_A_TIME,
     EVALUATION_MODES,
+    PRUNED,
     TERM_AT_A_TIME,
     EngineHit,
     QueryTermContext,
@@ -30,6 +31,7 @@ from repro.engine.evaluation import (
 )
 from repro.engine.index import InvertedIndex
 from repro.engine.matching import TermMatcher
+from repro.engine.pruning import PrunedContext, supports_pruning
 from repro.engine.query import (
     AND,
     AND_NOT,
@@ -70,9 +72,13 @@ class SearchEngine:
         thesaurus: synonym source for the ``thesaurus`` modifier.
         evaluation: ranking evaluation strategy — ``"term_at_a_time"``
             (the default: one pass per posting list, statistics reused
-            across scoring and TermStats) or ``"document_at_a_time"``
+            across scoring and TermStats), ``"document_at_a_time"``
             (the original per-candidate recursion, kept as a bit-exact
-            reference oracle).
+            reference oracle), or ``"pruned"`` (rank-safe MaxScore /
+            block-max top-k evaluation: bit-identical hits, but
+            postings that provably cannot reach the kth score are
+            never visited; query shapes the pruned driver cannot bound
+            fall back to term-at-a-time transparently).
         storage: ``"memory"`` (the default, and the bit-exactness
             oracle) keeps everything in dicts; ``"segments"`` backs
             the engine with an on-disk :class:`SegmentStore` —
@@ -570,8 +576,10 @@ class SearchEngine:
                 ``top_k``, which commutes with it.
         """
         started = time.perf_counter()
-        hits, walked, truncated = self._search_timed(
-            filter_query, ranking_query, top_k=top_k, min_score=min_score
+        hits, walked, truncated, skipped, blocks_skipped, threshold = (
+            self._search_timed(
+                filter_query, ranking_query, top_k=top_k, min_score=min_score
+            )
         )
         registry = get_registry()
         registry.histogram(
@@ -583,7 +591,25 @@ class SearchEngine:
                 "engine_postings_walked_total",
                 "Postings visited materializing ranking statistics.",
             ).inc(walked)
+        if skipped:
+            registry.counter(
+                "engine_postings_skipped_total",
+                "Postings the pruned evaluator never visited.",
+            ).inc(skipped)
+        if blocks_skipped:
+            registry.counter(
+                "engine_blocks_skipped_total",
+                "Candidate probes resolved by the block-max column alone.",
+            ).inc(blocks_skipped)
+        if threshold is not None:
+            registry.gauge(
+                "engine_prune_threshold",
+                "Final score threshold the last pruned search converged to.",
+            ).set(threshold)
         if truncated:
+            # On the pruned path this is a conservative signal (a pruned
+            # document might not have qualified), but any pruning means
+            # the top-k bound did shape the evaluation.
             registry.counter(
                 "engine_topk_truncations_total",
                 "Searches whose hit list was cut by the top-k bound.",
@@ -597,27 +623,54 @@ class SearchEngine:
         *,
         top_k: int | None,
         min_score: float,
-    ) -> tuple[list[EngineHit], int, bool]:
-        """``search`` proper; returns (hits, postings walked, truncated)."""
+    ) -> tuple[list[EngineHit], int, bool, int, int, float | None]:
+        """``search`` proper.
+
+        Returns ``(hits, postings walked, truncated, postings skipped,
+        blocks skipped, prune threshold)`` — the last three are only
+        non-trivial when the pruned driver ran (threshold is None
+        otherwise).
+        """
         if filter_query is None and ranking_query is None:
-            return [], 0, False
+            return [], 0, False, 0, 0, None
 
         candidates: set[int] | None = None
         if filter_query is not None:
             candidates = self.evaluate_filter(filter_query)
             if not candidates:
-                return [], 0, False
+                return [], 0, False, 0, 0, None
 
         if ranking_query is None or self.ranking is None:
             if candidates is None:
                 # A Boolean-only engine given only a ranking expression
                 # has nothing it can evaluate.
-                return [], 0, False
+                return [], 0, False, 0, 0, None
             hits = [EngineHit(doc_id, 0.0) for doc_id in sorted(candidates)]
             if ranking_query is not None and min_score > 0.0:
                 hits = [hit for hit in hits if hit.score >= min_score]
             truncated = top_k is not None and len(hits) > top_k
-            return (hits if top_k is None else hits[:top_k]), 0, truncated
+            return (hits if top_k is None else hits[:top_k]), 0, truncated, 0, 0, None
+
+        if (
+            self.evaluation == PRUNED
+            and candidates is None
+            and supports_pruning(self.ranking, ranking_query, top_k, min_score)
+        ):
+            pruned = PrunedContext(
+                self, ranking_query, top_k=top_k, min_score=min_score
+            )
+            hits = [
+                EngineHit(doc_id, score, pruned.hit_term_stats(doc_id))
+                for doc_id, score in pruned.hits()
+            ]
+            return (
+                hits,
+                pruned.postings_walked,
+                pruned.truncated,
+                pruned.postings_skipped,
+                pruned.blocks_skipped,
+                pruned.threshold,
+            )
 
         context: QueryTermContext | None = None
         if self.evaluation == DOCUMENT_AT_A_TIME:
@@ -625,10 +678,13 @@ class SearchEngine:
                 ranking_query, candidates
             )
         else:
+            # ``evaluation="pruned"`` lands here too for shapes the
+            # pruned driver cannot evaluate rank-safely (filters,
+            # non-flat queries, unprunable algorithms, no bound).
             context = QueryTermContext(self, ranking_query, candidates)
-            scores = context.scores()
+            scores = context.scores(min_score=min_score)
 
-        if min_score > 0.0:
+        if min_score > 0.0 and (context is None or not context.applied_min_score):
             scores = {
                 doc_id: score
                 for doc_id, score in scores.items()
@@ -647,7 +703,7 @@ class SearchEngine:
                 EngineHit(doc_id, score, self._hit_term_stats(ranking_query, doc_id))
                 for doc_id, score in selected
             ]
-        return hits, walked, truncated
+        return hits, walked, truncated, 0, 0, None
 
     def _hit_term_stats(self, ranking_query: EngineQuery, doc_id: int) -> list[TermHitStats]:
         stats: list[TermHitStats] = []

@@ -24,6 +24,8 @@ from repro.engine.index import Posting
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "POSTINGS_BLOCK_SIZE",
     "StorageError",
     "encode_varint",
     "decode_varint",
@@ -32,10 +34,22 @@ __all__ = [
     "encode_posting_list",
     "decode_posting_list",
     "count_posting_list",
+    "scan_posting_block",
 ]
 
-#: Version stamped into every segment header and manifest.
-FORMAT_VERSION = 1
+#: Version stamped into every segment header and manifest.  Version 2
+#: added the ``blockmax.bin`` sidecar column; ``postings.bin`` itself is
+#: byte-identical across both versions.
+FORMAT_VERSION = 2
+
+#: Versions a reader accepts: version-1 directories (no block-max
+#: column) still open, they just cannot skip postings blocks.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Documents per posting block in the block-max column.  Small enough
+#: that skipping a block saves real decode work, large enough that the
+#: sidecar stays a sliver of the postings file.
+POSTINGS_BLOCK_SIZE = 128
 
 
 class StorageError(Exception):
@@ -99,12 +113,29 @@ def decode_string(buf, pos: int) -> tuple[str, int]:
 # absolute); positions are weakly increasing so their deltas are >= 0.
 
 
-def encode_posting_list(out: bytearray, postings: list[Posting]) -> None:
-    """Append one term's postings (doc-id ascending) to ``out``."""
+def encode_posting_list(
+    out: bytearray, postings: list[Posting], blocks: list | None = None
+) -> None:
+    """Append one term's postings (doc-id ascending) to ``out``.
+
+    When ``blocks`` is a list, one ``(last_doc_id, start_offset,
+    n_docs)`` triple is appended per :data:`POSTINGS_BLOCK_SIZE`-doc
+    block, with ``start_offset`` relative to the list's first byte in
+    ``out`` (the ``n_docs`` varint).  The encoded bytes are identical
+    with or without block collection — blocks are a pure overlay, which
+    is what keeps ``postings.bin`` byte-compatible with version 1.
+    """
+    base = len(out)
     encode_varint(out, len(postings))
     previous_doc = 0
     first = True
-    for posting in postings:
+    block_start = len(out) - base
+    block_first_slot = 0
+    for slot, posting in enumerate(postings):
+        if blocks is not None and slot and slot % POSTINGS_BLOCK_SIZE == 0:
+            blocks.append((previous_doc, block_start, slot - block_first_slot))
+            block_start = len(out) - base
+            block_first_slot = slot
         doc_id = posting.doc_id
         encode_varint(out, doc_id if first else doc_id - previous_doc)
         first = False
@@ -115,6 +146,10 @@ def encode_posting_list(out: bytearray, postings: list[Posting]) -> None:
         for position in positions:
             encode_varint(out, position - previous_pos)
             previous_pos = position
+    if blocks is not None and postings:
+        blocks.append(
+            (previous_doc, block_start, len(postings) - block_first_slot)
+        )
 
 
 def decode_posting_list(buf, pos: int, live=None) -> list[Posting]:
@@ -142,6 +177,37 @@ def decode_posting_list(buf, pos: int, live=None) -> list[Posting]:
         if live is None or live(doc_id):
             postings.append(Posting(doc_id, tuple(positions)))
     return postings
+
+
+def scan_posting_block(
+    buf, pos: int, n_docs: int, previous_doc: int
+) -> tuple[list[int], list[int]]:
+    """(doc ids, term frequencies) of one block, skipping positions.
+
+    Args:
+        buf: the postings buffer.
+        pos: absolute offset of the block's first doc delta (a term
+            offset plus a block's relative ``start_offset``).
+        n_docs: documents in the block (from the block-max column).
+        previous_doc: last doc id of the preceding block (0 for the
+            first block — the encoding makes the first doc id of a list
+            a delta from 0).
+
+    Positions are varint-skipped, not materialized: a probe needs only
+    (doc id, tf), and that is the saving block-level access exists for.
+    """
+    doc_ids: list[int] = []
+    tfs: list[int] = []
+    doc_id = previous_doc
+    for _ in range(n_docs):
+        delta, pos = decode_varint(buf, pos)
+        doc_id += delta
+        n_positions, pos = decode_varint(buf, pos)
+        for _ in range(n_positions):
+            _, pos = decode_varint(buf, pos)
+        doc_ids.append(doc_id)
+        tfs.append(n_positions)
+    return doc_ids, tfs
 
 
 def count_posting_list(buf, pos: int, live=None) -> int:

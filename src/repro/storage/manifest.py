@@ -25,7 +25,7 @@ import os
 import pathlib
 from dataclasses import dataclass, field as dataclass_field
 
-from repro.storage.format import FORMAT_VERSION, StorageError
+from repro.storage.format import FORMAT_VERSION, SUPPORTED_VERSIONS, StorageError
 
 __all__ = ["SegmentMeta", "Manifest", "MANIFEST_NAME", "read_manifest",
            "commit_manifest", "atomic_write_bytes", "atomic_write_text"]
@@ -129,7 +129,7 @@ class Manifest:
     @classmethod
     def from_json(cls, payload: dict) -> "Manifest":
         version = payload.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise StorageError(f"unsupported storage format version: {version}")
         return cls(
             generation=payload["generation"],

@@ -6,6 +6,8 @@ documents:
 ==================  ======================================================
 ``postings.bin``    delta-encoded posting blocks, one per (field, term)
 ``lexicon.bin``     per field: sorted terms with block offsets
+``blockmax.bin``    per term: per-block (last doc id, offset, doc count,
+                    max tf, min doc length) for block-skipping (v2+)
 ``summary.bin``     (field, language) → word → (postings, df) columns
 ``docs.bin``        stored documents (linkage, language, fields)
 ``linkages.bin``    the linkage column alone (fast by-linkage warming)
@@ -35,17 +37,21 @@ from repro.engine.documents import Document
 from repro.engine.index import Posting, SummaryEntry
 from repro.storage.format import (
     FORMAT_VERSION,
+    POSTINGS_BLOCK_SIZE,
+    SUPPORTED_VERSIONS,
     StorageError,
+    count_posting_list,
     decode_posting_list,
     decode_string,
     decode_varint,
     encode_posting_list,
     encode_string,
     encode_varint,
+    scan_posting_block,
 )
 from repro.storage.manifest import SegmentMeta, atomic_write_text
 
-__all__ = ["SegmentWriter", "SegmentReader"]
+__all__ = ["SegmentWriter", "SegmentReader", "TermBlocks", "TermHandle"]
 
 _FILES = (
     "postings.bin",
@@ -57,6 +63,9 @@ _FILES = (
     "ids.bin",
     "counts.bin",
 )
+
+#: Files added by format version 2; their absence marks an old segment.
+_V2_FILES = ("blockmax.bin",)
 
 
 class SegmentWriter:
@@ -112,17 +121,52 @@ class SegmentWriter:
                 encode_string(docs_blob, value)
             encode_string(linkages_blob, document.linkage)
 
+        # The block-max column rides along with the postings encode:
+        # per term, per POSTINGS_BLOCK_SIZE-doc block, the block's last
+        # doc id, byte offset (relative to the term's posting list),
+        # document count, max term frequency and min document length —
+        # everything a reader needs to bound a block's best possible
+        # score and to decode just that block.  All five sequences are
+        # encoded as varints (ids and offsets delta'd, both ascending).
+        count_of = dict(zip(ids, counts))
         postings_blob = bytearray()
         lexicon_blob = bytearray()
+        blockmax_blob = bytearray()
         encode_varint(lexicon_blob, len(postings))
+        encode_varint(blockmax_blob, len(postings))
         for field_name in sorted(postings):
             terms = postings[field_name]
             encode_string(lexicon_blob, field_name)
             encode_varint(lexicon_blob, len(terms))
+            encode_string(blockmax_blob, field_name)
+            encode_varint(blockmax_blob, len(terms))
             for term in sorted(terms):
+                plist = terms[term]
                 encode_string(lexicon_blob, term)
                 encode_varint(lexicon_blob, len(postings_blob))
-                encode_posting_list(postings_blob, terms[term])
+                blocks: list[tuple[int, int, int]] = []
+                encode_posting_list(postings_blob, plist, blocks)
+                encode_varint(blockmax_blob, len(blocks))
+                previous_last = 0
+                previous_start = 0
+                for number, (last_doc, start, n_in_block) in enumerate(blocks):
+                    chunk = plist[
+                        number * POSTINGS_BLOCK_SIZE : number * POSTINGS_BLOCK_SIZE
+                        + n_in_block
+                    ]
+                    encode_varint(blockmax_blob, last_doc - previous_last)
+                    encode_varint(blockmax_blob, start - previous_start)
+                    encode_varint(blockmax_blob, n_in_block)
+                    encode_varint(
+                        blockmax_blob,
+                        max(posting.term_frequency for posting in chunk),
+                    )
+                    encode_varint(
+                        blockmax_blob,
+                        min(count_of[posting.doc_id] for posting in chunk),
+                    )
+                    previous_last = last_doc
+                    previous_start = start
 
         summary_blob = bytearray()
         encode_varint(summary_blob, len(summary))
@@ -141,6 +185,7 @@ class SegmentWriter:
         payloads = {
             "postings.bin": bytes(postings_blob),
             "lexicon.bin": bytes(lexicon_blob),
+            "blockmax.bin": bytes(blockmax_blob),
             "summary.bin": bytes(summary_blob),
             "docs.bin": bytes(docs_blob),
             "linkages.bin": bytes(linkages_blob),
@@ -169,6 +214,110 @@ class SegmentWriter:
         )
 
 
+class TermBlocks:
+    """One term's block-max metadata: five parallel ascending columns."""
+
+    __slots__ = ("last_ids", "starts", "counts", "max_tfs", "min_lens")
+
+    def __init__(self) -> None:
+        self.last_ids: list[int] = []
+        self.starts: list[int] = []
+        self.counts: list[int] = []
+        self.max_tfs: list[int] = []
+        self.min_lens: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.last_ids)
+
+
+class TermHandle:
+    """Block-level access to one term's postings in one segment.
+
+    Built per query by the segmented pruned-postings accessor; holds the
+    term's posting-list offset and (for v2 segments) its block-max
+    column, and decodes **single blocks** on demand — skipping position
+    deltas — so probing one document touches at most one block's bytes.
+    Old (v1) segments fall back to scanning the whole list once and
+    answering probes from that memo: correct, just without the skip.
+    """
+
+    __slots__ = ("_buf", "_offset", "blocks", "_block_memo", "_full_memo")
+
+    def __init__(self, buf, offset: int, blocks: TermBlocks | None) -> None:
+        self._buf = buf
+        self._offset = offset
+        self.blocks = blocks
+        # block number -> (doc ids, tfs); lives as long as the handle
+        # (one query), so tombstone churn can never make it stale.
+        self._block_memo: dict[int, tuple[list[int], list[int]]] = {}
+        self._full_memo: tuple[list[int], list[int]] | None = None
+
+    def _full_scan(self) -> tuple[list[int], list[int]]:
+        if self._full_memo is None:
+            n_docs, pos = decode_varint(self._buf, self._offset)
+            self._full_memo = scan_posting_block(self._buf, pos, n_docs, 0)
+        return self._full_memo
+
+    def document_count(self, live=None) -> int:
+        """Exact df contribution of this segment (live-filtered)."""
+        if live is None and self.blocks is not None:
+            return sum(self.blocks.counts)
+        return count_posting_list(self._buf, self._offset, live)
+
+    def max_term_frequency(self) -> int:
+        blocks = self.blocks
+        if blocks is not None:
+            return max(blocks.max_tfs, default=0)
+        _, tfs = self._full_scan()
+        return max(tfs, default=0)
+
+    def min_doc_length(self) -> int | None:
+        """Smallest doc length among this term's postings, if recorded."""
+        blocks = self.blocks
+        if blocks is not None and len(blocks):
+            return min(blocks.min_lens)
+        return None
+
+    def block_bound(self, doc_id: int) -> tuple[int, int] | None:
+        """(max tf, min doc length) of the block covering ``doc_id``.
+
+        Returns ``(0, 0)`` when no block can contain the document (the
+        term has no postings at or above it) and None when the segment
+        predates the block-max column.
+        """
+        blocks = self.blocks
+        if blocks is None:
+            return None
+        number = bisect_left(blocks.last_ids, doc_id)
+        if number >= len(blocks.last_ids):
+            return (0, 0)
+        return (blocks.max_tfs[number], blocks.min_lens[number])
+
+    def probe(self, doc_id: int) -> int:
+        """Term frequency of ``doc_id`` (0 if absent), one block decoded."""
+        blocks = self.blocks
+        if blocks is None:
+            doc_ids, tfs = self._full_scan()
+        else:
+            number = bisect_left(blocks.last_ids, doc_id)
+            if number >= len(blocks.last_ids):
+                return 0
+            entry = self._block_memo.get(number)
+            if entry is None:
+                entry = scan_posting_block(
+                    self._buf,
+                    self._offset + blocks.starts[number],
+                    blocks.counts[number],
+                    blocks.last_ids[number - 1] if number else 0,
+                )
+                self._block_memo[number] = entry
+            doc_ids, tfs = entry
+        slot = bisect_left(doc_ids, doc_id)
+        if slot < len(doc_ids) and doc_ids[slot] == doc_id:
+            return tfs[slot]
+        return 0
+
+
 class SegmentReader:
     """Zero-copy reads over one committed segment.
 
@@ -188,15 +337,17 @@ class SegmentReader:
             raise StorageError(
                 f"unreadable segment header at {header_path}: {error}"
             ) from error
-        if header.get("format_version") != FORMAT_VERSION:
+        if header.get("format_version") not in SUPPORTED_VERSIONS:
             raise StorageError(
                 f"unsupported segment format version in {header_path}"
             )
+        self.format_version: int = header["format_version"]
         self.name: str = header["name"]
         self.doc_base: int = header["doc_base"]
         self.doc_count: int = header["doc_count"]
         self.size_bytes: int = header["size_bytes"]
-        for file_name in _FILES:
+        required = _FILES + (_V2_FILES if self.format_version >= 2 else ())
+        for file_name in required:
             if not (self.directory / file_name).exists():
                 raise StorageError(f"segment {self.name} is missing {file_name}")
 
@@ -212,10 +363,12 @@ class SegmentReader:
             raise StorageError(f"segment {self.name} has torn document columns")
 
         # Lazily parsed: field → {term → postings offset} and the
-        # sorted vocabulary per field; summary sections.
+        # sorted vocabulary per field; summary sections; the block-max
+        # column (v2 segments only).
         self._lexicon: dict[str, dict[str, int]] | None = None
         self._vocab: dict[str, list[str]] | None = None
         self._summary: list[tuple[str, str, dict[str, SummaryEntry]]] | None = None
+        self._blockmax: dict[str, dict[str, "TermBlocks"]] | None = None
 
     def _map(self, file_name: str):
         path = self.directory / file_name
@@ -273,6 +426,64 @@ class SegmentReader:
         if offset is None:
             return []
         return decode_posting_list(self._postings_map, offset, live)
+
+    def _load_blockmax(self) -> dict[str, dict[str, TermBlocks]]:
+        """Parse ``blockmax.bin`` (v2 segments; empty mapping for v1).
+
+        Terms are not repeated in the column — entries align with the
+        lexicon's sorted term order per field, so the parse walks both
+        in lockstep.
+        """
+        if self._blockmax is None:
+            if self.format_version < 2:
+                self._blockmax = {}
+                return self._blockmax
+            self._load_lexicon()
+            assert self._vocab is not None
+            buf = (self.directory / "blockmax.bin").read_bytes()
+            parsed: dict[str, dict[str, TermBlocks]] = {}
+            pos = 0
+            n_fields, pos = decode_varint(buf, pos)
+            for _ in range(n_fields):
+                field_name, pos = decode_string(buf, pos)
+                n_terms, pos = decode_varint(buf, pos)
+                terms = self._vocab.get(field_name, [])
+                if len(terms) != n_terms:
+                    raise StorageError(
+                        f"segment {self.name}: blockmax/lexicon term count "
+                        f"mismatch in field {field_name!r}"
+                    )
+                by_term: dict[str, TermBlocks] = {}
+                for term in terms:
+                    blocks = TermBlocks()
+                    n_blocks, pos = decode_varint(buf, pos)
+                    last_id = 0
+                    start = 0
+                    for _ in range(n_blocks):
+                        delta, pos = decode_varint(buf, pos)
+                        last_id += delta
+                        step, pos = decode_varint(buf, pos)
+                        start += step
+                        count, pos = decode_varint(buf, pos)
+                        max_tf, pos = decode_varint(buf, pos)
+                        min_len, pos = decode_varint(buf, pos)
+                        blocks.last_ids.append(last_id)
+                        blocks.starts.append(start)
+                        blocks.counts.append(count)
+                        blocks.max_tfs.append(max_tf)
+                        blocks.min_lens.append(min_len)
+                    by_term[term] = blocks
+                parsed[field_name] = by_term
+            self._blockmax = parsed
+        return self._blockmax
+
+    def term_handle(self, field: str, term: str) -> TermHandle | None:
+        """Block-level access to one term, or None when absent."""
+        offset = self._load_lexicon().get(field, {}).get(term)
+        if offset is None:
+            return None
+        blocks = self._load_blockmax().get(field, {}).get(term)
+        return TermHandle(self._postings_map, offset, blocks)
 
     # -- summary columns ----------------------------------------------------
 

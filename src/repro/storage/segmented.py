@@ -44,6 +44,115 @@ from repro.text.soundex import soundex as soundex_code
 
 __all__ = ["SegmentedIndex", "SegmentedDocumentStore"]
 
+
+class _SegmentedTermAccessor:
+    """Pruned-evaluation access to one term across segments + tail.
+
+    The pruned driver's contract (df / max tf / min length metadata,
+    point probes, per-document block bounds) routed by doc-id range:
+    committed ids resolve through each segment's
+    :class:`~repro.storage.segment.TermHandle` (block-max column, no
+    full decode), tail ids bisect the mutable posting list.  ``tf_map``
+    intentionally reuses the index's merged-and-memoized decode — an
+    essential pass walks everything anyway, and sharing the memo keeps
+    repeated queries cheap.
+    """
+
+    __slots__ = (
+        "_index", "_field", "_term", "_handles", "_bases", "_tail",
+        "_tail_ids", "_tail_floor", "_live", "df", "max_tf", "min_len",
+        "doc_weight", "has_blocks",
+    )
+
+    def __init__(self, index: "SegmentedIndex", field: str, term: str) -> None:
+        self._index = index
+        self._field = field
+        self._term = term
+        store = index._segment_store
+        live = store.live if store.tombstones else None
+        self._live = live
+        handles: list[tuple[int, int, object]] = []
+        for reader in store.readers:
+            handle = reader.term_handle(field, term)
+            if handle is not None:
+                handles.append((reader.doc_base, reader.doc_ceiling, handle))
+        self._handles = handles
+        self._bases = [base for base, _, _ in handles]
+        tail = list(index._postings.get(field, {}).get(term, ()))
+        self._tail = tail
+        self._tail_ids: list[int] | None = None
+        self._tail_floor = tail[0].doc_id if tail else None
+        self.doc_weight = None
+        df = len(tail)
+        max_tf = InvertedIndex.max_term_frequency(index, field, term)
+        handle_mins: list[int] = []
+        blind = False
+        for _, _, handle in handles:
+            df += handle.document_count(live)
+            tf = handle.max_term_frequency()
+            if tf > max_tf:
+                max_tf = tf
+            handle_min = handle.min_doc_length()
+            if handle_min is None:
+                # version-1 segment: no block column, no length bound.
+                blind = True
+            else:
+                handle_mins.append(handle_min)
+        self.df = df
+        self.max_tf = max_tf
+        # The term-level length bound is the min over every source of
+        # the term's documents.  A non-empty tail has no cheap per-doc
+        # length column (nor does a v1 segment), so its presence drops
+        # the bound to None — the driver then falls back to the
+        # store-wide minimum, which is looser but still valid.
+        if tail or blind or not handle_mins:
+            self.min_len = None
+        else:
+            self.min_len = min(handle_mins)
+        self.has_blocks = any(
+            handle.blocks is not None for _, _, handle in handles
+        )
+
+    def tf_map(self) -> dict[int, int]:
+        return {
+            posting.doc_id: posting.term_frequency
+            for posting in self._index.postings(self._field, self._term)
+        }
+
+    def _route(self, doc_id: int):
+        """The (ceiling, handle) covering ``doc_id``, or None."""
+        position = bisect_right(self._bases, doc_id) - 1
+        if position >= 0:
+            _, ceiling, handle = self._handles[position]
+            if doc_id < ceiling:
+                return handle
+        return None
+
+    def probe(self, doc_id: int) -> int:
+        live = self._live
+        if live is not None and not live(doc_id):
+            return 0
+        handle = self._route(doc_id)
+        if handle is not None:
+            return handle.probe(doc_id)
+        tail_ids = self._tail_ids
+        if tail_ids is None:
+            tail_ids = self._tail_ids = [p.doc_id for p in self._tail]
+        slot = bisect_left(tail_ids, doc_id)
+        if slot < len(tail_ids) and tail_ids[slot] == doc_id:
+            return self._tail[slot].term_frequency
+        return 0
+
+    def block_bound(self, doc_id: int) -> tuple[int, int] | None:
+        if self._tail_floor is not None and doc_id >= self._tail_floor:
+            return None
+        handle = self._route(doc_id)
+        if handle is not None:
+            return handle.block_bound(doc_id)
+        # No segment of this term covers the id and it is below the
+        # tail: the term cannot match it, which (0, 0) encodes exactly.
+        return (0, 0)
+
 #: Decoded-document memo bound (entries, not bytes); cleared wholesale
 #: when full, like the term-matcher's expansion memo.
 _DOC_MEMO_LIMIT = 4096
@@ -93,6 +202,7 @@ class SegmentedIndex(InvertedIndex):
         (via the store epoch bumped by the commit).
         """
         self._postings.clear()
+        self._max_tf.clear()
         self._summary.clear()
         self._summary_last_doc.clear()
         self._sorted_vocab.clear()
@@ -126,6 +236,26 @@ class SegmentedIndex(InvertedIndex):
                 memo.clear()
             memo[cache_key] = merged
         return merged
+
+    def max_term_frequency(self, field: str, term: str) -> int:
+        """Max per-document tf across committed segments and the tail.
+
+        Tombstones may leave this stale-high (the maximal document was
+        deleted); that direction only loosens upper bounds, never
+        invalidates them.
+        """
+        best = super().max_term_frequency(field, term)
+        for reader in self._segment_store.readers:
+            handle = reader.term_handle(field, term)
+            if handle is not None:
+                tf = handle.max_term_frequency()
+                if tf > best:
+                    best = tf
+        return best
+
+    def pruned_postings(self, field: str, term: str) -> _SegmentedTermAccessor:
+        """Block-aware probe access for the pruned evaluation driver."""
+        return _SegmentedTermAccessor(self, field, term)
 
     # -- reads: vocabulary and fields --------------------------------------
 
@@ -306,6 +436,7 @@ class SegmentedDocumentStore(DocumentStore):
         self._token_counts.append(token_count)
         self._token_total += token_count
         self._by_linkage.setdefault(document.linkage, doc_id)
+        self._min_token_memo = None
         return doc_id
 
     def set_token_count(self, doc_id: int, token_count: int) -> None:
@@ -314,9 +445,11 @@ class SegmentedDocumentStore(DocumentStore):
             raise StorageError("cannot reset the token count of a committed document")
         self._token_total += token_count - self._token_counts[offset]
         self._token_counts[offset] = token_count
+        self._min_token_memo = None
 
     def note_tombstones(self, doc_ids) -> None:
         """Adjust linkage/statistics for freshly tombstoned doc ids."""
+        self._min_token_memo = None
         for doc_id in doc_ids:
             reader, slot = self._locate(doc_id)
             if reader is None:
@@ -404,3 +537,22 @@ class SegmentedDocumentStore(DocumentStore):
         if not live:
             return 0.0
         return (self._segment_token_total + self._token_total) / live
+
+    def min_token_count(self) -> int:
+        """Smallest live token count across segments and the tail.
+
+        Memoized like the in-memory store's; writes and tombstone
+        commits invalidate.  Used only as a conservative length floor
+        for pruning upper bounds.
+        """
+        if self._min_token_memo is None:
+            candidates = [
+                minimum
+                for minimum in (
+                    min(self._segment_counts.values(), default=None),
+                    min(self._token_counts, default=None),
+                )
+                if minimum is not None
+            ]
+            self._min_token_memo = min(candidates) if candidates else 0
+        return self._min_token_memo

@@ -1,0 +1,211 @@
+"""The block-max column: codec, handles, and v1 backward compatibility.
+
+Version 2 adds ``blockmax.bin`` — per term, per 128-document block, the
+metadata block-skipping needs — while leaving ``postings.bin`` and every
+other file byte-identical.  These tests pin the codec round-trip, the
+:class:`TermHandle` access path, and the promise that version-1 segment
+directories (no column) still open and answer correctly.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.engine import fields as F
+from repro.engine.documents import Document
+from repro.engine.evaluation import PRUNED, TERM_AT_A_TIME
+from repro.engine.index import Posting
+from repro.engine.query import ListQuery, TermQuery
+from repro.engine.search import SearchEngine
+from repro.storage.format import (
+    POSTINGS_BLOCK_SIZE,
+    StorageError,
+    decode_posting_list,
+    decode_varint,
+    encode_posting_list,
+    scan_posting_block,
+)
+from repro.storage.manifest import MANIFEST_NAME, Manifest, read_manifest
+from repro.storage.segment import SegmentReader, SegmentWriter
+
+
+def make_postings(n_docs: int, seed: int = 0) -> list[Posting]:
+    rng = random.Random(seed)
+    postings = []
+    doc_id = 0
+    for _ in range(n_docs):
+        doc_id += rng.randint(1, 5)
+        positions = tuple(
+            sorted(rng.randint(0, 50) for _ in range(rng.randint(1, 4)))
+        )
+        postings.append(Posting(doc_id, positions))
+    return postings
+
+
+class TestCodec:
+    @pytest.mark.parametrize("n_docs", [0, 1, 127, 128, 129, 400])
+    def test_blocks_are_a_pure_overlay(self, n_docs):
+        postings = make_postings(n_docs)
+        plain = bytearray()
+        encode_posting_list(plain, postings)
+        with_blocks = bytearray()
+        blocks: list[tuple[int, int, int]] = []
+        encode_posting_list(with_blocks, postings, blocks)
+        assert bytes(plain) == bytes(with_blocks)  # v1-compatible bytes
+        assert sum(count for _, _, count in blocks) == n_docs
+        expected_blocks = (n_docs + POSTINGS_BLOCK_SIZE - 1) // POSTINGS_BLOCK_SIZE
+        assert len(blocks) == expected_blocks
+        if blocks:
+            assert blocks[-1][0] == postings[-1].doc_id
+
+    def test_scan_posting_block_matches_full_decode(self):
+        postings = make_postings(400, seed=3)
+        blob = bytearray()
+        blocks: list[tuple[int, int, int]] = []
+        encode_posting_list(blob, postings, blocks)
+        decoded = decode_posting_list(blob, 0)
+        assert decoded == postings
+        _, first_data = decode_varint(blob, 0)
+        previous_doc = 0
+        seen: list[tuple[int, int]] = []
+        for number, (last_doc, start, count) in enumerate(blocks):
+            doc_ids, tfs = scan_posting_block(blob, start, count, previous_doc)
+            assert doc_ids[-1] == last_doc
+            if number == 0:
+                assert start == first_data
+            seen.extend(zip(doc_ids, tfs))
+            previous_doc = last_doc
+        assert seen == [
+            (posting.doc_id, posting.term_frequency) for posting in postings
+        ]
+
+
+def write_segment(directory, postings_by_term, base_length=10):
+    """One single-field segment whose doc lengths are ``base_length + id``."""
+    doc_ids = sorted({p.doc_id for plist in postings_by_term.values() for p in plist})
+    documents = [
+        (doc_id, Document(f"http://seg/{doc_id}", {F.BODY_OF_TEXT: "x"}), base_length + doc_id)
+        for doc_id in doc_ids
+    ]
+    writer = SegmentWriter(directory / "seg-000000", "seg-000000")
+    return writer.write(documents, {F.BODY_OF_TEXT: postings_by_term}, [])
+
+
+class TestTermHandle:
+    def test_handle_metadata_and_probes(self, tmp_path):
+        postings = make_postings(300, seed=5)
+        write_segment(tmp_path, {"alpha": postings})
+        reader = SegmentReader(tmp_path / "seg-000000")
+        try:
+            handle = reader.term_handle(F.BODY_OF_TEXT, "alpha")
+            assert handle is not None and handle.blocks is not None
+            assert len(handle.blocks) == (300 + POSTINGS_BLOCK_SIZE - 1) // POSTINGS_BLOCK_SIZE
+            assert handle.document_count() == 300
+            assert handle.max_term_frequency() == max(
+                posting.term_frequency for posting in postings
+            )
+            # Doc lengths are base + id, so the term-wide min length is
+            # the first posting's.
+            assert handle.min_doc_length() == 10 + postings[0].doc_id
+            by_id = {p.doc_id: p.term_frequency for p in postings}
+            probe_ids = [p.doc_id for p in postings[::17]]
+            probe_ids += [postings[0].doc_id - 1, postings[-1].doc_id + 100]
+            for doc_id in probe_ids:
+                assert handle.probe(doc_id) == by_id.get(doc_id, 0)
+            # Past the last posting no block can match.
+            assert handle.block_bound(postings[-1].doc_id + 100) == (0, 0)
+            covered = handle.block_bound(postings[0].doc_id)
+            assert covered is not None and covered[0] >= postings[0].term_frequency
+            assert reader.term_handle(F.BODY_OF_TEXT, "missing") is None
+        finally:
+            reader.close()
+
+    def test_block_bounds_dominate_their_blocks(self, tmp_path):
+        postings = make_postings(300, seed=6)
+        write_segment(tmp_path, {"alpha": postings})
+        reader = SegmentReader(tmp_path / "seg-000000")
+        try:
+            handle = reader.term_handle(F.BODY_OF_TEXT, "alpha")
+            for posting in postings:
+                max_tf, min_len = handle.block_bound(posting.doc_id)
+                assert max_tf >= posting.term_frequency
+                assert min_len <= 10 + posting.doc_id
+        finally:
+            reader.close()
+
+
+def downgrade_to_v1(store_dir):
+    """Rewrite a committed store as a version-1 directory (no column)."""
+    manifest = read_manifest(store_dir)
+    assert manifest is not None and manifest.segments
+    for segment in manifest.segments:
+        segment_dir = store_dir / segment.name
+        (segment_dir / "blockmax.bin").unlink()
+        header_path = segment_dir / "segment.json"
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+        header["format_version"] = 1
+        header["files"].pop("blockmax.bin", None)
+        header_path.write_text(json.dumps(header, indent=1), encoding="utf-8")
+    payload = manifest.to_json()
+    payload["format_version"] = 1
+    (store_dir / MANIFEST_NAME).write_text(
+        json.dumps(payload, indent=1), encoding="utf-8"
+    )
+
+
+class TestBackwardCompatibility:
+    def _build(self, store_dir, n_docs=220):
+        rng = random.Random(9)
+        vocab = ["alpha", "beta", "gamma", "delta"]
+        engine = SearchEngine(storage="segments", storage_dir=store_dir)
+        for index in range(n_docs):
+            body = " ".join(rng.choices(vocab, k=rng.randint(3, 20)))
+            engine.add(Document(f"http://x/{index}", {F.BODY_OF_TEXT: body}))
+        engine.flush()
+        return engine
+
+    def test_v1_directory_still_opens_and_answers(self, tmp_path):
+        store_dir = tmp_path / "store"
+        engine = self._build(store_dir)
+        query = ListQuery(
+            (TermQuery(F.BODY_OF_TEXT, "alpha"), TermQuery(F.BODY_OF_TEXT, "gamma"))
+        )
+        expected = engine.search(ranking_query=query, top_k=5)
+        engine.close()
+
+        downgrade_to_v1(store_dir)
+        warmed = SearchEngine(
+            storage="segments", storage_dir=store_dir, evaluation=PRUNED
+        )
+        try:
+            # The v1 directory opens, the handle degrades gracefully
+            # (no block column), and both evaluation modes still give
+            # the exact same answer.
+            reader = warmed.segment_store.readers[0]
+            assert reader.format_version == 1
+            handle = reader.term_handle(F.BODY_OF_TEXT, "alpha")
+            assert handle is not None and handle.blocks is None
+            assert handle.min_doc_length() is None
+            assert handle.block_bound(0) is None
+            pruned = warmed.search(ranking_query=query, top_k=5)
+            warmed.evaluation = TERM_AT_A_TIME
+            exhaustive = warmed.search(ranking_query=query, top_k=5)
+            assert pruned == exhaustive == expected
+        finally:
+            warmed.close()
+
+    def test_unknown_versions_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            Manifest.from_json({"format_version": 99})
+        store_dir = tmp_path / "store"
+        engine = self._build(store_dir, n_docs=40)
+        engine.close()
+        manifest = read_manifest(store_dir)
+        segment_dir = store_dir / manifest.segments[0].name
+        header_path = segment_dir / "segment.json"
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+        header["format_version"] = 99
+        header_path.write_text(json.dumps(header, indent=1), encoding="utf-8")
+        with pytest.raises(StorageError):
+            SegmentReader(segment_dir)
